@@ -1,0 +1,70 @@
+// Command experiments regenerates every table of the reproduction's
+// evaluation (E1–E8 in DESIGN.md): the paper's conditional properties
+// (TO-property, VS-property), the Figure 12 phase decomposition, the
+// Section 8 analytic bounds, the stable-storage baseline comparison, and
+// the randomized safety checks.
+//
+// Usage:
+//
+//	go run ./cmd/experiments            # all experiments
+//	go run ./cmd/experiments -exp E4    # one experiment
+//	go run ./cmd/experiments -seed 7    # different randomness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "run a single experiment (E1..E13); default all")
+		seed   = flag.Int64("seed", 1, "seed for all randomized runs")
+		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	runners := map[string]func(int64) *experiments.Table{
+		"E1": experiments.E1, "E2": experiments.E2, "E3": experiments.E3,
+		"E4": experiments.E4, "E5": experiments.E5, "E6": experiments.E6,
+		"E7": experiments.E7, "E8": experiments.E8, "E9": experiments.E9,
+		"E10": experiments.E10, "E11": experiments.E11, "E12": experiments.E12,
+		"E13": experiments.E13,
+	}
+
+	var tables []*experiments.Table
+	if *exp == "" {
+		tables = experiments.All(*seed)
+	} else {
+		run, ok := runners[strings.ToUpper(*exp)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E13)\n", *exp)
+			os.Exit(2)
+		}
+		tables = []*experiments.Table{run(*seed)}
+	}
+
+	failed := 0
+	for _, t := range tables {
+		fmt.Println(t.Format())
+		if len(t.Failures) > 0 {
+			failed++
+		}
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, strings.ToLower(t.ID)+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+				os.Exit(1)
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed validation\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,41 @@
+// Command timeline renders a recorded trace (JSON lines, as produced by
+// tosim -trace) as a per-processor text timeline, making partition and
+// merge dynamics visible at a glance. See internal/timeline for the
+// renderer.
+//
+// Usage:
+//
+//	go run ./cmd/tosim -n 5 -partition 0,1,2 -heal 500ms -trace trace.jsonl
+//	go run ./cmd/timeline -bucket 20ms trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/props"
+	"repro/internal/timeline"
+)
+
+func main() {
+	bucket := flag.Duration("bucket", 10*time.Millisecond, "time bucket per row")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: timeline [-bucket 10ms] <trace.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	log, err := props.ReadJSONL(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parse: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(timeline.Render(log, *bucket))
+}

@@ -1,0 +1,249 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// --- TOChecker -----------------------------------------------------------
+
+func TestTOCheckerAcceptsCommonOrder(t *testing.T) {
+	c := NewTOChecker()
+	c.Bcast("a", 0)
+	c.Bcast("b", 1)
+	// p2 extends the order; p0 follows the same prefix.
+	mustOK(t, c.Brcv("a", 0, 2))
+	mustOK(t, c.Brcv("b", 1, 2))
+	mustOK(t, c.Brcv("a", 0, 0))
+	mustOK(t, c.Brcv("b", 1, 0))
+	if c.OrderLen() != 2 {
+		t.Fatalf("order length %d", c.OrderLen())
+	}
+	if c.DeliveredCount(0) != 2 || c.DeliveredCount(2) != 2 || c.DeliveredCount(1) != 0 {
+		t.Error("delivered counts wrong")
+	}
+	ord := c.Order()
+	if ord[0].A != "a" || ord[0].P != 0 || ord[1].A != "b" {
+		t.Fatalf("Order() = %v", ord)
+	}
+}
+
+func TestTOCheckerRejectsPrefixViolation(t *testing.T) {
+	c := NewTOChecker()
+	c.Bcast("a", 0)
+	c.Bcast("b", 1)
+	mustOK(t, c.Brcv("a", 0, 2))
+	if err := c.Brcv("b", 1, 3); err == nil {
+		t.Fatal("divergent first delivery accepted")
+	}
+}
+
+func TestTOCheckerRejectsUnsentValue(t *testing.T) {
+	c := NewTOChecker()
+	if err := c.Brcv("ghost", 0, 1); err == nil || !strings.Contains(err.Error(), "integrity") {
+		t.Fatalf("unsent value accepted or wrong error: %v", err)
+	}
+}
+
+func TestTOCheckerRejectsPerSenderReorder(t *testing.T) {
+	c := NewTOChecker()
+	c.Bcast("first", 0)
+	c.Bcast("second", 0)
+	if err := c.Brcv("second", 0, 1); err == nil {
+		t.Fatal("out-of-submission-order delivery accepted")
+	}
+}
+
+func TestTOCheckerDuplicateValuesDistinguished(t *testing.T) {
+	c := NewTOChecker()
+	c.Bcast("same", 0)
+	c.Bcast("same", 0)
+	mustOK(t, c.Brcv("same", 0, 1))
+	mustOK(t, c.Brcv("same", 0, 1))
+	// A third delivery of "same" has no matching submission.
+	if err := c.Brcv("same", 0, 1); err == nil {
+		t.Fatal("over-delivery of duplicate value accepted")
+	}
+}
+
+func TestTOCheckerInterleavedSenders(t *testing.T) {
+	c := NewTOChecker()
+	for i := 0; i < 5; i++ {
+		c.Bcast(types.Value("x"), 0)
+		c.Bcast(types.Value("y"), 1)
+	}
+	// Any interleaving that respects per-sender order is fine.
+	seq := []types.ProcID{0, 1, 1, 0, 0, 1, 0, 1, 1, 0}
+	vals := map[types.ProcID]types.Value{0: "x", 1: "y"}
+	for _, p := range seq {
+		mustOK(t, c.Brcv(vals[p], p, 2))
+	}
+	if c.Events() != 20 {
+		t.Errorf("Events = %d", c.Events())
+	}
+}
+
+// --- VSChecker -----------------------------------------------------------
+
+func view(epoch int64, proc types.ProcID, members ...types.ProcID) types.View {
+	return types.View{ID: types.ViewID{Epoch: epoch, Proc: proc}, Set: types.NewProcSet(members...)}
+}
+
+func TestVSCheckerHappyPath(t *testing.T) {
+	all := types.RangeProcSet(3)
+	c := NewVSChecker(all, all)
+	m1 := MsgID{Sender: 0, Seq: 1}
+	mustOK(t, c.Gpsnd(m1))
+	for _, q := range all.Members() {
+		mustOK(t, c.Gprcv(m1, q))
+	}
+	for _, q := range all.Members() {
+		mustOK(t, c.Safe(m1, q))
+	}
+	if got := c.ViewOrder(types.G0()); len(got) != 1 || got[0] != m1 {
+		t.Fatalf("ViewOrder = %v", got)
+	}
+}
+
+func TestVSCheckerNewviewRules(t *testing.T) {
+	all := types.RangeProcSet(3)
+	c := NewVSChecker(all, all)
+	v2 := view(2, 0, 0, 1)
+	if err := c.Newview(v2, 2); err == nil {
+		t.Fatal("self-inclusion violation accepted")
+	}
+	mustOK(t, c.Newview(v2, 0))
+	if err := c.Newview(view(1, 0, 0, 1), 0); err == nil {
+		t.Fatal("non-monotone newview accepted")
+	}
+	cv, ok := c.CurrentView(0)
+	if !ok || cv.ID != v2.ID {
+		t.Errorf("CurrentView = %v %t", cv, ok)
+	}
+}
+
+func TestVSCheckerSendingViewDelivery(t *testing.T) {
+	all := types.RangeProcSet(2)
+	c := NewVSChecker(all, all)
+	m1 := MsgID{Sender: 0, Seq: 1}
+	mustOK(t, c.Gpsnd(m1))
+	// p1 moves to a new view before receiving.
+	mustOK(t, c.Newview(view(2, 1, 0, 1), 1))
+	if err := c.Gprcv(m1, 1); err == nil {
+		t.Fatal("delivery outside the sending view accepted")
+	}
+	// p0, still in g0, may receive it.
+	mustOK(t, c.Gprcv(m1, 0))
+}
+
+func TestVSCheckerBottomSendNeverDelivered(t *testing.T) {
+	c := NewVSChecker(types.RangeProcSet(2), types.NewProcSet(0)) // p1 starts with ⊥
+	m := MsgID{Sender: 1, Seq: 1}
+	mustOK(t, c.Gpsnd(m))
+	if err := c.Gprcv(m, 0); err == nil {
+		t.Fatal("⊥-view send delivered")
+	}
+}
+
+func TestVSCheckerNoDuplication(t *testing.T) {
+	all := types.RangeProcSet(2)
+	c := NewVSChecker(all, all)
+	m := MsgID{Sender: 0, Seq: 1}
+	mustOK(t, c.Gpsnd(m))
+	mustOK(t, c.Gprcv(m, 1))
+	if err := c.Gprcv(m, 1); err == nil {
+		t.Fatal("duplicate delivery accepted")
+	}
+	if err := c.Gpsnd(m); err == nil {
+		t.Fatal("duplicate gpsnd id accepted")
+	}
+}
+
+func TestVSCheckerPrefixTotalOrder(t *testing.T) {
+	all := types.RangeProcSet(3)
+	c := NewVSChecker(all, all)
+	a := MsgID{Sender: 0, Seq: 1}
+	b := MsgID{Sender: 1, Seq: 1}
+	mustOK(t, c.Gpsnd(a))
+	mustOK(t, c.Gpsnd(b))
+	// p2 establishes the order a, b.
+	mustOK(t, c.Gprcv(a, 2))
+	mustOK(t, c.Gprcv(b, 2))
+	// p0 must follow it.
+	if err := c.Gprcv(b, 0); err == nil {
+		t.Fatal("per-view order divergence accepted")
+	}
+	mustOK(t, c.Gprcv(a, 0))
+	mustOK(t, c.Gprcv(b, 0))
+}
+
+func TestVSCheckerPerSenderPrefixWithinView(t *testing.T) {
+	all := types.RangeProcSet(2)
+	c := NewVSChecker(all, all)
+	m1 := MsgID{Sender: 0, Seq: 1}
+	m2 := MsgID{Sender: 0, Seq: 2}
+	mustOK(t, c.Gpsnd(m1))
+	mustOK(t, c.Gpsnd(m2))
+	if err := c.Gprcv(m2, 1); err == nil {
+		t.Fatal("skipping an earlier same-view send accepted")
+	}
+}
+
+func TestVSCheckerSafeSemantics(t *testing.T) {
+	all := types.RangeProcSet(2)
+	c := NewVSChecker(all, all)
+	m := MsgID{Sender: 0, Seq: 1}
+	mustOK(t, c.Gpsnd(m))
+	mustOK(t, c.Gprcv(m, 0))
+	// Not all members have received: safe must be rejected.
+	if err := c.Safe(m, 0); err == nil {
+		t.Fatal("premature safe accepted")
+	}
+	mustOK(t, c.Gprcv(m, 1))
+	mustOK(t, c.Safe(m, 0))
+	// Safe may not overtake the receiver's own deliveries: p1 delivered m,
+	// so safe is fine there too.
+	mustOK(t, c.Safe(m, 1))
+	// Double safe for the same message at the same receiver is rejected
+	// (next-safe points past it).
+	if err := c.Safe(m, 1); err == nil {
+		t.Fatal("duplicate safe accepted")
+	}
+}
+
+func TestVSCheckerIntegrity(t *testing.T) {
+	all := types.RangeProcSet(2)
+	c := NewVSChecker(all, all)
+	if err := c.Gprcv(MsgID{Sender: 0, Seq: 9}, 1); err == nil {
+		t.Fatal("unsent message delivered")
+	}
+	if err := c.Safe(MsgID{Sender: 0, Seq: 9}, 1); err == nil {
+		t.Fatal("unsent message safe")
+	}
+}
+
+// Messages sent in different views by the same sender may skip: the
+// per-sender prefix property is per view.
+func TestVSCheckerCrossViewSkipAllowed(t *testing.T) {
+	all := types.RangeProcSet(2)
+	c := NewVSChecker(all, all)
+	m1 := MsgID{Sender: 0, Seq: 1} // sent in g0, never delivered
+	mustOK(t, c.Gpsnd(m1))
+	v2 := view(2, 0, 0, 1)
+	mustOK(t, c.Newview(v2, 0))
+	mustOK(t, c.Newview(v2, 1))
+	m2 := MsgID{Sender: 0, Seq: 2} // sent in v2
+	mustOK(t, c.Gpsnd(m2))
+	// Delivering m2 in v2 is fine even though m1 (older, same sender) was
+	// never delivered: m1 belongs to g0.
+	mustOK(t, c.Gprcv(m2, 1))
+}
+
+func mustOK(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

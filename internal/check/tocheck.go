@@ -1,0 +1,115 @@
+// Package check provides online trace checkers: given the external events
+// of a run (of the spec automata, of the VStoTO composition, or of the real
+// timed implementation), they decide membership in the trace sets of
+// TO-machine and VS-machine. They are the test oracles for conformance
+// testing and the engine behind the vscheck command.
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// TOChecker incrementally verifies that a stream of bcast/brcv events is a
+// trace of TO-machine (Figure 3). The witness construction: deliveries
+// from a given origin must occur in that origin's submission order (because
+// to-order consumes pending[p] FIFO), every processor's delivery sequence
+// must be a prefix of a single global order, and that global order may only
+// order a value after all earlier values from the same origin.
+type TOChecker struct {
+	// sent[p] counts bcasts at p; delivered maps (origin, k) — the k-th
+	// bcast at origin — to its position in the global order.
+	sent      map[types.ProcID]int
+	values    map[msgKey]types.Value
+	order     []msgKey
+	posOf     map[msgKey]int
+	nextOrd   map[types.ProcID]int // next submission index of p eligible for ordering
+	delivered map[types.ProcID]int // length of q's delivered prefix of order
+	events    int
+}
+
+type msgKey struct {
+	Origin types.ProcID
+	Index  int // 1-based submission index at Origin
+}
+
+// NewTOChecker creates an empty checker.
+func NewTOChecker() *TOChecker {
+	return &TOChecker{
+		sent:      make(map[types.ProcID]int),
+		values:    make(map[msgKey]types.Value),
+		posOf:     make(map[msgKey]int),
+		nextOrd:   make(map[types.ProcID]int),
+		delivered: make(map[types.ProcID]int),
+	}
+}
+
+// Bcast records a submission of a at p.
+func (c *TOChecker) Bcast(a types.Value, p types.ProcID) {
+	c.events++
+	c.sent[p]++
+	c.values[msgKey{Origin: p, Index: c.sent[p]}] = a
+}
+
+// Brcv checks a delivery at q of value a originating at p. It returns an
+// error if no TO-machine execution can explain the delivery.
+func (c *TOChecker) Brcv(a types.Value, p, q types.ProcID) error {
+	c.events++
+	n := c.delivered[q]
+	if n < len(c.order) {
+		// q must deliver the global order in sequence.
+		k := c.order[n]
+		if k.Origin != p || c.values[k] != a {
+			return fmt.Errorf("check: event %d: brcv(%q)_{%v,%v} but position %d of the total order is %q from %v",
+				c.events, string(a), p, q, n+1, string(c.values[k]), k.Origin)
+		}
+		c.delivered[q] = n + 1
+		return nil
+	}
+	// q extends the global order: the next value must be the next
+	// not-yet-ordered submission of p (per-sender FIFO), with matching
+	// value.
+	idx := c.nextOrd[p] + 1
+	k := msgKey{Origin: p, Index: idx}
+	v, ok := c.values[k]
+	if !ok {
+		return fmt.Errorf("check: event %d: brcv(%q)_{%v,%v} but %v has no unordered submission (integrity violation)",
+			c.events, string(a), p, q, p)
+	}
+	if v != a {
+		return fmt.Errorf("check: event %d: brcv(%q)_{%v,%v} but %v's next unordered submission (#%d) is %q (per-sender order violation)",
+			c.events, string(a), p, q, p, idx, string(v))
+	}
+	c.nextOrd[p] = idx
+	c.posOf[k] = len(c.order)
+	c.order = append(c.order, k)
+	c.delivered[q] = n + 1
+	return nil
+}
+
+// Order returns the global order constructed so far as ⟨value, origin⟩
+// pairs.
+func (c *TOChecker) Order() []struct {
+	A types.Value
+	P types.ProcID
+} {
+	out := make([]struct {
+		A types.Value
+		P types.ProcID
+	}, len(c.order))
+	for i, k := range c.order {
+		out[i].A = c.values[k]
+		out[i].P = k.Origin
+	}
+	return out
+}
+
+// DeliveredCount returns the length of q's delivered prefix.
+func (c *TOChecker) DeliveredCount(q types.ProcID) int { return c.delivered[q] }
+
+// OrderLen returns the length of the constructed global order.
+func (c *TOChecker) OrderLen() int { return len(c.order) }
+
+// Events returns the number of events checked.
+func (c *TOChecker) Events() int { return c.events }

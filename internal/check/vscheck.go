@@ -1,0 +1,233 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// MsgID uniquely identifies one gpsnd occurrence. Harnesses assign them at
+// send time (the paper's Lemma 4.2 constructs exactly such identifiers to
+// define the cause function).
+type MsgID struct {
+	Sender types.ProcID
+	Seq    int // per-sender send counter, 1-based
+}
+
+// String renders the identifier.
+func (m MsgID) String() string { return fmt.Sprintf("m%v.%d", m.Sender, m.Seq) }
+
+// VSChecker incrementally verifies that a stream of newview/gpsnd/gprcv/
+// safe events is a trace of VS-machine (Figure 6), i.e. that all the
+// Lemma 4.2 properties and the view rules hold:
+//
+//   - local monotonicity: newview identifiers strictly increase per
+//     processor, and a processor is always a member of its new view;
+//   - sending-view delivery: every gprcv/safe occurs at a receiver whose
+//     current view equals the sender's view at the corresponding gpsnd
+//     (message integrity); sends in view ⊥ are never delivered;
+//   - no duplication: cause is one-to-one per receiver for gprcv, and
+//     separately for safe;
+//   - per-view prefix total order: within each view there is one total
+//     order of messages, and every receiver's gprcv sequence is a prefix of
+//     it (this subsumes no-reordering and the per-sender prefix property);
+//   - safe ordering: each receiver's safe sequence is a prefix of its gprcv
+//     sequence in that view, and a safe(m) event may occur only once every
+//     member of the view has received m.
+type VSChecker struct {
+	universe types.ProcSet
+
+	current map[types.ProcID]types.View
+	hasView map[types.ProcID]bool // false = still ⊥
+
+	sendView map[MsgID]types.ViewID // view in which the message was sent (⊥ recorded too)
+	sendSeq  map[types.ProcID]int   // sends observed per sender (id sanity)
+
+	// Per view: the constructed total order and each receiver's delivered
+	// and safe prefix lengths.
+	order     map[types.ViewID][]MsgID
+	deliv     map[viewProc]int
+	safe      map[viewProc]int
+	delivered map[viewMsg]map[types.ProcID]bool
+
+	events int
+}
+
+type viewProc struct {
+	G types.ViewID
+	P types.ProcID
+}
+
+type viewMsg struct {
+	G types.ViewID
+	M MsgID
+}
+
+// NewVSChecker creates a checker. Processors in p0 start in the initial
+// view ⟨g0, P0⟩; the rest start with ⊥.
+func NewVSChecker(universe, p0 types.ProcSet) *VSChecker {
+	c := &VSChecker{
+		universe:  universe,
+		current:   make(map[types.ProcID]types.View),
+		hasView:   make(map[types.ProcID]bool),
+		sendView:  make(map[MsgID]types.ViewID),
+		sendSeq:   make(map[types.ProcID]int),
+		order:     make(map[types.ViewID][]MsgID),
+		deliv:     make(map[viewProc]int),
+		safe:      make(map[viewProc]int),
+		delivered: make(map[viewMsg]map[types.ProcID]bool),
+	}
+	v0 := types.InitialView(p0)
+	for _, p := range p0.Members() {
+		c.current[p] = v0
+		c.hasView[p] = true
+	}
+	return c
+}
+
+// Newview checks a newview(v)_p event.
+func (c *VSChecker) Newview(v types.View, p types.ProcID) error {
+	c.events++
+	if !v.Set.Contains(p) {
+		return fmt.Errorf("check: event %d: newview(%v)_%v: self-inclusion violated", c.events, v, p)
+	}
+	if c.hasView[p] && !c.current[p].ID.Less(v.ID) {
+		return fmt.Errorf("check: event %d: newview(%v)_%v: local monotonicity violated (current %v)",
+			c.events, v, p, c.current[p].ID)
+	}
+	c.current[p] = v
+	c.hasView[p] = true
+	return nil
+}
+
+// Gpsnd checks a gpsnd event with identifier id at sender id.Sender.
+func (c *VSChecker) Gpsnd(id MsgID) error {
+	c.events++
+	if _, dup := c.sendView[id]; dup {
+		return fmt.Errorf("check: event %d: duplicate gpsnd id %v", c.events, id)
+	}
+	c.sendSeq[id.Sender]++
+	if c.hasView[id.Sender] {
+		c.sendView[id] = c.current[id.Sender].ID
+	} else {
+		c.sendView[id] = types.Bottom // must never be delivered
+	}
+	return nil
+}
+
+// Gprcv checks a gprcv event: message id delivered at q.
+func (c *VSChecker) Gprcv(id MsgID, q types.ProcID) error {
+	c.events++
+	g, sent := c.sendView[id]
+	if !sent {
+		return fmt.Errorf("check: event %d: gprcv(%v)_%v: no corresponding gpsnd (integrity)", c.events, id, q)
+	}
+	if g.IsBottom() {
+		return fmt.Errorf("check: event %d: gprcv(%v)_%v: message was sent while sender's view was ⊥", c.events, id, q)
+	}
+	if !c.hasView[q] || c.current[q].ID != g {
+		return fmt.Errorf("check: event %d: gprcv(%v)_%v: receiver view %v ≠ sending view %v (sending-view delivery)",
+			c.events, id, q, c.currentID(q), g)
+	}
+	vp := viewProc{G: g, P: q}
+	n := c.deliv[vp]
+	ord := c.order[g]
+	if n < len(ord) {
+		if ord[n] != id {
+			return fmt.Errorf("check: event %d: gprcv(%v)_%v: position %d of view %v's order is %v (prefix total order)",
+				c.events, id, q, n+1, g, ord[n])
+		}
+	} else {
+		// q extends the view's order; the same message may not be ordered
+		// twice, and per-sender sends must enter in send order.
+		for _, prev := range ord {
+			if prev == id {
+				return fmt.Errorf("check: event %d: gprcv(%v)_%v: message ordered twice in view %v (no duplication)",
+					c.events, id, q, g)
+			}
+		}
+		if err := c.checkSenderPrefix(g, ord, id); err != nil {
+			return fmt.Errorf("check: event %d: gprcv(%v)_%v: %w", c.events, id, q, err)
+		}
+		c.order[g] = append(ord, id)
+	}
+	c.deliv[vp] = n + 1
+	vm := viewMsg{G: g, M: id}
+	if c.delivered[vm] == nil {
+		c.delivered[vm] = make(map[types.ProcID]bool)
+	}
+	if c.delivered[vm][q] {
+		return fmt.Errorf("check: event %d: gprcv(%v)_%v: duplicate delivery (no duplication)", c.events, id, q)
+	}
+	c.delivered[vm][q] = true
+	return nil
+}
+
+// checkSenderPrefix enforces the per-sender no-losses property: within a
+// view, the ordered messages of a sender form a prefix of its send
+// sequence, so a new entry must be the sender's next unordered send.
+func (c *VSChecker) checkSenderPrefix(g types.ViewID, ord []MsgID, id MsgID) error {
+	maxSeq := 0
+	for _, prev := range ord {
+		if prev.Sender == id.Sender && prev.Seq > maxSeq {
+			maxSeq = prev.Seq
+		}
+	}
+	for seq := maxSeq + 1; seq < id.Seq; seq++ {
+		skipped := MsgID{Sender: id.Sender, Seq: seq}
+		if sv, ok := c.sendView[skipped]; ok && sv == g {
+			return fmt.Errorf("message skips %v sent earlier in the same view (per-sender prefix)", skipped)
+		}
+	}
+	return nil
+}
+
+// Safe checks a safe event for message id at q.
+func (c *VSChecker) Safe(id MsgID, q types.ProcID) error {
+	c.events++
+	g, sent := c.sendView[id]
+	if !sent || g.IsBottom() {
+		return fmt.Errorf("check: event %d: safe(%v)_%v: no deliverable gpsnd (integrity)", c.events, id, q)
+	}
+	if !c.hasView[q] || c.current[q].ID != g {
+		return fmt.Errorf("check: event %d: safe(%v)_%v: receiver view %v ≠ sending view %v", c.events, id, q, c.currentID(q), g)
+	}
+	vp := viewProc{G: g, P: q}
+	ns := c.safe[vp]
+	ord := c.order[g]
+	if ns >= len(ord) || ord[ns] != id {
+		return fmt.Errorf("check: event %d: safe(%v)_%v: safe events must follow view %v's order (next-safe %d)",
+			c.events, id, q, g, ns+1)
+	}
+	if ns >= c.deliv[vp] {
+		return fmt.Errorf("check: event %d: safe(%v)_%v: safe overtakes delivery (next-safe %d, delivered %d)",
+			c.events, id, q, ns+1, c.deliv[vp])
+	}
+	// Every member of q's current view must already have received id.
+	got := c.delivered[viewMsg{G: g, M: id}]
+	for _, r := range c.current[q].Set.Members() {
+		if !got[r] {
+			return fmt.Errorf("check: event %d: safe(%v)_%v: member %v has not received the message", c.events, id, q, r)
+		}
+	}
+	c.safe[vp] = ns + 1
+	return nil
+}
+
+func (c *VSChecker) currentID(p types.ProcID) types.ViewID {
+	if !c.hasView[p] {
+		return types.Bottom
+	}
+	return c.current[p].ID
+}
+
+// CurrentView returns p's current view as tracked from the event stream.
+func (c *VSChecker) CurrentView(p types.ProcID) (types.View, bool) {
+	return c.current[p], c.hasView[p]
+}
+
+// ViewOrder returns the constructed total order of view g.
+func (c *VSChecker) ViewOrder(g types.ViewID) []MsgID { return c.order[g] }
+
+// Events returns the number of events checked.
+func (c *VSChecker) Events() int { return c.events }

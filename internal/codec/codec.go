@@ -1,0 +1,341 @@
+// Package codec serializes every payload that crosses the simulated
+// network — membership packets, tokens, probes, and the VStoTO messages
+// nested inside tokens — to a compact binary wire format and back.
+//
+// Its purpose is honesty: with the transcode hook installed (see
+// stack.Options.Wire), no Go pointer survives a network hop, so the
+// protocols cannot accidentally depend on shared in-memory state between
+// processors. Every field that matters must round-trip through bytes, and
+// the tests assert exact round-trip fidelity for every wire type.
+//
+// Format: one type-tag byte, then fields with fixed-width little-endian
+// integers and length-prefixed byte strings. Maps are written in sorted
+// key order so encodings are deterministic.
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/check"
+	"repro/internal/membership"
+	"repro/internal/types"
+	"repro/internal/vsimpl"
+	"repro/internal/vstoto"
+)
+
+// Type tags.
+const (
+	tagLabeledValue byte = iota + 1
+	tagSummary
+	tagCall
+	tagAccept
+	tagNewview
+	tagToken
+	tagProbe
+	tagString // raw string payloads (used by vsimpl-level tests)
+)
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v byte)    { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+func (w *writer) i32(v int)    { w.u32(uint32(int32(v))) }
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+func (w *writer) str(s string) { w.bytes([]byte(s)) }
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("codec: truncated %s at offset %d", what, r.off)
+	}
+}
+func (r *reader) u8() byte {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail("u8")
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+func (r *reader) i64() int64 { return int64(r.u64()) }
+func (r *reader) i32() int   { return int(int32(r.u32())) }
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail("bytes")
+		return nil
+	}
+	out := r.buf[r.off : r.off+n]
+	r.off += n
+	return out
+}
+func (r *reader) str() string { return string(r.bytes()) }
+
+// --- field helpers --------------------------------------------------------
+
+func putViewID(w *writer, id types.ViewID) {
+	w.i64(id.Epoch)
+	w.i32(int(id.Proc))
+}
+
+func getViewID(r *reader) types.ViewID {
+	return types.ViewID{Epoch: r.i64(), Proc: types.ProcID(r.i32())}
+}
+
+func putProcSet(w *writer, s types.ProcSet) {
+	members := s.Members()
+	w.u32(uint32(len(members)))
+	for _, p := range members {
+		w.i32(int(p))
+	}
+}
+
+func getProcSet(r *reader) types.ProcSet {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > len(r.buf) {
+		r.fail("procset")
+		return types.ProcSet{}
+	}
+	ids := make([]types.ProcID, 0, n)
+	for i := 0; i < n; i++ {
+		ids = append(ids, types.ProcID(r.i32()))
+	}
+	return types.NewProcSet(ids...)
+}
+
+func putView(w *writer, v types.View) {
+	putViewID(w, v.ID)
+	putProcSet(w, v.Set)
+}
+
+func getView(r *reader) types.View {
+	return types.View{ID: getViewID(r), Set: getProcSet(r)}
+}
+
+func putLabel(w *writer, l types.Label) {
+	putViewID(w, l.ID)
+	w.i32(l.Seqno)
+	w.i32(int(l.Origin))
+}
+
+func getLabel(r *reader) types.Label {
+	return types.Label{ID: getViewID(r), Seqno: r.i32(), Origin: types.ProcID(r.i32())}
+}
+
+func putMsgID(w *writer, id check.MsgID) {
+	w.i32(int(id.Sender))
+	w.i32(id.Seq)
+}
+
+func getMsgID(r *reader) check.MsgID {
+	return check.MsgID{Sender: types.ProcID(r.i32()), Seq: r.i32()}
+}
+
+func putSummary(w *writer, x *vstoto.Summary) {
+	labels := make([]types.Label, 0, len(x.Con))
+	for l := range x.Con {
+		labels = append(labels, l)
+	}
+	types.SortLabels(labels)
+	w.u32(uint32(len(labels)))
+	for _, l := range labels {
+		putLabel(w, l)
+		w.str(string(x.Con[l]))
+	}
+	w.u32(uint32(len(x.Ord)))
+	for _, l := range x.Ord {
+		putLabel(w, l)
+	}
+	w.i32(x.Next)
+	putViewID(w, x.High)
+}
+
+func getSummary(r *reader) *vstoto.Summary {
+	nCon := int(r.u32())
+	if r.err != nil || nCon < 0 || nCon > len(r.buf) {
+		r.fail("summary con")
+		return nil
+	}
+	con := make(map[types.Label]types.Value, nCon)
+	for i := 0; i < nCon; i++ {
+		l := getLabel(r)
+		con[l] = types.Value(r.str())
+	}
+	nOrd := int(r.u32())
+	if r.err != nil || nOrd < 0 || nOrd > len(r.buf) {
+		r.fail("summary ord")
+		return nil
+	}
+	ord := make([]types.Label, 0, nOrd)
+	for i := 0; i < nOrd; i++ {
+		ord = append(ord, getLabel(r))
+	}
+	return &vstoto.Summary{Con: con, Ord: ord, Next: r.i32(), High: getViewID(r)}
+}
+
+// --- top-level encode/decode ----------------------------------------------
+
+// Encode serializes a wire payload. It returns an error for types the wire
+// format does not know.
+func Encode(payload any) ([]byte, error) {
+	w := &writer{}
+	if err := encodeInto(w, payload); err != nil {
+		return nil, err
+	}
+	return w.buf, nil
+}
+
+func encodeInto(w *writer, payload any) error {
+	switch m := payload.(type) {
+	case vstoto.LabeledValue:
+		w.u8(tagLabeledValue)
+		putLabel(w, m.L)
+		w.str(string(m.A))
+	case *vstoto.Summary:
+		w.u8(tagSummary)
+		putSummary(w, m)
+	case membership.CallPkt:
+		w.u8(tagCall)
+		putViewID(w, m.ID)
+	case membership.AcceptPkt:
+		w.u8(tagAccept)
+		putViewID(w, m.ID)
+	case membership.NewviewPkt:
+		w.u8(tagNewview)
+		putView(w, m.V)
+	case *vsimpl.TokenPkt:
+		w.u8(tagToken)
+		putView(w, m.View)
+		w.i32(m.Base)
+		w.u32(uint32(len(m.Msgs)))
+		for _, tm := range m.Msgs {
+			putMsgID(w, tm.ID)
+			w.i32(int(tm.From))
+			if err := encodeInto(w, tm.Payload); err != nil {
+				return err
+			}
+		}
+		procs := make([]types.ProcID, 0, len(m.Delivered))
+		for p := range m.Delivered {
+			procs = append(procs, p)
+		}
+		sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+		w.u32(uint32(len(procs)))
+		for _, p := range procs {
+			w.i32(int(p))
+			w.i32(m.Delivered[p])
+		}
+	case vsimpl.ProbePkt:
+		w.u8(tagProbe)
+		putViewID(w, m.ViewID)
+	case string:
+		w.u8(tagString)
+		w.str(m)
+	default:
+		return fmt.Errorf("codec: unsupported wire type %T", payload)
+	}
+	return nil
+}
+
+// Decode parses a wire payload.
+func Decode(buf []byte) (any, error) {
+	r := &reader{buf: buf}
+	out := decodeFrom(r)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(buf) {
+		return nil, fmt.Errorf("codec: %d trailing bytes", len(buf)-r.off)
+	}
+	return out, nil
+}
+
+func decodeFrom(r *reader) any {
+	switch tag := r.u8(); tag {
+	case tagLabeledValue:
+		return vstoto.LabeledValue{L: getLabel(r), A: types.Value(r.str())}
+	case tagSummary:
+		return getSummary(r)
+	case tagCall:
+		return membership.CallPkt{ID: getViewID(r)}
+	case tagAccept:
+		return membership.AcceptPkt{ID: getViewID(r)}
+	case tagNewview:
+		return membership.NewviewPkt{V: getView(r)}
+	case tagToken:
+		tok := &vsimpl.TokenPkt{View: getView(r)}
+		tok.Base = r.i32()
+		nMsgs := int(r.u32())
+		if r.err != nil || nMsgs < 0 || nMsgs > len(r.buf) {
+			r.fail("token msgs")
+			return nil
+		}
+		tok.Msgs = make([]vsimpl.TokenMsg, 0, nMsgs)
+		for i := 0; i < nMsgs; i++ {
+			tm := vsimpl.TokenMsg{ID: getMsgID(r), From: types.ProcID(r.i32())}
+			tm.Payload = decodeFrom(r)
+			tok.Msgs = append(tok.Msgs, tm)
+		}
+		nDel := int(r.u32())
+		if r.err != nil || nDel < 0 || nDel > len(r.buf) {
+			r.fail("token delivered")
+			return nil
+		}
+		tok.Delivered = make(map[types.ProcID]int, nDel)
+		for i := 0; i < nDel; i++ {
+			p := types.ProcID(r.i32())
+			tok.Delivered[p] = r.i32()
+		}
+		return tok
+	case tagProbe:
+		return vsimpl.ProbePkt{ViewID: getViewID(r)}
+	case tagString:
+		return r.str()
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("codec: unknown tag %d", tag)
+		}
+		return nil
+	}
+}
+
+// Roundtrip encodes then decodes, returning a deep copy that shares no
+// memory with the input — the transcode hook for net.Config.
+func Roundtrip(payload any) (any, error) {
+	b, err := Encode(payload)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(b)
+}

@@ -1,0 +1,261 @@
+// Package failures models the paper's Figure 4 failure-status machinery:
+// each processor and each ordered pair of processors is, at any moment,
+// good, bad, or ugly. The intended meanings (Section 3.2):
+//
+//   - a good processor takes enabled steps with no time delay; a good channel
+//     delivers every packet sent while it is good within a fixed time δ;
+//   - a bad processor is stopped; a bad channel delivers nothing;
+//   - an ugly processor runs at nondeterministic speed (or stops); an ugly
+//     channel may or may not deliver, with no timing bound.
+//
+// The package also provides partition schedules (scripted sequences of
+// status changes) and the "consistently partitioned" predicate used by the
+// conditional properties TO-property and VS-property: a component Q is
+// consistently isolated when every location in Q and every pair within Q is
+// good while every pair straddling Q's boundary is bad.
+package failures
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Status is the good/bad/ugly failure status of a location or channel.
+type Status int
+
+// The three statuses of Figure 4. Good is the zero value, matching the
+// paper's convention that the default status (before any failure event) is
+// good.
+const (
+	Good Status = iota
+	Bad
+	Ugly
+)
+
+// String renders the status name.
+func (s Status) String() string {
+	switch s {
+	case Good:
+		return "good"
+	case Bad:
+		return "bad"
+	case Ugly:
+		return "ugly"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Pair is an ordered pair of processors, identifying a directed channel.
+type Pair struct {
+	From, To types.ProcID
+}
+
+// Event records one failure-status input action: either a processor event
+// (Pair.To == Pair.From == P) or a channel event. Proc events have Channel
+// false.
+type Event struct {
+	Time    sim.Time
+	Channel bool
+	Proc    types.ProcID // valid when !Channel
+	Pair    Pair         // valid when Channel
+	Status  Status
+}
+
+// String renders the event in the paper's notation, e.g. "bad_{p1,p2}@5ms".
+func (e Event) String() string {
+	if e.Channel {
+		return fmt.Sprintf("%v_{%v,%v}@%v", e.Status, e.Pair.From, e.Pair.To, e.Time)
+	}
+	return fmt.Sprintf("%v_%v@%v", e.Status, e.Proc, e.Time)
+}
+
+// Oracle tracks the current failure status of every processor and channel
+// and records the history of status events. Consumers (the simulated
+// network, the node runtimes) query it; scenarios drive it.
+type Oracle struct {
+	procs    map[types.ProcID]Status
+	channels map[Pair]Status
+	history  []Event
+	now      func() sim.Time
+	watchers []func(Event)
+}
+
+// NewOracle creates an oracle whose event timestamps come from now (usually
+// a *sim.Sim's Now). Everything starts good, per the paper's default.
+func NewOracle(now func() sim.Time) *Oracle {
+	return &Oracle{
+		procs:    make(map[types.ProcID]Status),
+		channels: make(map[Pair]Status),
+		now:      now,
+	}
+}
+
+// Watch registers a callback invoked on every status change, after the
+// change is applied. The network layer uses this to react to healing links.
+func (o *Oracle) Watch(fn func(Event)) { o.watchers = append(o.watchers, fn) }
+
+// SetProc applies a failure-status input action to a processor.
+func (o *Oracle) SetProc(p types.ProcID, s Status) {
+	o.procs[p] = s
+	ev := Event{Time: o.now(), Proc: p, Status: s}
+	o.history = append(o.history, ev)
+	for _, w := range o.watchers {
+		w(ev)
+	}
+}
+
+// SetChannel applies a failure-status input action to the directed channel
+// from→to.
+func (o *Oracle) SetChannel(from, to types.ProcID, s Status) {
+	pr := Pair{From: from, To: to}
+	o.channels[pr] = s
+	ev := Event{Time: o.now(), Channel: true, Pair: pr, Status: s}
+	o.history = append(o.history, ev)
+	for _, w := range o.watchers {
+		w(ev)
+	}
+}
+
+// Proc returns the current status of processor p (Good if never set).
+func (o *Oracle) Proc(p types.ProcID) Status { return o.procs[p] }
+
+// Channel returns the current status of the directed channel from→to.
+func (o *Oracle) Channel(from, to types.ProcID) Status {
+	return o.channels[Pair{From: from, To: to}]
+}
+
+// History returns all status events applied so far, in order. The returned
+// slice is shared; callers must not modify it.
+func (o *Oracle) History() []Event { return o.history }
+
+// LastEventTime returns the time of the most recent status event, or zero
+// if none occurred.
+func (o *Oracle) LastEventTime() sim.Time {
+	if len(o.history) == 0 {
+		return 0
+	}
+	return o.history[len(o.history)-1].Time
+}
+
+// Isolate drives the statuses so that component Q is consistently isolated:
+// every processor in Q good, every channel within Q good, and every channel
+// between Q and the rest of the universe bad (in both directions). Statuses
+// of processors and channels entirely outside Q are left untouched.
+//
+// This is exactly the hypothesis of the conditional properties (clauses
+// 2(b) and 2(c) of Figures 5 and 7).
+func (o *Oracle) Isolate(q types.ProcSet, universe types.ProcSet) {
+	for _, p := range q.Members() {
+		o.SetProc(p, Good)
+	}
+	for _, p := range q.Members() {
+		for _, r := range universe.Members() {
+			if p == r {
+				continue
+			}
+			if q.Contains(r) {
+				o.SetChannel(p, r, Good)
+			} else {
+				o.SetChannel(p, r, Bad)
+				o.SetChannel(r, p, Bad)
+			}
+		}
+	}
+}
+
+// Heal sets every processor and every channel in the universe good.
+func (o *Oracle) Heal(universe types.ProcSet) {
+	for _, p := range universe.Members() {
+		o.SetProc(p, Good)
+		for _, r := range universe.Members() {
+			if p != r {
+				o.SetChannel(p, r, Good)
+			}
+		}
+	}
+}
+
+// Partition splits the universe into the given disjoint components: within
+// each component everything is good; across components every channel is bad.
+// Processors not mentioned in any component are isolated entirely.
+func (o *Oracle) Partition(universe types.ProcSet, components ...types.ProcSet) {
+	comp := make(map[types.ProcID]int)
+	for i, c := range components {
+		for _, p := range c.Members() {
+			comp[p] = i + 1
+		}
+	}
+	for _, p := range universe.Members() {
+		o.SetProc(p, Good)
+		for _, r := range universe.Members() {
+			if p == r {
+				continue
+			}
+			if comp[p] != 0 && comp[p] == comp[r] {
+				o.SetChannel(p, r, Good)
+			} else {
+				o.SetChannel(p, r, Bad)
+			}
+		}
+	}
+}
+
+// IsIsolated reports whether, under the current statuses, component Q is
+// consistently isolated with respect to the universe: all members and
+// intra-Q channels good, all channels straddling the boundary bad.
+func (o *Oracle) IsIsolated(q types.ProcSet, universe types.ProcSet) bool {
+	for _, p := range q.Members() {
+		if o.Proc(p) != Good {
+			return false
+		}
+		for _, r := range universe.Members() {
+			if p == r {
+				continue
+			}
+			if q.Contains(r) {
+				if o.Channel(p, r) != Good {
+					return false
+				}
+			} else {
+				if o.Channel(p, r) != Bad || o.Channel(r, p) != Bad {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// StatusAfter replays a prefix of a history and returns the status of a
+// processor after it, defaulting to Good. It implements the paper's
+// "failure status of a location after β" definition for analysis over
+// recorded traces.
+func StatusAfter(history []Event, upTo sim.Time, p types.ProcID) Status {
+	s := Good
+	for _, e := range history {
+		if e.Time > upTo {
+			break
+		}
+		if !e.Channel && e.Proc == p {
+			s = e.Status
+		}
+	}
+	return s
+}
+
+// ChannelStatusAfter is StatusAfter for a directed channel.
+func ChannelStatusAfter(history []Event, upTo sim.Time, from, to types.ProcID) Status {
+	s := Good
+	for _, e := range history {
+		if e.Time > upTo {
+			break
+		}
+		if e.Channel && e.Pair.From == from && e.Pair.To == to {
+			s = e.Status
+		}
+	}
+	return s
+}

@@ -1,0 +1,179 @@
+package failures
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+func newOracle() (*Oracle, *sim.Time) {
+	now := sim.Time(0)
+	return NewOracle(func() sim.Time { return now }), &now
+}
+
+func TestDefaultsAreGood(t *testing.T) {
+	o, _ := newOracle()
+	if o.Proc(3) != Good {
+		t.Error("fresh processor not good")
+	}
+	if o.Channel(1, 2) != Good {
+		t.Error("fresh channel not good")
+	}
+}
+
+func TestSetAndQuery(t *testing.T) {
+	o, now := newOracle()
+	*now = sim.Time(5)
+	o.SetProc(1, Bad)
+	o.SetChannel(1, 2, Ugly)
+	if o.Proc(1) != Bad || o.Proc(2) != Good {
+		t.Error("proc status wrong")
+	}
+	if o.Channel(1, 2) != Ugly || o.Channel(2, 1) != Good {
+		t.Error("channel status wrong (must be directed)")
+	}
+	h := o.History()
+	if len(h) != 2 || h[0].Time != sim.Time(5) || h[0].Status != Bad || h[1].Channel != true {
+		t.Fatalf("history = %v", h)
+	}
+	if o.LastEventTime() != sim.Time(5) {
+		t.Errorf("LastEventTime = %v", o.LastEventTime())
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Good.String() != "good" || Bad.String() != "bad" || Ugly.String() != "ugly" {
+		t.Error("status strings wrong")
+	}
+	if Status(9).String() == "" {
+		t.Error("unknown status renders empty")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Time: sim.Time(0), Proc: 1, Status: Bad}
+	if e.String() != "bad_p1@0s" {
+		t.Errorf("proc event = %q", e.String())
+	}
+	e = Event{Time: sim.Time(0), Channel: true, Pair: Pair{From: 1, To: 2}, Status: Ugly}
+	if e.String() != "ugly_{p1,p2}@0s" {
+		t.Errorf("channel event = %q", e.String())
+	}
+}
+
+func TestIsolateMatchesIsIsolated(t *testing.T) {
+	o, _ := newOracle()
+	universe := types.RangeProcSet(5)
+	q := types.NewProcSet(0, 1, 2)
+	if o.IsIsolated(q, universe) {
+		t.Fatal("fresh oracle reports isolation")
+	}
+	o.Isolate(q, universe)
+	if !o.IsIsolated(q, universe) {
+		t.Fatal("Isolate did not establish IsIsolated")
+	}
+	// Members good, intra-Q channels good, boundary bad both ways.
+	if o.Proc(0) != Good || o.Channel(0, 2) != Good {
+		t.Error("intra-Q status wrong")
+	}
+	if o.Channel(0, 3) != Bad || o.Channel(3, 0) != Bad {
+		t.Error("boundary not bad")
+	}
+	// Channels wholly outside Q are untouched (still good).
+	if o.Channel(3, 4) != Good {
+		t.Error("outside channel modified")
+	}
+	// Breaking any piece breaks isolation.
+	o.SetChannel(0, 1, Ugly)
+	if o.IsIsolated(q, universe) {
+		t.Error("isolation still reported after degrading an intra-Q link")
+	}
+}
+
+func TestHealRestoresEverything(t *testing.T) {
+	o, _ := newOracle()
+	universe := types.RangeProcSet(4)
+	o.Isolate(types.NewProcSet(0, 1), universe)
+	o.SetProc(3, Bad)
+	o.Heal(universe)
+	for _, p := range universe.Members() {
+		if o.Proc(p) != Good {
+			t.Fatalf("proc %v not healed", p)
+		}
+		for _, q := range universe.Members() {
+			if p != q && o.Channel(p, q) != Good {
+				t.Fatalf("channel %v→%v not healed", p, q)
+			}
+		}
+	}
+}
+
+func TestPartitionComponents(t *testing.T) {
+	o, _ := newOracle()
+	universe := types.RangeProcSet(6)
+	a := types.NewProcSet(0, 1)
+	b := types.NewProcSet(2, 3, 4)
+	o.Partition(universe, a, b) // p5 in no component: fully isolated
+	if o.Channel(0, 1) != Good || o.Channel(2, 4) != Good {
+		t.Error("intra-component channels not good")
+	}
+	if o.Channel(0, 2) != Bad || o.Channel(4, 1) != Bad {
+		t.Error("cross-component channels not bad")
+	}
+	if o.Channel(5, 0) != Bad || o.Channel(3, 5) != Bad {
+		t.Error("unassigned processor not isolated")
+	}
+	if !o.IsIsolated(a, universe) || !o.IsIsolated(b, universe) {
+		t.Error("components not isolated per IsIsolated")
+	}
+}
+
+func TestWatchers(t *testing.T) {
+	o, _ := newOracle()
+	var seen []Event
+	o.Watch(func(e Event) { seen = append(seen, e) })
+	o.SetProc(0, Bad)
+	o.SetChannel(0, 1, Bad)
+	if len(seen) != 2 {
+		t.Fatalf("watcher saw %d events, want 2", len(seen))
+	}
+}
+
+func TestStatusAfterReplay(t *testing.T) {
+	o, now := newOracle()
+	*now = sim.Time(10)
+	o.SetProc(1, Bad)
+	*now = sim.Time(20)
+	o.SetProc(1, Ugly)
+	*now = sim.Time(30)
+	o.SetChannel(1, 2, Bad)
+	h := o.History()
+
+	cases := []struct {
+		upTo sim.Time
+		want Status
+	}{
+		{sim.Time(5), Good},
+		{sim.Time(10), Bad},
+		{sim.Time(15), Bad},
+		{sim.Time(25), Ugly},
+	}
+	for _, c := range cases {
+		if got := StatusAfter(h, c.upTo, 1); got != c.want {
+			t.Errorf("StatusAfter(%v) = %v, want %v", c.upTo, got, c.want)
+		}
+	}
+	if got := StatusAfter(h, sim.Time(99), 2); got != Good {
+		t.Errorf("untouched processor = %v, want good", got)
+	}
+	if got := ChannelStatusAfter(h, sim.Time(29), 1, 2); got != Good {
+		t.Errorf("channel before event = %v", got)
+	}
+	if got := ChannelStatusAfter(h, sim.Time(30), 1, 2); got != Bad {
+		t.Errorf("channel after event = %v", got)
+	}
+	if got := ChannelStatusAfter(h, sim.Time(99), 2, 1); got != Good {
+		t.Errorf("reverse channel = %v, want good (directed)", got)
+	}
+}

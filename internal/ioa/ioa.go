@@ -1,0 +1,266 @@
+// Package ioa is a small executable rendition of the I/O automaton model of
+// Lynch and Tuttle, the formal substrate of the paper. An automaton has a
+// signature partitioning its actions into input, output, and internal;
+// inputs are always enabled; outputs and internal actions carry
+// preconditions. Automata compose by synchronizing each output action with
+// the same-valued input action of every other component.
+//
+// The package provides composition, a seeded nondeterministic executor that
+// generates executions and external traces, per-step invariant checking,
+// and hooks for checking forward simulation relations — enough to machine-
+// check the paper's safety claims on millions of randomized steps.
+package ioa
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Action is a single transition label. Concrete actions are comparable
+// structs defined by each layer (for example vsmachine.Gpsnd). The dynamic
+// value, not just the name, is what synchronizes components during
+// composition.
+type Action interface {
+	// ActionName returns the schema name, e.g. "gpsnd".
+	ActionName() string
+	// String renders the action with its parameters.
+	String() string
+}
+
+// Kind classifies an action relative to one automaton's signature.
+type Kind int
+
+// Action classifications. NotInSignature means the automaton ignores the
+// action entirely.
+const (
+	NotInSignature Kind = iota
+	Input
+	Output
+	Internal
+)
+
+// String renders the kind.
+func (k Kind) String() string {
+	switch k {
+	case NotInSignature:
+		return "none"
+	case Input:
+		return "input"
+	case Output:
+		return "output"
+	case Internal:
+		return "internal"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Automaton is an executable I/O automaton. Implementations must be
+// input-enabled: Input must accept any action the signature classifies as
+// Input, in any state.
+type Automaton interface {
+	// Name identifies the component in error messages and traces.
+	Name() string
+	// Classify reports how the automaton's signature treats the action.
+	Classify(act Action) Kind
+	// Input applies an input action (always enabled).
+	Input(act Action)
+	// Enabled appends the locally controlled (output and internal) actions
+	// currently enabled, and returns the extended slice. For action schemas
+	// with unbounded parameter spaces, implementations enumerate a
+	// representative bounded subset; the executor's Environment hook can
+	// inject further choices.
+	Enabled(buf []Action) []Action
+	// Perform applies a locally controlled action; the caller guarantees it
+	// was reported enabled in the current state.
+	Perform(act Action)
+}
+
+// InvariantChecker is implemented by automata that can check their own
+// state invariants; the executor calls it after every step when invariant
+// checking is on.
+type InvariantChecker interface {
+	CheckInvariants() error
+}
+
+// TraceEvent is one external action occurrence in an execution, tagged with
+// the component that controlled it ("env" for environment injections).
+type TraceEvent struct {
+	Source string
+	Act    Action
+}
+
+// String renders the event.
+func (e TraceEvent) String() string { return fmt.Sprintf("%s:%v", e.Source, e.Act) }
+
+// Environment injects input actions from outside the composition (the
+// clients of the paper's Figure 1) and proposes choices for unbounded
+// internal nondeterminism (such as VS-machine's createview). Next returns
+// nil when the environment has nothing to offer this round.
+type Environment interface {
+	Next(rng *rand.Rand) Action
+}
+
+// EnvironmentFunc adapts a function to the Environment interface.
+type EnvironmentFunc func(rng *rand.Rand) Action
+
+// Next calls the function.
+func (f EnvironmentFunc) Next(rng *rand.Rand) Action { return f(rng) }
+
+// Executor runs a composition of automata, resolving nondeterminism with a
+// seeded random source. At each step it gathers every enabled locally
+// controlled action across components (plus at most one environment
+// injection), picks one uniformly, performs it at its owner, and feeds it
+// as input to every component whose signature accepts it.
+type Executor struct {
+	components []Automaton
+	env        Environment
+	rng        *rand.Rand
+	trace      []TraceEvent
+	hidden     func(Action) bool
+	invariants bool
+	stepHooks  []func(TraceEvent) error
+	steps      int
+
+	scratch []Action // reused enabled-action buffer
+	owners  []int    // owner index per scratch entry, -1 = environment
+}
+
+// NewExecutor creates an executor over the given components.
+func NewExecutor(seed int64, components ...Automaton) *Executor {
+	return &Executor{
+		components: components,
+		rng:        rand.New(rand.NewSource(seed)),
+		invariants: true,
+	}
+}
+
+// SetEnvironment installs the environment hook.
+func (e *Executor) SetEnvironment(env Environment) { e.env = env }
+
+// HideWhere marks actions as hidden: they still synchronize components but
+// are omitted from the external trace (the paper's composition-with-hiding).
+func (e *Executor) HideWhere(pred func(Action) bool) { e.hidden = pred }
+
+// SetInvariantChecking toggles per-step invariant checks (on by default).
+func (e *Executor) SetInvariantChecking(on bool) { e.invariants = on }
+
+// OnStep registers a hook called after every performed step with the event
+// (including hidden and internal ones). Hooks returning an error abort the
+// run; simulation-relation checkers hang off this.
+func (e *Executor) OnStep(fn func(TraceEvent) error) {
+	e.stepHooks = append(e.stepHooks, fn)
+}
+
+// Trace returns the external trace accumulated so far. The returned slice
+// is shared; callers must not modify it.
+func (e *Executor) Trace() []TraceEvent { return e.trace }
+
+// Steps returns the number of steps performed.
+func (e *Executor) Steps() int { return e.steps }
+
+// Rand exposes the executor's randomness source (for environments that want
+// to share it).
+func (e *Executor) Rand() *rand.Rand { return e.rng }
+
+// Step performs one randomly chosen step. It returns false when no action
+// is enabled anywhere and the environment offers nothing (quiescence).
+func (e *Executor) Step() (bool, error) {
+	e.scratch = e.scratch[:0]
+	e.owners = e.owners[:0]
+	for i, c := range e.components {
+		before := len(e.scratch)
+		e.scratch = c.Enabled(e.scratch)
+		for range e.scratch[before:] {
+			e.owners = append(e.owners, i)
+		}
+	}
+	var envAct Action
+	if e.env != nil {
+		envAct = e.env.Next(e.rng)
+	}
+	total := len(e.scratch)
+	if envAct != nil {
+		total++
+	}
+	if total == 0 {
+		return false, nil
+	}
+	pick := e.rng.Intn(total)
+	var act Action
+	var source string
+	if pick == len(e.scratch) {
+		act, source = envAct, "env"
+	} else {
+		owner := e.components[e.owners[pick]]
+		act, source = e.scratch[pick], owner.Name()
+		owner.Perform(act)
+	}
+	// Deliver as input to every other accepting component. (The owner does
+	// not also receive its own output; none of our automata are wired that
+	// way, matching the paper's compositions.)
+	for i, c := range e.components {
+		if source != "env" && i == e.owners[pick] {
+			continue
+		}
+		if c.Classify(act) == Input {
+			c.Input(act)
+		}
+	}
+	e.steps++
+	ev := TraceEvent{Source: source, Act: act}
+	external := source == "env" || e.isExternalOutput(act, source)
+	if external && (e.hidden == nil || !e.hidden(act)) {
+		e.trace = append(e.trace, ev)
+	}
+	if e.invariants {
+		for _, c := range e.components {
+			if ic, ok := c.(InvariantChecker); ok {
+				if err := ic.CheckInvariants(); err != nil {
+					return false, fmt.Errorf("ioa: invariant violated in %s after step %d (%v): %w",
+						c.Name(), e.steps, act, err)
+				}
+			}
+		}
+	}
+	for _, hook := range e.stepHooks {
+		if err := hook(ev); err != nil {
+			return false, fmt.Errorf("ioa: step hook failed after step %d (%v): %w", e.steps, act, err)
+		}
+	}
+	return true, nil
+}
+
+func (e *Executor) isExternalOutput(act Action, source string) bool {
+	for _, c := range e.components {
+		if c.Name() == source {
+			return c.Classify(act) == Output
+		}
+	}
+	return false
+}
+
+// Run performs up to maxSteps steps, stopping early at quiescence or on the
+// first error.
+func (e *Executor) Run(maxSteps int) error {
+	for i := 0; i < maxSteps; i++ {
+		ok, err := e.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+	return nil
+}
+
+// FormatTrace renders a trace one event per line, for debugging failures.
+func FormatTrace(events []TraceEvent) string {
+	var b strings.Builder
+	for i, ev := range events {
+		fmt.Fprintf(&b, "%4d  %s\n", i, ev)
+	}
+	return b.String()
+}

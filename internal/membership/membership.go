@@ -1,0 +1,219 @@
+// Package membership implements the view-formation half of the Section 8
+// VS implementation sketch, in the style of Cristian and Schmuck's 3-round
+// membership protocol:
+//
+//  1. a processor that determines a new view is needed broadcasts a
+//     call-for-participation carrying a fresh view identifier, chosen
+//     larger than any identifier it has seen (epoch counter, processor id
+//     as tie-break);
+//  2. a processor replies accept to a call unless it has already replied
+//     to a call with a higher identifier (the promise rule);
+//  3. after a collection window of 2δ the initiator fixes the membership
+//     as the set of repliers (plus itself) and sends the new view to the
+//     members, which install it unless they have promised or installed a
+//     higher identifier.
+//
+// Failure detection (token timeouts, probes from strangers) lives in the
+// vsimpl package; this package owns identifier generation, promises,
+// collection, and installation.
+package membership
+
+import (
+	"time"
+
+	"repro/internal/net"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// CallPkt is the round-1 call for participation in a new view.
+type CallPkt struct {
+	ID types.ViewID
+}
+
+// AcceptPkt is the round-2 reply to a call.
+type AcceptPkt struct {
+	ID types.ViewID
+}
+
+// NewviewPkt is the round-3 announcement of the formed view.
+type NewviewPkt struct {
+	V types.View
+}
+
+// Former runs the formation protocol for one processor.
+type Former struct {
+	id       types.ProcID
+	universe types.ProcSet
+	sim      *sim.Sim
+	net      *net.Network
+
+	// CollectWait is the round-2 collection window (2δ in the paper's
+	// analysis).
+	CollectWait time.Duration
+	// HoldOff suppresses new initiations for this long after this
+	// processor promises to (or starts) a formation, giving the in-flight
+	// round time to complete. Without it, dense probe traffic after a
+	// long partition triggers initiations faster than a round can finish;
+	// every fresh promise invalidates the previous in-flight newview and
+	// the system livelocks below the formed-view epoch (found by the soak
+	// test). Defaults to CollectWait + 4δ-ish set by the caller.
+	HoldOff time.Duration
+	// OnInstall is invoked when a new view is installed at this processor.
+	OnInstall func(types.View)
+
+	maxEpoch  int64        // highest epoch observed anywhere
+	promised  types.ViewID // highest identifier replied to or proposed
+	installed types.ViewID // identifier of the current view (⊥ if none)
+
+	forming    bool
+	formingID  types.ViewID
+	acceptors  map[types.ProcID]bool
+	quietUntil sim.Time
+
+	// One-round mode (footnote 7; see oneround.go).
+	oneRound  bool
+	reachable func() types.ProcSet
+
+	stats Stats
+}
+
+// Stats counts formation activity.
+type Stats struct {
+	Initiated int
+	Formed    int
+	Installed int
+}
+
+// NewFormer creates a Former. If the processor starts inside the initial
+// view, pass it as installed; otherwise pass the zero View.
+func NewFormer(id types.ProcID, universe types.ProcSet, s *sim.Sim, n *net.Network,
+	collectWait time.Duration, installed types.View, onInstall func(types.View)) *Former {
+	f := &Former{
+		id:          id,
+		universe:    universe,
+		sim:         s,
+		net:         n,
+		CollectWait: collectWait,
+		OnInstall:   onInstall,
+		installed:   installed.ID,
+		promised:    installed.ID,
+		maxEpoch:    installed.ID.Epoch,
+	}
+	if f.maxEpoch < types.G0().Epoch {
+		f.maxEpoch = types.G0().Epoch
+	}
+	return f
+}
+
+// Stats returns the activity counters.
+func (f *Former) Stats() Stats { return f.stats }
+
+// Installed returns the identifier of the currently installed view (⊥ if
+// none).
+func (f *Former) Installed() types.ViewID { return f.installed }
+
+// Forming reports whether a formation initiated here is in flight.
+func (f *Former) Forming() bool { return f.forming }
+
+// Observe folds an identifier seen in any packet into the epoch counter,
+// keeping fresh identifiers above everything observed.
+func (f *Former) Observe(id types.ViewID) {
+	if id.Epoch > f.maxEpoch {
+		f.maxEpoch = id.Epoch
+	}
+}
+
+// Initiate starts a formation round, unless one initiated here is already
+// in flight. It broadcasts the call to the whole universe; only reachable
+// processors will reply, which is exactly how partitions produce disjoint
+// views.
+func (f *Former) Initiate() {
+	if f.forming {
+		return
+	}
+	if f.sim.Now() < f.quietUntil {
+		return // a formation we promised to is plausibly still in flight
+	}
+	f.quietUntil = f.sim.Now().Add(f.HoldOff)
+	if f.oneRound {
+		f.initiateOneRound()
+		return
+	}
+	f.stats.Initiated++
+	f.maxEpoch++
+	vid := types.ViewID{Epoch: f.maxEpoch, Proc: f.id}
+	f.forming = true
+	f.formingID = vid
+	f.acceptors = map[types.ProcID]bool{f.id: true}
+	if vid.Less(f.promised) {
+		// Cannot happen: maxEpoch dominates every observed id.
+		panic("membership: fresh id below promise")
+	}
+	f.promised = vid
+	f.net.Broadcast(f.id, f.universe, CallPkt{ID: vid})
+	f.sim.After(f.CollectWait, func() { f.finishCollection(vid) })
+}
+
+func (f *Former) finishCollection(vid types.ViewID) {
+	if !f.forming || f.formingID != vid {
+		return // superseded by a higher call or an installation
+	}
+	f.forming = false
+	members := make([]types.ProcID, 0, len(f.acceptors))
+	for p := range f.acceptors {
+		members = append(members, p)
+	}
+	v := types.View{ID: vid, Set: types.NewProcSet(members...)}
+	f.stats.Formed++
+	f.net.Broadcast(f.id, v.Set, NewviewPkt{V: v})
+	f.handleNewview(v) // self-delivery
+}
+
+// HandleCall processes a round-1 call from another processor.
+func (f *Former) HandleCall(from types.ProcID, pkt CallPkt) {
+	f.Observe(pkt.ID)
+	if !f.promised.Less(pkt.ID) {
+		return // already promised an equal or higher identifier
+	}
+	f.promised = pkt.ID
+	if f.forming && f.formingID.Less(pkt.ID) {
+		// A higher call supersedes our own formation.
+		f.forming = false
+	}
+	// Give the formation we are joining time to complete before initiating
+	// a competing one.
+	f.quietUntil = f.sim.Now().Add(f.HoldOff)
+	f.net.Send(f.id, from, AcceptPkt{ID: pkt.ID})
+}
+
+// HandleAccept processes a round-2 reply.
+func (f *Former) HandleAccept(from types.ProcID, pkt AcceptPkt) {
+	f.Observe(pkt.ID)
+	if f.forming && f.formingID == pkt.ID {
+		f.acceptors[from] = true
+	}
+}
+
+// HandleNewview processes a round-3 announcement.
+func (f *Former) HandleNewview(pkt NewviewPkt) { f.handleNewview(pkt.V) }
+
+func (f *Former) handleNewview(v types.View) {
+	f.Observe(v.ID)
+	if !v.Set.Contains(f.id) {
+		return
+	}
+	// Install only with increasing identifiers (local monotonicity) and
+	// never below a promise to a concurrent higher formation.
+	if !f.installed.Less(v.ID) || v.ID.Less(f.promised) {
+		return
+	}
+	f.installed = v.ID
+	f.stats.Installed++
+	if f.forming && f.formingID.Less(v.ID) {
+		f.forming = false
+	}
+	if f.OnInstall != nil {
+		f.OnInstall(v)
+	}
+}

@@ -1,0 +1,207 @@
+package membership
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/failures"
+	"repro/internal/net"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+const delta = time.Millisecond
+
+type harness struct {
+	sim     *sim.Sim
+	oracle  *failures.Oracle
+	net     *net.Network
+	formers map[types.ProcID]*Former
+	views   map[types.ProcID][]types.View
+}
+
+// newHarness wires n formers directly to the network (no token layer), so
+// formation can be tested in isolation.
+func newHarness(n int, p0 types.ProcSet) *harness {
+	s := sim.New(1)
+	o := failures.NewOracle(s.Now)
+	nw := net.New(s, o, net.Config{Delta: delta})
+	h := &harness{
+		sim: s, oracle: o, net: nw,
+		formers: make(map[types.ProcID]*Former),
+		views:   make(map[types.ProcID][]types.View),
+	}
+	universe := types.RangeProcSet(n)
+	for i := 0; i < n; i++ {
+		p := types.ProcID(i)
+		var initial types.View
+		if p0.Contains(p) {
+			initial = types.InitialView(p0)
+		}
+		f := NewFormer(p, universe, s, nw, 2*delta+delta/2, initial, func(v types.View) {
+			h.views[p] = append(h.views[p], v)
+		})
+		h.formers[p] = f
+		nw.Register(p, func(pkt net.Packet) {
+			switch m := pkt.Payload.(type) {
+			case CallPkt:
+				f.HandleCall(pkt.From, m)
+			case AcceptPkt:
+				f.HandleAccept(pkt.From, m)
+			case NewviewPkt:
+				f.HandleNewview(m)
+			}
+		})
+	}
+	return h
+}
+
+func TestSingleInitiatorFormsFullView(t *testing.T) {
+	h := newHarness(4, types.RangeProcSet(4))
+	h.formers[2].Initiate()
+	if err := h.sim.Run(sim.Time(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	for p, f := range h.formers {
+		vs := h.views[p]
+		if len(vs) != 1 {
+			t.Fatalf("%v installed %d views, want 1", p, len(vs))
+		}
+		v := vs[0]
+		if !v.Set.Equal(types.RangeProcSet(4)) {
+			t.Errorf("%v installed %v, want full membership", p, v)
+		}
+		if v.ID.Proc != 2 {
+			t.Errorf("view id %v not from the initiator", v.ID)
+		}
+		if f.Installed() != v.ID {
+			t.Errorf("Installed() = %v", f.Installed())
+		}
+	}
+	st := h.formers[2].Stats()
+	if st.Initiated != 1 || st.Formed != 1 || st.Installed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPartitionedInitiatorFormsComponentView(t *testing.T) {
+	h := newHarness(5, types.RangeProcSet(5))
+	left := types.NewProcSet(0, 1)
+	right := types.NewProcSet(2, 3, 4)
+	h.oracle.Partition(types.RangeProcSet(5), left, right)
+	h.formers[0].Initiate()
+	h.formers[4].Initiate()
+	if err := h.sim.Run(sim.Time(100 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.views[0][len(h.views[0])-1].Set; !got.Equal(left) {
+		t.Errorf("left view = %v", got)
+	}
+	if got := h.views[4][len(h.views[4])-1].Set; !got.Equal(right) {
+		t.Errorf("right view = %v", got)
+	}
+}
+
+func TestConcurrentInitiatorsHigherWins(t *testing.T) {
+	h := newHarness(3, types.RangeProcSet(3))
+	// Both initiate simultaneously with the same epoch; p2's id is higher.
+	h.formers[1].Initiate()
+	h.formers[2].Initiate()
+	if err := h.sim.Run(sim.Time(100 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	// All nodes must end in the same (highest) view.
+	var final types.View
+	for p, vs := range h.views {
+		if len(vs) == 0 {
+			t.Fatalf("%v installed nothing", p)
+		}
+		last := vs[len(vs)-1]
+		if final.ID.IsBottom() {
+			final = last
+		} else if last.ID != final.ID {
+			t.Fatalf("%v ends in %v, others in %v", p, last, final)
+		}
+	}
+	if final.ID.Proc != 2 {
+		t.Errorf("final view %v not from the higher initiator", final)
+	}
+	// Monotone installation everywhere.
+	for p, vs := range h.views {
+		for i := 1; i < len(vs); i++ {
+			if !vs[i-1].ID.Less(vs[i].ID) {
+				t.Errorf("%v installed non-monotone sequence %v", p, vs)
+			}
+		}
+	}
+}
+
+func TestInitiateWhileFormingIsNoop(t *testing.T) {
+	h := newHarness(3, types.RangeProcSet(3))
+	f := h.formers[0]
+	f.Initiate()
+	if !f.Forming() {
+		t.Fatal("not forming after Initiate")
+	}
+	f.Initiate()
+	if f.Stats().Initiated != 1 {
+		t.Fatalf("second Initiate started a new formation: %+v", f.Stats())
+	}
+}
+
+func TestPromiseBlocksLowerCall(t *testing.T) {
+	h := newHarness(2, types.RangeProcSet(2))
+	f := h.formers[0]
+	f.HandleCall(1, CallPkt{ID: types.ViewID{Epoch: 10, Proc: 1}})
+	// A later, lower call is ignored (no accept sent).
+	sentBefore := h.net.Stats().Sent
+	f.HandleCall(1, CallPkt{ID: types.ViewID{Epoch: 5, Proc: 1}})
+	if h.net.Stats().Sent != sentBefore {
+		t.Fatal("accept sent for a lower call")
+	}
+	// And installing a view below the promise is refused.
+	f.HandleNewview(NewviewPkt{V: types.View{
+		ID:  types.ViewID{Epoch: 5, Proc: 1},
+		Set: types.RangeProcSet(2),
+	}})
+	if f.Installed() == (types.ViewID{Epoch: 5, Proc: 1}) {
+		t.Fatal("installed below promise")
+	}
+}
+
+func TestObserveRaisesEpoch(t *testing.T) {
+	h := newHarness(2, types.RangeProcSet(2))
+	f := h.formers[0]
+	f.Observe(types.ViewID{Epoch: 42, Proc: 1})
+	f.Initiate()
+	if !(types.ViewID{Epoch: 42, Proc: 1}).Less(f.formingID) {
+		t.Fatalf("fresh id %v not above observed", f.formingID)
+	}
+}
+
+func TestNonMemberIgnoresNewview(t *testing.T) {
+	h := newHarness(3, types.RangeProcSet(3))
+	f := h.formers[0]
+	before := f.Installed()
+	f.HandleNewview(NewviewPkt{V: types.View{
+		ID:  types.ViewID{Epoch: 9, Proc: 1},
+		Set: types.NewProcSet(1, 2), // p0 not a member
+	}})
+	if f.Installed() != before {
+		t.Fatal("installed a view it is not a member of")
+	}
+}
+
+func TestLoneInitiatorFormsSingleton(t *testing.T) {
+	h := newHarness(3, types.RangeProcSet(3))
+	// Isolate p0 completely.
+	h.oracle.Partition(types.RangeProcSet(3), types.NewProcSet(0), types.NewProcSet(1, 2))
+	h.formers[0].Initiate()
+	if err := h.sim.Run(sim.Time(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	vs := h.views[0]
+	if len(vs) != 1 || !vs[0].Set.Equal(types.NewProcSet(0)) {
+		t.Fatalf("isolated initiator installed %v, want singleton", vs)
+	}
+}

@@ -1,0 +1,38 @@
+package membership
+
+import (
+	"repro/internal/types"
+)
+
+// One-round formation (footnote 7 of the paper: "A different
+// implementation could use the one-round protocol of [19]. However, this
+// would stabilize less quickly.").
+//
+// Instead of call → accept → newview, the initiator announces a view
+// directly, taking the membership from a local reachability estimate
+// (processors heard from recently). The saved round trip is paid for in
+// stabilization time: right after a failure the estimate is stale, the
+// announced view includes unreachable members, its token stalls, and a
+// full extra timeout cycle passes before a retry with an aged-out
+// estimate succeeds — exactly the "stabilizes less quickly" trade.
+
+// SetOneRound switches the former to one-round mode. reachable supplies
+// the membership estimate at initiation time; it need not include the
+// former's own processor (it is added).
+func (f *Former) SetOneRound(reachable func() types.ProcSet) {
+	f.oneRound = true
+	f.reachable = reachable
+}
+
+// initiateOneRound forms and announces a view immediately.
+func (f *Former) initiateOneRound() {
+	f.stats.Initiated++
+	f.maxEpoch++
+	vid := types.ViewID{Epoch: f.maxEpoch, Proc: f.id}
+	f.promised = vid
+	members := f.reachable().Union(types.NewProcSet(f.id))
+	v := types.View{ID: vid, Set: members}
+	f.stats.Formed++
+	f.net.Broadcast(f.id, v.Set, NewviewPkt{V: v})
+	f.handleNewview(v)
+}

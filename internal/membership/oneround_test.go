@@ -1,0 +1,68 @@
+package membership
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// oneRoundHarness wires formers in one-round mode with a scripted
+// reachability estimate.
+func TestOneRoundAnnouncesDirectly(t *testing.T) {
+	h := newHarness(3, types.RangeProcSet(3))
+	estimate := types.NewProcSet(0, 1) // p2 deemed unreachable
+	h.formers[0].SetOneRound(func() types.ProcSet { return estimate })
+	h.formers[0].Initiate()
+	if err := h.sim.Run(sim.Time(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	// One-round: no call/accept round trip, view announced immediately.
+	vs := h.views[0]
+	if len(vs) != 1 || !vs[0].Set.Equal(estimate) {
+		t.Fatalf("one-round view = %v, want membership %v", vs, estimate)
+	}
+	if len(h.views[1]) != 1 {
+		t.Fatal("estimated member did not install")
+	}
+	if len(h.views[2]) != 0 {
+		t.Fatal("excluded processor installed the view")
+	}
+	st := h.formers[0].Stats()
+	if st.Initiated != 1 || st.Formed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestOneRoundIncludesSelfEvenIfEstimateOmitsIt(t *testing.T) {
+	h := newHarness(2, types.RangeProcSet(2))
+	h.formers[0].SetOneRound(func() types.ProcSet { return types.NewProcSet(1) })
+	h.formers[0].Initiate()
+	if err := h.sim.Run(sim.Time(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	vs := h.views[0]
+	if len(vs) != 1 || !vs[0].Set.Contains(0) {
+		t.Fatalf("initiator missing from its own view: %v", vs)
+	}
+}
+
+func TestOneRoundPromiseStillBlocksLowerViews(t *testing.T) {
+	h := newHarness(2, types.RangeProcSet(2))
+	f := h.formers[0]
+	f.SetOneRound(func() types.ProcSet { return types.RangeProcSet(2) })
+	// Promise a high id first.
+	f.HandleCall(1, CallPkt{ID: types.ViewID{Epoch: 50, Proc: 1}})
+	f.Initiate() // fresh id must exceed the promise
+	if err := h.sim.Run(sim.Time(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	vs := h.views[0]
+	if len(vs) != 1 {
+		t.Fatalf("views = %v", vs)
+	}
+	if vs[0].ID.Epoch <= 50 {
+		t.Errorf("one-round id %v did not exceed the promise", vs[0].ID)
+	}
+}

@@ -1,0 +1,162 @@
+// Package net simulates the point-to-point packet network underneath the
+// VS implementation. Delivery is driven by the failure statuses of
+// Figure 4, realizing the physical-system assumptions of Section 8:
+//
+//   - while a directed channel is good, every packet sent on it arrives
+//     within δ;
+//   - while it is bad, no packet is delivered;
+//   - while it is ugly, packets may be lost or delayed arbitrarily (here:
+//     lost with a configurable probability, otherwise delayed up to a
+//     configurable multiple of δ).
+//
+// Packets to or from a bad processor are also dropped: a bad processor is
+// stopped, so it neither sends nor receives. Statuses are sampled at send
+// time, matching the paper's "packet sent from p to q while the channel is
+// good arrives within δ".
+package net
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/failures"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Packet is one point-to-point message.
+type Packet struct {
+	From, To types.ProcID
+	Payload  any
+}
+
+// Config holds the network's timing parameters.
+type Config struct {
+	// Delta is the paper's δ: the delivery bound on good channels.
+	Delta time.Duration
+	// Jitter, when true, draws each good-channel delay uniformly from
+	// (0, δ]; when false every good-channel delivery takes exactly δ (the
+	// worst case, which makes measured times directly comparable to the
+	// analytic bounds).
+	Jitter bool
+	// UglyLossProb is the probability an ugly channel drops a packet.
+	UglyLossProb float64
+	// UglyMaxDelayFactor bounds ugly-channel delays to this multiple of δ.
+	UglyMaxDelayFactor float64
+	// Transcode, when non-nil, replaces every payload at send time —
+	// typically a serialize/deserialize round trip (see internal/codec) so
+	// that no in-memory pointer survives a network hop. A transcode error
+	// panics: it means a payload type is missing from the wire format,
+	// which is a programming error.
+	Transcode func(any) (any, error)
+}
+
+// DefaultConfig returns δ = 1ms worst-case delivery with moderately lossy
+// ugly channels.
+func DefaultConfig() Config {
+	return Config{Delta: time.Millisecond, UglyLossProb: 0.5, UglyMaxDelayFactor: 10}
+}
+
+// Stats counts network activity for the experiment reports.
+type Stats struct {
+	Sent                                     int
+	Delivered                                int
+	DroppedChannel, DroppedProc, DroppedUgly int
+}
+
+// Network is the simulated network. Register a handler per processor, then
+// Send freely; handlers run as simulator events.
+type Network struct {
+	sim      *sim.Sim
+	oracle   *failures.Oracle
+	cfg      Config
+	handlers map[types.ProcID]func(Packet)
+	stats    Stats
+}
+
+// New creates a network over the given simulator and failure oracle.
+func New(s *sim.Sim, oracle *failures.Oracle, cfg Config) *Network {
+	if cfg.Delta <= 0 {
+		panic(fmt.Sprintf("net: non-positive delta %v", cfg.Delta))
+	}
+	return &Network{
+		sim:      s,
+		oracle:   oracle,
+		cfg:      cfg,
+		handlers: make(map[types.ProcID]func(Packet)),
+	}
+}
+
+// Register installs the delivery handler for processor p. Packets to an
+// unregistered processor are dropped.
+func (n *Network) Register(p types.ProcID, h func(Packet)) { n.handlers[p] = h }
+
+// Stats returns a copy of the activity counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Delta returns the configured δ.
+func (n *Network) Delta() time.Duration { return n.cfg.Delta }
+
+// Send transmits a packet from→to, applying the failure semantics. Sending
+// to oneself delivers after a zero-delay event (local loopback).
+func (n *Network) Send(from, to types.ProcID, payload any) {
+	n.stats.Sent++
+	if n.oracle.Proc(from) == failures.Bad || n.oracle.Proc(to) == failures.Bad {
+		n.stats.DroppedProc++
+		return
+	}
+	if n.cfg.Transcode != nil {
+		decoded, err := n.cfg.Transcode(payload)
+		if err != nil {
+			panic(fmt.Sprintf("net: transcode %T: %v", payload, err))
+		}
+		payload = decoded
+	}
+	pkt := Packet{From: from, To: to, Payload: payload}
+	if from == to {
+		n.sim.Defer(func() { n.deliver(pkt) })
+		return
+	}
+	switch n.oracle.Channel(from, to) {
+	case failures.Bad:
+		n.stats.DroppedChannel++
+	case failures.Good:
+		d := n.cfg.Delta
+		if n.cfg.Jitter {
+			d = time.Duration(1 + n.sim.Rand().Int63n(int64(n.cfg.Delta)))
+		}
+		n.sim.After(d, func() { n.deliver(pkt) })
+	case failures.Ugly:
+		if n.sim.Rand().Float64() < n.cfg.UglyLossProb {
+			n.stats.DroppedUgly++
+			return
+		}
+		max := float64(n.cfg.Delta) * n.cfg.UglyMaxDelayFactor
+		d := time.Duration(1 + n.sim.Rand().Int63n(int64(max)))
+		n.sim.After(d, func() { n.deliver(pkt) })
+	}
+}
+
+// Broadcast sends the payload from p to every processor in dst except p
+// itself.
+func (n *Network) Broadcast(from types.ProcID, dst types.ProcSet, payload any) {
+	for _, to := range dst.Members() {
+		if to != from {
+			n.Send(from, to, payload)
+		}
+	}
+}
+
+func (n *Network) deliver(pkt Packet) {
+	// A processor that turned bad in flight is stopped: drop.
+	if n.oracle.Proc(pkt.To) == failures.Bad {
+		n.stats.DroppedProc++
+		return
+	}
+	h, ok := n.handlers[pkt.To]
+	if !ok {
+		return
+	}
+	n.stats.Delivered++
+	h(pkt)
+}

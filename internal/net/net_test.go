@@ -1,0 +1,211 @@
+package net
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/failures"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+type fixture struct {
+	sim    *sim.Sim
+	oracle *failures.Oracle
+	net    *Network
+	got    map[types.ProcID][]Packet
+}
+
+func newFixture(cfg Config, n int) *fixture {
+	s := sim.New(1)
+	o := failures.NewOracle(s.Now)
+	f := &fixture{sim: s, oracle: o, net: New(s, o, cfg), got: make(map[types.ProcID][]Packet)}
+	for i := 0; i < n; i++ {
+		p := types.ProcID(i)
+		f.net.Register(p, func(pkt Packet) { f.got[p] = append(f.got[p], pkt) })
+	}
+	return f
+}
+
+func TestGoodChannelDeliversAtExactlyDelta(t *testing.T) {
+	f := newFixture(Config{Delta: 2 * time.Millisecond}, 2)
+	var at sim.Time
+	f.net.Register(1, func(Packet) { at = f.sim.Now() })
+	f.net.Send(0, 1, "hello")
+	if err := f.sim.Run(sim.Never); err != nil {
+		t.Fatal(err)
+	}
+	if at != sim.Time(2*time.Millisecond) {
+		t.Fatalf("delivered at %v, want exactly 2ms (worst case, no jitter)", at)
+	}
+}
+
+func TestJitterBoundedByDelta(t *testing.T) {
+	f := newFixture(Config{Delta: 2 * time.Millisecond, Jitter: true}, 2)
+	var times []sim.Time
+	f.net.Register(1, func(Packet) { times = append(times, f.sim.Now()) })
+	for i := 0; i < 200; i++ {
+		f.net.Send(0, 1, i)
+	}
+	if err := f.sim.Run(sim.Never); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 200 {
+		t.Fatalf("delivered %d, want 200", len(times))
+	}
+	for _, at := range times {
+		if at <= 0 || at > sim.Time(2*time.Millisecond) {
+			t.Fatalf("jittered delivery at %v outside (0, 2ms]", at)
+		}
+	}
+}
+
+func TestBadChannelDropsOneDirection(t *testing.T) {
+	f := newFixture(Config{Delta: time.Millisecond}, 2)
+	f.oracle.SetChannel(0, 1, failures.Bad)
+	f.net.Send(0, 1, "dropped")
+	f.net.Send(1, 0, "arrives")
+	if err := f.sim.Run(sim.Never); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.got[1]) != 0 {
+		t.Error("bad channel delivered")
+	}
+	if len(f.got[0]) != 1 {
+		t.Error("reverse direction affected")
+	}
+	if st := f.net.Stats(); st.DroppedChannel != 1 || st.Delivered != 1 || st.Sent != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestBadProcessorNeitherSendsNorReceives(t *testing.T) {
+	f := newFixture(Config{Delta: time.Millisecond}, 3)
+	f.oracle.SetProc(1, failures.Bad)
+	f.net.Send(0, 1, "to-dead")
+	f.net.Send(1, 2, "from-dead")
+	if err := f.sim.Run(sim.Never); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.got[1]) != 0 || len(f.got[2]) != 0 {
+		t.Error("bad processor participated")
+	}
+	if st := f.net.Stats(); st.DroppedProc != 2 {
+		t.Errorf("DroppedProc = %d, want 2", st.DroppedProc)
+	}
+}
+
+func TestProcessorDyingInFlightDropsDelivery(t *testing.T) {
+	f := newFixture(Config{Delta: 2 * time.Millisecond}, 2)
+	f.net.Send(0, 1, "in-flight")
+	f.sim.After(time.Millisecond, func() { f.oracle.SetProc(1, failures.Bad) })
+	if err := f.sim.Run(sim.Never); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.got[1]) != 0 {
+		t.Error("packet delivered to a processor that died in flight")
+	}
+}
+
+func TestUglyChannelLossAndDelayBounds(t *testing.T) {
+	f := newFixture(Config{Delta: time.Millisecond, UglyLossProb: 0.5, UglyMaxDelayFactor: 10}, 2)
+	f.oracle.SetChannel(0, 1, failures.Ugly)
+	var times []sim.Time
+	f.net.Register(1, func(Packet) { times = append(times, f.sim.Now()) })
+	const total = 500
+	for i := 0; i < total; i++ {
+		f.net.Send(0, 1, i)
+	}
+	if err := f.sim.Run(sim.Never); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) == 0 || len(times) == total {
+		t.Fatalf("ugly channel delivered %d of %d; want some lost, some delivered", len(times), total)
+	}
+	for _, at := range times {
+		if at > sim.Time(10*time.Millisecond) {
+			t.Fatalf("ugly delay %v exceeds 10δ", at)
+		}
+	}
+	lost := f.net.Stats().DroppedUgly
+	if lost+len(times) != total {
+		t.Errorf("lost %d + delivered %d != %d", lost, len(times), total)
+	}
+	// Loss rate near the configured probability (loose bounds).
+	if lost < total/4 || lost > 3*total/4 {
+		t.Errorf("loss %d/%d far from 0.5", lost, total)
+	}
+}
+
+func TestSelfSendLoopsBack(t *testing.T) {
+	f := newFixture(Config{Delta: time.Millisecond}, 1)
+	// Even with the channel to self conceptually absent, self-sends work.
+	f.net.Send(0, 0, "self")
+	if err := f.sim.Run(sim.Never); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.got[0]) != 1 || f.got[0][0].Payload != "self" {
+		t.Fatalf("self delivery = %v", f.got[0])
+	}
+	if f.sim.Now() != 0 {
+		t.Errorf("self delivery advanced time to %v", f.sim.Now())
+	}
+}
+
+func TestBroadcastExcludesSender(t *testing.T) {
+	f := newFixture(Config{Delta: time.Millisecond}, 4)
+	f.net.Broadcast(0, types.RangeProcSet(4), "fanout")
+	if err := f.sim.Run(sim.Never); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.got[0]) != 0 {
+		t.Error("broadcast delivered to sender")
+	}
+	for _, p := range []types.ProcID{1, 2, 3} {
+		if len(f.got[p]) != 1 {
+			t.Errorf("receiver %v got %d packets", p, len(f.got[p]))
+		}
+	}
+}
+
+func TestUnregisteredDestinationDropped(t *testing.T) {
+	f := newFixture(Config{Delta: time.Millisecond}, 1)
+	f.net.Send(0, 9, "nobody")
+	if err := f.sim.Run(sim.Never); err != nil {
+		t.Fatal(err)
+	}
+	if f.net.Stats().Delivered != 0 {
+		t.Error("delivery counted for unregistered destination")
+	}
+}
+
+func TestNonPositiveDeltaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero delta accepted")
+		}
+	}()
+	s := sim.New(1)
+	New(s, failures.NewOracle(s.Now), Config{})
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Delta != time.Millisecond || cfg.UglyLossProb <= 0 || cfg.UglyMaxDelayFactor <= 0 {
+		t.Errorf("DefaultConfig = %+v", cfg)
+	}
+}
+
+func TestStatusSampledAtSendTime(t *testing.T) {
+	// A packet sent while the channel is good arrives even if the channel
+	// goes bad before the delivery instant — the paper's semantics.
+	f := newFixture(Config{Delta: 2 * time.Millisecond}, 2)
+	f.net.Send(0, 1, "sent-while-good")
+	f.sim.After(time.Millisecond, func() { f.oracle.SetChannel(0, 1, failures.Bad) })
+	if err := f.sim.Run(sim.Never); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.got[1]) != 1 {
+		t.Fatal("packet sent on a good channel was lost when the channel later went bad")
+	}
+}

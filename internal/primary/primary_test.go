@@ -1,0 +1,123 @@
+package primary
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+func TestStablePrimaryDelivery(t *testing.T) {
+	c := NewCluster(Options{Seed: 1, N: 3, Delta: time.Millisecond})
+	c.Sim.After(10*time.Millisecond, func() {
+		c.Bcast(0, "a")
+		c.Bcast(2, "b")
+	})
+	if err := c.Sim.Run(sim.Time(500 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.Procs.Members() {
+		ds := c.Deliveries(p)
+		if len(ds) != 2 {
+			t.Fatalf("%v delivered %d of 2", p, len(ds))
+		}
+	}
+	// All nodes agree on the order.
+	ref := c.Deliveries(0)
+	for _, p := range c.Procs.Members() {
+		for i, d := range c.Deliveries(p) {
+			if d.Value != ref[i].Value {
+				t.Fatalf("%v diverged at %d", p, i)
+			}
+		}
+	}
+	if err := c.CheckNoDivergence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinoritySubmissionsLost(t *testing.T) {
+	c := NewCluster(Options{Seed: 3, N: 5, Delta: time.Millisecond})
+	c.Sim.After(20*time.Millisecond, func() {
+		c.Oracle.Partition(c.Procs, types.NewProcSet(0, 1, 2), types.NewProcSet(3, 4))
+	})
+	c.Sim.After(200*time.Millisecond, func() {
+		c.Bcast(0, "majority-side")
+		c.Bcast(3, "minority-side")
+	})
+	c.Sim.After(600*time.Millisecond, func() { c.Oracle.Heal(c.Procs) })
+	if err := c.Sim.Run(sim.Time(3 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckNoDivergence(); err != nil {
+		t.Fatal(err)
+	}
+	// The minority value is gone everywhere: no reconciliation exists.
+	for _, p := range c.Procs.Members() {
+		for _, d := range c.Deliveries(p) {
+			if d.Value == "minority-side" {
+				t.Fatalf("minority submission delivered at %v — primary model should lose it", p)
+			}
+		}
+	}
+	// The majority value reached the majority side at least.
+	found := false
+	for _, d := range c.Deliveries(0) {
+		if d.Value == "majority-side" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("majority-side value not delivered on the quorum side")
+	}
+}
+
+func TestNoDivergenceUnderChurn(t *testing.T) {
+	c := NewCluster(Options{Seed: 5, N: 4, Delta: time.Millisecond})
+	for i := 0; i < 12; i++ {
+		i := i
+		c.Sim.After(time.Duration(10+25*i)*time.Millisecond, func() {
+			c.Bcast(types.ProcID(i%4), types.Value(fmt.Sprintf("c%d", i)))
+		})
+	}
+	c.Sim.After(100*time.Millisecond, func() {
+		c.Oracle.Partition(c.Procs, types.NewProcSet(0, 1, 2), types.NewProcSet(3))
+	})
+	c.Sim.After(250*time.Millisecond, func() { c.Oracle.Heal(c.Procs) })
+	c.Sim.After(380*time.Millisecond, func() {
+		c.Oracle.Partition(c.Procs, types.NewProcSet(1, 2, 3), types.NewProcSet(0))
+	})
+	c.Sim.After(550*time.Millisecond, func() { c.Oracle.Heal(c.Procs) })
+	if err := c.Sim.Run(sim.Time(3 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckNoDivergence(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Deliveries(1)) == 0 {
+		t.Fatal("nothing delivered under churn")
+	}
+}
+
+// TestDivergenceCheckerDetectsForgedOrder: swapping two common deliveries
+// at one node must be flagged (the checker is not vacuous).
+func TestDivergenceCheckerDetectsForgedOrder(t *testing.T) {
+	c := NewCluster(Options{Seed: 7, N: 3, Delta: time.Millisecond})
+	c.Sim.After(10*time.Millisecond, func() {
+		c.Bcast(0, "x")
+		c.Bcast(1, "y")
+	})
+	if err := c.Sim.Run(sim.Time(500 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	ds := c.nodes[2].deliveries
+	if len(ds) < 2 {
+		t.Fatalf("need 2 deliveries, have %d", len(ds))
+	}
+	ds[0], ds[1] = ds[1], ds[0]
+	if err := c.CheckNoDivergence(); err == nil {
+		t.Fatal("forged divergence not detected")
+	}
+}

@@ -1,0 +1,27 @@
+package props
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSONL feeds arbitrary bytes to the trace reader; it must never
+// panic, and any accepted log must serialize back and re-parse.
+func FuzzReadJSONL(f *testing.F) {
+	f.Add([]byte(`{"kind":"bcast","p":0,"value":"a","value_seq":1}` + "\n"))
+	f.Add([]byte(`{"kind":"initial","p":0,"view_epoch":1,"view_set":[0,1]}` + "\n"))
+	f.Add([]byte("garbage\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		log, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := log.WriteJSONL(&buf); err != nil {
+			t.Fatalf("accepted log does not serialize: %v", err)
+		}
+		if _, err := ReadJSONL(&buf); err != nil {
+			t.Fatalf("serialized log does not re-parse: %v", err)
+		}
+	})
+}

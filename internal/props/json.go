@@ -1,0 +1,171 @@
+package props
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/check"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// eventJSON is the wire form of a timed trace line, used by tosim (write)
+// and vscheck (read). One JSON object per line; "initial" lines declare
+// initial-view membership and precede all events.
+type eventJSON struct {
+	Kind      string `json:"kind"`
+	TNanos    int64  `json:"t_ns,omitempty"`
+	P         int    `json:"p"`
+	From      int    `json:"from,omitempty"`
+	Value     string `json:"value,omitempty"`
+	ValueSeq  int    `json:"value_seq,omitempty"`
+	MsgSender int    `json:"msg_sender,omitempty"`
+	MsgSeq    int    `json:"msg_seq,omitempty"`
+	ViewEpoch int64  `json:"view_epoch,omitempty"`
+	ViewProc  int    `json:"view_proc,omitempty"`
+	ViewSet   []int  `json:"view_set,omitempty"`
+}
+
+func kindString(k Kind) string {
+	switch k {
+	case TOBcast:
+		return "bcast"
+	case TOBrcv:
+		return "brcv"
+	case VSGpsnd:
+		return "gpsnd"
+	case VSGprcv:
+		return "gprcv"
+	case VSSafe:
+		return "safe"
+	case VSNewview:
+		return "newview"
+	}
+	return "?"
+}
+
+func kindFromString(s string) (Kind, error) {
+	switch s {
+	case "bcast":
+		return TOBcast, nil
+	case "brcv":
+		return TOBrcv, nil
+	case "gpsnd":
+		return VSGpsnd, nil
+	case "gprcv":
+		return VSGprcv, nil
+	case "safe":
+		return VSSafe, nil
+	case "newview":
+		return VSNewview, nil
+	default:
+		return 0, fmt.Errorf("props: unknown event kind %q", s)
+	}
+}
+
+// WriteJSONL streams the log as JSON lines.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for p, v := range l.Initial {
+		set := make([]int, 0, v.Set.Size())
+		for _, m := range v.Set.Members() {
+			set = append(set, int(m))
+		}
+		if err := enc.Encode(eventJSON{
+			Kind: "initial", P: int(p),
+			ViewEpoch: v.ID.Epoch, ViewProc: int(v.ID.Proc), ViewSet: set,
+		}); err != nil {
+			return err
+		}
+	}
+	for _, e := range l.Events {
+		j := eventJSON{
+			Kind:   kindString(e.Kind),
+			TNanos: int64(e.T),
+			P:      int(e.P),
+			From:   int(e.From),
+		}
+		switch e.Kind {
+		case TOBcast, TOBrcv:
+			j.Value = string(e.Value)
+			j.ValueSeq = e.ValueSeq
+		case VSGpsnd, VSGprcv, VSSafe:
+			j.MsgSender = int(e.Msg.Sender)
+			j.MsgSeq = e.Msg.Seq
+		case VSNewview:
+			j.ViewEpoch = e.View.ID.Epoch
+			j.ViewProc = int(e.View.ID.Proc)
+			for _, m := range e.View.Set.Members() {
+				j.ViewSet = append(j.ViewSet, int(m))
+			}
+		}
+		if err := enc.Encode(j); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSON-lines trace back into a Log.
+func ReadJSONL(r io.Reader) (*Log, error) {
+	log := &Log{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var j eventJSON
+		if err := json.Unmarshal(line, &j); err != nil {
+			return nil, fmt.Errorf("props: line %d: %w", lineNo, err)
+		}
+		if j.Kind == "initial" {
+			set := make([]types.ProcID, len(j.ViewSet))
+			for i, m := range j.ViewSet {
+				set[i] = types.ProcID(m)
+			}
+			log.SetInitial(types.ProcID(j.P), types.View{
+				ID:  types.ViewID{Epoch: j.ViewEpoch, Proc: types.ProcID(j.ViewProc)},
+				Set: types.NewProcSet(set...),
+			})
+			continue
+		}
+		kind, err := kindFromString(j.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("props: line %d: %w", lineNo, err)
+		}
+		e := Event{
+			T:    sim.Time(j.TNanos),
+			Kind: kind,
+			P:    types.ProcID(j.P),
+			From: types.ProcID(j.From),
+		}
+		switch kind {
+		case TOBcast, TOBrcv:
+			e.Value = types.Value(j.Value)
+			e.ValueSeq = j.ValueSeq
+		case VSGpsnd, VSGprcv, VSSafe:
+			e.Msg = check.MsgID{Sender: types.ProcID(j.MsgSender), Seq: j.MsgSeq}
+		case VSNewview:
+			set := make([]types.ProcID, len(j.ViewSet))
+			for i, m := range j.ViewSet {
+				set[i] = types.ProcID(m)
+			}
+			e.View = types.View{
+				ID:  types.ViewID{Epoch: j.ViewEpoch, Proc: types.ProcID(j.ViewProc)},
+				Set: types.NewProcSet(set...),
+			}
+		}
+		log.Append(e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return log, nil
+}

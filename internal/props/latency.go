@@ -1,0 +1,91 @@
+package props
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// LatencyStats summarizes a latency distribution.
+type LatencyStats struct {
+	Count      int
+	Incomplete int // values not delivered at every processor by log end
+	Min, Max   time.Duration
+	Mean       time.Duration
+	P50, P99   time.Duration
+}
+
+// String renders the summary compactly.
+func (s LatencyStats) String() string {
+	if s.Count == 0 {
+		return fmt.Sprintf("no complete samples (%d incomplete)", s.Incomplete)
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v", s.Count, s.Mean, s.P50, s.P99, s.Max)
+}
+
+// MeasureDeliveryLatency computes, for every value submitted anywhere in
+// the log, the latency from its bcast to its last delivery among the given
+// processors, and summarizes the distribution. Values missing a delivery
+// at some processor are counted as Incomplete and excluded from the
+// distribution.
+func MeasureDeliveryLatency(log *Log, procs types.ProcSet) LatencyStats {
+	sent := make(map[valKey]sim.Time)
+	last := make(map[valKey]sim.Time)
+	got := make(map[valKey]map[types.ProcID]bool)
+	for _, e := range log.Events {
+		switch e.Kind {
+		case TOBcast:
+			sent[valKey{e.P, e.ValueSeq}] = e.T
+		case TOBrcv:
+			if !procs.Contains(e.P) {
+				continue
+			}
+			k := valKey{e.From, e.ValueSeq}
+			if got[k] == nil {
+				got[k] = make(map[types.ProcID]bool)
+			}
+			got[k][e.P] = true
+			if e.T > last[k] {
+				last[k] = e.T
+			}
+		}
+	}
+	var stats LatencyStats
+	var samples []time.Duration
+	for k, t0 := range sent {
+		complete := true
+		for _, p := range procs.Members() {
+			if !got[k][p] {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			stats.Incomplete++
+			continue
+		}
+		samples = append(samples, last[k].Sub(t0))
+	}
+	if len(samples) == 0 {
+		return stats
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	stats.Count = len(samples)
+	stats.Min = samples[0]
+	stats.Max = samples[len(samples)-1]
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	stats.Mean = sum / time.Duration(len(samples))
+	stats.P50 = samples[len(samples)/2]
+	idx99 := (len(samples)*99 + 99) / 100
+	if idx99 >= len(samples) {
+		idx99 = len(samples) - 1
+	}
+	stats.P99 = samples[idx99]
+	return stats
+}

@@ -1,0 +1,278 @@
+package props
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// VSMeasure is the outcome of evaluating VS-property's conclusion over a
+// recorded execution, for a stabilized component Q isolated from time l.
+type VSMeasure struct {
+	// Converged reports whether the latest views of all members of Q agree
+	// and have membership exactly Q.
+	Converged bool
+	// FinalView is the agreed view (valid when Converged).
+	FinalView types.View
+	// LastNewview is the time of the last newview at any member of Q.
+	LastNewview sim.Time
+	// LPrime is the measured stabilization interval l′ =
+	// max(0, LastNewview − l); VS-property demands l′ ≤ b.
+	LPrime time.Duration
+	// MaxSafeLag is, over every message sent from a member of Q in the
+	// final view at time t, the worst (time of last safe at a member of Q)
+	// − max(t, l+l′); VS-property demands it ≤ d.
+	MaxSafeLag time.Duration
+	// MsgsMeasured counts the messages entering the lag measurement;
+	// IncompleteSafe counts those missing a safe event at some member by
+	// the end of the log (they make the verdict fail).
+	MsgsMeasured   int
+	IncompleteSafe int
+}
+
+// MeasureVS evaluates the conclusion of VS-property(·, ·, Q) over the log,
+// taking l as the time the hypothesis began to hold (Q isolated, statuses
+// frozen).
+func MeasureVS(log *Log, q types.ProcSet, l sim.Time) VSMeasure {
+	var m VSMeasure
+	latest := make(map[types.ProcID]types.View)
+	for p, v := range log.Initial {
+		latest[p] = v
+	}
+	for _, e := range log.Events {
+		if e.Kind == VSNewview && q.Contains(e.P) {
+			latest[e.P] = e.View
+			if e.T > m.LastNewview {
+				m.LastNewview = e.T
+			}
+		}
+	}
+	m.Converged = true
+	var final types.View
+	for i, p := range q.Members() {
+		v, ok := latest[p]
+		if !ok || !v.Set.Equal(q) {
+			m.Converged = false
+			break
+		}
+		if i == 0 {
+			final = v
+		} else if v.ID != final.ID {
+			m.Converged = false
+			break
+		}
+	}
+	if !m.Converged {
+		return m
+	}
+	m.FinalView = final
+	if m.LastNewview > l {
+		m.LPrime = m.LastNewview.Sub(l)
+	}
+	stab := l.Add(m.LPrime)
+
+	// Messages sent in the final view from members of Q: senders are in
+	// the final view from their newview(final) time onward (no later
+	// newview exists at them).
+	inFinal := make(map[types.ProcID]bool)
+	for p, v := range log.Initial {
+		if q.Contains(p) && v.ID == final.ID {
+			inFinal[p] = true
+		}
+	}
+	sendTime := make(map[msgKey]sim.Time)
+	safeTimes := make(map[msgKey]map[types.ProcID]sim.Time)
+	for _, e := range log.Events {
+		switch e.Kind {
+		case VSNewview:
+			if q.Contains(e.P) {
+				inFinal[e.P] = e.View.ID == final.ID
+			}
+		case VSGpsnd:
+			if q.Contains(e.P) && inFinal[e.P] {
+				sendTime[msgKey{e.Msg.Sender, e.Msg.Seq}] = e.T
+			}
+		case VSSafe:
+			if q.Contains(e.P) {
+				k := msgKey{e.Msg.Sender, e.Msg.Seq}
+				if _, sent := sendTime[k]; sent {
+					if safeTimes[k] == nil {
+						safeTimes[k] = make(map[types.ProcID]sim.Time)
+					}
+					safeTimes[k][e.P] = e.T
+				}
+			}
+		}
+	}
+	for k, t := range sendTime {
+		m.MsgsMeasured++
+		got := safeTimes[k]
+		complete := true
+		var last sim.Time
+		for _, p := range q.Members() {
+			ts, ok := got[p]
+			if !ok {
+				complete = false
+				break
+			}
+			if ts > last {
+				last = ts
+			}
+		}
+		if !complete {
+			m.IncompleteSafe++
+			continue
+		}
+		ref := t
+		if stab > ref {
+			ref = stab
+		}
+		if lag := last.Sub(ref); lag > m.MaxSafeLag {
+			m.MaxSafeLag = lag
+		}
+	}
+	return m
+}
+
+// CheckVSProperty returns nil iff the recorded execution satisfies the
+// conclusion of VS-property(b, d, Q) for stabilization time l.
+func CheckVSProperty(log *Log, q types.ProcSet, l sim.Time, b, d time.Duration) error {
+	m := MeasureVS(log, q, l)
+	if !m.Converged {
+		return fmt.Errorf("props: VS-property: views of %v did not converge to membership %v", q, q)
+	}
+	if m.LPrime > b {
+		return fmt.Errorf("props: VS-property: stabilization l′=%v exceeds b=%v", m.LPrime, b)
+	}
+	if m.IncompleteSafe > 0 {
+		return fmt.Errorf("props: VS-property: %d of %d messages missing safe events at some member",
+			m.IncompleteSafe, m.MsgsMeasured)
+	}
+	if m.MaxSafeLag > d {
+		return fmt.Errorf("props: VS-property: safe lag %v exceeds d=%v", m.MaxSafeLag, d)
+	}
+	return nil
+}
+
+// TOMeasure is the outcome of evaluating TO-property's conclusion.
+type TOMeasure struct {
+	// LPrime is the stabilization interval used as the split point (the
+	// caller typically passes the VS-measured value, matching the proof of
+	// Theorem 7.1 where l′_TO ≤ b + d).
+	LPrime time.Duration
+	// MaxSendLag is, over every value sent from a member of Q anywhere in
+	// the execution, the worst (last delivery at a member of Q) −
+	// max(sendTime, l+l′): clause 2(b) of Figure 5.
+	MaxSendLag time.Duration
+	// MaxRelayLag is the same for clause 2(c): values delivered to any
+	// member of Q must reach all members.
+	MaxRelayLag time.Duration
+	// ValuesMeasured counts values entering the measurement; Incomplete
+	// counts those not delivered at every member of Q by the end.
+	ValuesMeasured int
+	Incomplete     int
+}
+
+type valKey struct {
+	Origin types.ProcID
+	Seq    int
+}
+
+// msgKey identifies a VS message by sender and send sequence.
+type msgKey struct {
+	Sender types.ProcID
+	Seq    int
+}
+
+// MeasureTO evaluates the conclusion of TO-property(·, ·, Q) over the log,
+// splitting at l + lPrime.
+func MeasureTO(log *Log, q types.ProcSet, l sim.Time, lPrime time.Duration) TOMeasure {
+	m := TOMeasure{LPrime: lPrime}
+	stab := l.Add(lPrime)
+
+	sent := make(map[valKey]sim.Time)      // values sent from Q
+	firstRecv := make(map[valKey]sim.Time) // first delivery at a member of Q
+	recvAt := make(map[valKey]map[types.ProcID]sim.Time)
+	for _, e := range log.Events {
+		switch e.Kind {
+		case TOBcast:
+			if q.Contains(e.P) {
+				sent[valKey{e.P, e.ValueSeq}] = e.T
+			}
+		case TOBrcv:
+			if q.Contains(e.P) {
+				k := valKey{e.From, e.ValueSeq}
+				if _, ok := firstRecv[k]; !ok {
+					firstRecv[k] = e.T
+				}
+				if recvAt[k] == nil {
+					recvAt[k] = make(map[types.ProcID]sim.Time)
+				}
+				if _, dup := recvAt[k][e.P]; !dup {
+					recvAt[k][e.P] = e.T
+				}
+			}
+		}
+	}
+	measure := func(k valKey, ref sim.Time) (time.Duration, bool) {
+		got := recvAt[k]
+		var last sim.Time
+		for _, p := range q.Members() {
+			ts, ok := got[p]
+			if !ok {
+				return 0, false
+			}
+			if ts > last {
+				last = ts
+			}
+		}
+		if stab > ref {
+			ref = stab
+		}
+		return last.Sub(ref), true
+	}
+	for k, t := range sent {
+		m.ValuesMeasured++
+		lag, ok := measure(k, t)
+		if !ok {
+			m.Incomplete++
+			continue
+		}
+		if lag > m.MaxSendLag {
+			m.MaxSendLag = lag
+		}
+	}
+	for k, t := range firstRecv {
+		if _, own := sent[k]; own {
+			continue // already counted with the (earlier) send reference
+		}
+		m.ValuesMeasured++
+		lag, ok := measure(k, t)
+		if !ok {
+			m.Incomplete++
+			continue
+		}
+		if lag > m.MaxRelayLag {
+			m.MaxRelayLag = lag
+		}
+	}
+	return m
+}
+
+// CheckTOProperty returns nil iff the recorded execution satisfies the
+// conclusion of TO-property(b, d, Q) for stabilization time l, using the
+// smallest stabilization split not exceeding b that the log supports.
+func CheckTOProperty(log *Log, q types.ProcSet, l sim.Time, b, d time.Duration) error {
+	m := MeasureTO(log, q, l, b)
+	if m.Incomplete > 0 {
+		return fmt.Errorf("props: TO-property: %d of %d values not delivered at every member of %v",
+			m.Incomplete, m.ValuesMeasured, q)
+	}
+	if m.MaxSendLag > d || m.MaxRelayLag > d {
+		return fmt.Errorf("props: TO-property: delivery lag send=%v relay=%v exceeds d=%v",
+			m.MaxSendLag, m.MaxRelayLag, d)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package props
+
+import (
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// PhaseMeasure decomposes a stabilized execution the way the Theorem 7.1
+// argument does (Figure 12): after the hypothesis starts holding at l,
+// the VS layer stabilizes within l′ ≤ b; the state-exchange phase — until
+// every member's summary is safe at every member — takes at most a further
+// d; and client deliveries thereafter complete within d of submission.
+type PhaseMeasure struct {
+	VS VSMeasure
+	// ExchangePhase runs from the last newview in Q to the last safe event
+	// for any member's state-exchange summary at any member (zero when the
+	// final view required no exchange visible in the log).
+	ExchangePhase time.Duration
+	// PostLag is the worst delivery lag measured against the end of the
+	// exchange phase (clause 2 of VStoTO-property).
+	PostLag    time.Duration
+	Incomplete int
+}
+
+// MeasurePhases computes the Figure 12 decomposition for component Q
+// isolated from time l. Each member's state-exchange summary is identified
+// as its first gpsnd after installing the final view.
+func MeasurePhases(log *Log, q types.ProcSet, l sim.Time) PhaseMeasure {
+	m := PhaseMeasure{VS: MeasureVS(log, q, l)}
+	if !m.VS.Converged {
+		return m
+	}
+	stab := l.Add(m.VS.LPrime)
+
+	summarySent := make(map[types.ProcID]bool)
+	exchIDs := make(map[check.MsgID]bool)
+	inFinal := make(map[types.ProcID]bool)
+	for p, v := range log.Initial {
+		if q.Contains(p) && v.ID == m.VS.FinalView.ID {
+			inFinal[p] = true
+		}
+	}
+	var exchEnd sim.Time
+	for _, e := range log.Events {
+		switch e.Kind {
+		case VSNewview:
+			if q.Contains(e.P) {
+				inFinal[e.P] = e.View.ID == m.VS.FinalView.ID
+			}
+		case VSGpsnd:
+			if q.Contains(e.P) && inFinal[e.P] && !summarySent[e.P] {
+				summarySent[e.P] = true
+				exchIDs[e.Msg] = true
+			}
+		case VSSafe:
+			if q.Contains(e.P) && exchIDs[e.Msg] && e.T > exchEnd {
+				exchEnd = e.T
+			}
+		}
+	}
+	if exchEnd > stab {
+		m.ExchangePhase = exchEnd.Sub(stab)
+	}
+	to := MeasureTO(log, q, l, m.VS.LPrime+m.ExchangePhase)
+	m.PostLag = to.MaxSendLag
+	if to.MaxRelayLag > m.PostLag {
+		m.PostLag = to.MaxRelayLag
+	}
+	m.Incomplete = to.Incomplete
+	return m
+}

@@ -1,0 +1,31 @@
+package rsm
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// FuzzDecodeOp feeds arbitrary strings to the op decoder; malformed input
+// must error, and well-formed input must round-trip.
+func FuzzDecodeOp(f *testing.F) {
+	f.Add(string(Op{Kind: "w", Key: "k", Val: "v", Nonce: 1}.Encode()))
+	f.Add("w|1|2:ab")
+	f.Add("")
+	f.Add("r|0|0:")
+	f.Fuzz(func(t *testing.T, s string) {
+		op, err := DecodeOp(types.Value(s))
+		if err != nil {
+			return
+		}
+		// A successfully decoded op re-encodes to something that decodes
+		// back to itself (the encoding is canonical for decoded values).
+		round, err := DecodeOp(op.Encode())
+		if err != nil {
+			t.Fatalf("re-encode of %+v failed to decode: %v", op, err)
+		}
+		if round != op {
+			t.Fatalf("round trip changed op: %+v vs %+v", round, op)
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package rsm
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// ReadRecord is one logged read operation: which client (processor) read,
+// what it saw, and the length of the operation prefix its replica had
+// applied at that moment.
+type ReadRecord struct {
+	P       types.ProcID
+	Key     string
+	Value   string
+	Applied int // ops applied at p's replica when the read occurred
+	Seq     int // per-process operation counter, program order
+}
+
+// HistoryChecker verifies sequential consistency of a logged execution.
+//
+// Footnote 3's construction makes the witness explicit: all writes are
+// applied everywhere in the single TO order, and a read at p observes the
+// state after some prefix of that order (exactly p's applied prefix). The
+// execution is sequentially consistent iff
+//
+//  1. every logged read returns the value of the last write to its key in
+//     the prefix it observed (replayed independently here from node 0's
+//     delivery sequence — the canonical order);
+//  2. the prefixes observed by one process never shrink (program order at
+//     each client is respected by the serialization).
+//
+// The checker replays the order from scratch, so a bug in Memory's apply
+// logic (not just in the TO layer) would be caught.
+type HistoryChecker struct {
+	mem   *Memory
+	reads []ReadRecord
+	seqs  map[types.ProcID]int
+}
+
+// NewHistoryChecker attaches a checker to a memory.
+func NewHistoryChecker(m *Memory) *HistoryChecker {
+	return &HistoryChecker{mem: m, seqs: make(map[types.ProcID]int)}
+}
+
+// ReadLogged performs a local read at p and logs it for checking.
+func (h *HistoryChecker) ReadLogged(p types.ProcID, key string) string {
+	val := h.mem.Read(p, key) // pumps
+	h.seqs[p]++
+	h.reads = append(h.reads, ReadRecord{
+		P: p, Key: key, Value: val, Applied: h.mem.applied[p], Seq: h.seqs[p],
+	})
+	return val
+}
+
+// Reads returns the logged read records.
+func (h *HistoryChecker) Reads() []ReadRecord { return h.reads }
+
+// Check verifies sequential consistency of the logged reads against the
+// canonical total order. Call after the run settles (it replays the
+// longest delivery sequence available).
+func (h *HistoryChecker) Check() error {
+	if err := h.mem.CheckCoherence(); err != nil {
+		return err
+	}
+	// Canonical order: the longest delivery sequence (all are prefixes of
+	// it by coherence).
+	var order []types.Value
+	for _, p := range h.mem.cluster.Procs.Members() {
+		ds := h.mem.cluster.Deliveries(p)
+		if len(ds) > len(order) {
+			order = order[:0]
+			for _, d := range ds {
+				order = append(order, d.Value)
+			}
+		}
+	}
+	// Replay prefix states lazily: prefixVal(k, key) = value of key after
+	// k ops.
+	state := make(map[string]string)
+	replayed := 0
+	replayTo := func(k int) error {
+		if k < replayed {
+			// Reads are checked in increasing Applied order after sorting;
+			// a backwards jump restarts the replay.
+			state = make(map[string]string)
+			replayed = 0
+		}
+		for ; replayed < k; replayed++ {
+			if replayed >= len(order) {
+				return fmt.Errorf("rsm: read observed prefix %d beyond order length %d", k, len(order))
+			}
+			op, err := DecodeOp(order[replayed])
+			if err != nil {
+				return err
+			}
+			if op.Kind == "w" {
+				state[op.Key] = op.Val
+			}
+		}
+		return nil
+	}
+	// Program order per process: Applied must be non-decreasing in Seq.
+	lastApplied := make(map[types.ProcID]int)
+	lastSeq := make(map[types.ProcID]int)
+	for _, r := range h.reads {
+		if r.Seq <= lastSeq[r.P] {
+			return fmt.Errorf("rsm: read records for %v out of program order", r.P)
+		}
+		lastSeq[r.P] = r.Seq
+		if r.Applied < lastApplied[r.P] {
+			return fmt.Errorf("rsm: %v's observed prefix shrank from %d to %d (program order violated)",
+				r.P, lastApplied[r.P], r.Applied)
+		}
+		lastApplied[r.P] = r.Applied
+	}
+	// Read values match the replayed prefix state. Process reads sorted by
+	// prefix length to keep the replay forward-only in the common case.
+	sorted := append([]ReadRecord(nil), h.reads...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Applied < sorted[j-1].Applied; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	for _, r := range sorted {
+		if err := replayTo(r.Applied); err != nil {
+			return err
+		}
+		if want := state[r.Key]; r.Value != want {
+			return fmt.Errorf("rsm: read(%q) at %v (prefix %d) returned %q, replay says %q",
+				r.Key, r.P, r.Applied, r.Value, want)
+		}
+	}
+	return nil
+}

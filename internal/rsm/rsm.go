@@ -1,0 +1,214 @@
+// Package rsm implements the application of the paper's footnote 3: a
+// sequentially consistent read/write shared memory built on the totally
+// ordered broadcast service ("Replicated State Machine" approach, Lamport /
+// Schneider). Each processor maintains a full replica; a read returns the
+// local copy immediately; an update is broadcast through TO and applied at
+// every replica (including the submitter) when delivered, at which point
+// the submitting processor acknowledges its client.
+//
+// The package also provides the atomic variant mentioned in the footnote:
+// sending reads through the broadcast service as well yields an atomic
+// (linearizable) memory.
+package rsm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/stack"
+	"repro/internal/types"
+)
+
+// Op is one memory operation carried through the TO service.
+type Op struct {
+	// Kind is "w" for writes, "r" for broadcast (atomic) reads.
+	Kind string
+	// Key and Val are the target cell and, for writes, the new value.
+	Key, Val string
+	// Nonce distinguishes operations submitted at the same processor.
+	Nonce int
+}
+
+// Encode renders the op as a TO data value. The encoding is
+// length-prefixed, so keys and values may contain any bytes.
+func (o Op) Encode() types.Value {
+	return types.Value(fmt.Sprintf("%s|%d|%d:%s%s", o.Kind, o.Nonce, len(o.Key), o.Key, o.Val))
+}
+
+// DecodeOp parses an encoded op.
+func DecodeOp(v types.Value) (Op, error) {
+	s := string(v)
+	parts := strings.SplitN(s, "|", 3)
+	if len(parts) != 3 {
+		return Op{}, fmt.Errorf("rsm: malformed op %q", s)
+	}
+	nonce, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return Op{}, fmt.Errorf("rsm: malformed nonce in %q: %w", s, err)
+	}
+	body := parts[2]
+	i := strings.IndexByte(body, ':')
+	if i < 0 {
+		return Op{}, fmt.Errorf("rsm: malformed body in %q", s)
+	}
+	klen, err := strconv.Atoi(body[:i])
+	if err != nil || klen < 0 || i+1+klen > len(body) {
+		return Op{}, fmt.Errorf("rsm: malformed key length in %q", s)
+	}
+	return Op{
+		Kind:  parts[0],
+		Nonce: nonce,
+		Key:   body[i+1 : i+1+klen],
+		Val:   body[i+1+klen:],
+	}, nil
+}
+
+// Memory is a replicated key-value memory over a TO cluster. All methods
+// take the processor at which the client operates.
+type Memory struct {
+	cluster  *stack.Cluster
+	replicas map[types.ProcID]map[string]string
+	applied  map[types.ProcID]int // ops applied per replica
+	nonces   map[types.ProcID]int
+	waiters  map[opKey]func(val string)
+}
+
+type opKey struct {
+	P     types.ProcID
+	Nonce int
+}
+
+// New attaches a replicated memory to a TO cluster. Deliveries are applied
+// to the replicas eagerly, as they happen, via a cluster delivery observer;
+// Pump also applies any deliveries that occurred before New was called.
+func New(c *stack.Cluster) *Memory {
+	m := &Memory{
+		cluster:  c,
+		replicas: make(map[types.ProcID]map[string]string),
+		applied:  make(map[types.ProcID]int),
+		nonces:   make(map[types.ProcID]int),
+		waiters:  make(map[opKey]func(string)),
+	}
+	for _, p := range c.Procs.Members() {
+		m.replicas[p] = make(map[string]string)
+	}
+	c.OnDeliver(func(p types.ProcID, _ stack.Delivery) { m.pumpProc(p) })
+	return m
+}
+
+// Write submits an update at processor p. onApplied, if non-nil, runs when
+// the update has been applied at p's replica (the client's ack).
+func (m *Memory) Write(p types.ProcID, key, val string, onApplied func()) {
+	m.nonces[p]++
+	op := Op{Kind: "w", Key: key, Val: val, Nonce: m.nonces[p]}
+	if onApplied != nil {
+		m.waiters[opKey{p, op.Nonce}] = func(string) { onApplied() }
+	}
+	m.cluster.Bcast(p, op.Encode())
+}
+
+// Read returns the local replica's value immediately (the sequentially
+// consistent read of footnote 3).
+func (m *Memory) Read(p types.ProcID, key string) string {
+	m.Pump()
+	return m.replicas[p][key]
+}
+
+// ReadAtomic submits the read through the broadcast service; onValue runs
+// with the value the read observes in the total order (the atomic variant).
+func (m *Memory) ReadAtomic(p types.ProcID, key string, onValue func(val string)) {
+	m.nonces[p]++
+	op := Op{Kind: "r", Key: key, Nonce: m.nonces[p]}
+	if onValue != nil {
+		m.waiters[opKey{p, op.Nonce}] = onValue
+	}
+	m.cluster.Bcast(p, op.Encode())
+}
+
+// Pump applies every not-yet-applied delivery to the replicas. With the
+// delivery observer installed by New this is normally a no-op; it remains
+// useful when a Memory is attached to a cluster that already delivered.
+func (m *Memory) Pump() {
+	for _, p := range m.cluster.Procs.Members() {
+		m.pumpProc(p)
+	}
+}
+
+func (m *Memory) pumpProc(p types.ProcID) {
+	ds := m.cluster.Deliveries(p)
+	for ; m.applied[p] < len(ds); m.applied[p]++ {
+		d := ds[m.applied[p]]
+		op, err := DecodeOp(d.Value)
+		if err != nil {
+			panic(err) // only Memory submits values on this cluster
+		}
+		rep := m.replicas[p]
+		var observed string
+		switch op.Kind {
+		case "w":
+			rep[op.Key] = op.Val
+			observed = op.Val
+		case "r":
+			observed = rep[op.Key]
+		default:
+			panic(fmt.Sprintf("rsm: unknown op kind %q", op.Kind))
+		}
+		if d.From == p {
+			if cb, ok := m.waiters[opKey{p, op.Nonce}]; ok {
+				delete(m.waiters, opKey{p, op.Nonce})
+				cb(observed)
+			}
+		}
+	}
+}
+
+// Replica returns a copy of p's current replica contents.
+func (m *Memory) Replica(p types.ProcID) map[string]string {
+	m.Pump()
+	out := make(map[string]string, len(m.replicas[p]))
+	for k, v := range m.replicas[p] {
+		out[k] = v
+	}
+	return out
+}
+
+// AppliedCount returns the number of operations applied at p's replica.
+func (m *Memory) AppliedCount(p types.ProcID) int {
+	m.Pump()
+	return m.applied[p]
+}
+
+// CheckCoherence verifies that all replicas have applied a common prefix
+// of one operation sequence (the defining property the TO order provides).
+// It returns an error naming the first divergence.
+func (m *Memory) CheckCoherence() error {
+	m.Pump()
+	procs := m.cluster.Procs.Members()
+	var longest []stack.Delivery
+	for _, p := range procs {
+		if ds := m.cluster.Deliveries(p); len(ds) > len(longest) {
+			longest = ds
+		}
+	}
+	for _, p := range procs {
+		ds := m.cluster.Deliveries(p)
+		for i := range ds {
+			if ds[i].Value != longest[i].Value || ds[i].From != longest[i].From {
+				return fmt.Errorf("rsm: replica %v diverges at op %d: %v vs %v", p, i, ds[i], longest[i])
+			}
+		}
+	}
+	return nil
+}
+
+// WaitSettle is a convenience for tests: runs the simulator for d and
+// pumps.
+func (m *Memory) WaitSettle(d sim.Time) error {
+	if err := m.cluster.Sim.Run(m.cluster.Sim.Now() + d); err != nil {
+		return err
+	}
+	m.Pump()
+	return nil
+}

@@ -1,0 +1,126 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stack"
+	"repro/internal/types"
+)
+
+func startFast(t *testing.T, n int) *Runtime {
+	t.Helper()
+	return Start(Options{
+		Cluster: stack.Options{Seed: 1, N: n, Delta: time.Millisecond},
+		Speed:   2000, // 2s of virtual time per wall ms tick batch — fast tests
+		Tick:    time.Millisecond,
+	})
+}
+
+func TestLiveDeliveryReachesSubscribers(t *testing.T) {
+	r := startFast(t, 3)
+	defer r.Stop()
+	sub := r.Subscribe()
+	r.Bcast(0, "hello")
+
+	deadline := time.After(5 * time.Second)
+	seen := map[types.ProcID]bool{}
+	for len(seen) < 3 {
+		select {
+		case d := <-sub:
+			if d.Value != "hello" || d.From != 0 {
+				t.Fatalf("unexpected delivery %+v", d)
+			}
+			seen[d.Node] = true
+		case <-deadline:
+			t.Fatalf("timed out; saw %v", seen)
+		}
+	}
+}
+
+func TestLiveDeliveriesSnapshotAndViews(t *testing.T) {
+	r := startFast(t, 3)
+	defer r.Stop()
+	r.Bcast(1, "x")
+	waitFor(t, func() bool { return len(r.Deliveries(2)) == 1 })
+	ds := r.Deliveries(2)
+	if ds[0].Value != "x" {
+		t.Fatalf("deliveries = %v", ds)
+	}
+	views := r.Views()
+	if len(views) != 3 {
+		t.Fatalf("views = %v", views)
+	}
+	for p, v := range views {
+		if v == "⊥" {
+			t.Errorf("%v has no view", p)
+		}
+	}
+	if r.Now() == 0 {
+		t.Error("virtual time did not advance")
+	}
+	if r.Procs().Size() != 3 {
+		t.Error("Procs wrong")
+	}
+}
+
+func TestLiveCrashPartitionHeal(t *testing.T) {
+	r := startFast(t, 3)
+	defer r.Stop()
+	r.Crash(2)
+	r.Bcast(0, "while-down")
+	waitFor(t, func() bool { return len(r.Deliveries(0)) == 1 })
+	if len(r.Deliveries(2)) != 0 {
+		t.Fatal("crashed node delivered")
+	}
+	r.Heal()
+	waitFor(t, func() bool { return len(r.Deliveries(2)) == 1 })
+
+	r.Partition(types.NewProcSet(0, 1), types.NewProcSet(2))
+	r.Bcast(0, "majority-only")
+	waitFor(t, func() bool { return len(r.Deliveries(0)) == 2 })
+	if len(r.Deliveries(2)) > 1 {
+		t.Fatal("minority delivered during partition")
+	}
+	r.Heal()
+	waitFor(t, func() bool { return len(r.Deliveries(2)) == 2 })
+}
+
+func TestLiveLogSnapshot(t *testing.T) {
+	r := startFast(t, 2)
+	defer r.Stop()
+	r.Bcast(0, "logged")
+	waitFor(t, func() bool { return len(r.Deliveries(1)) == 1 })
+	log := r.Log()
+	if log.Len() == 0 || log.Initial == nil {
+		t.Fatalf("log snapshot empty: %d events", log.Len())
+	}
+}
+
+func TestStopClosesSubscribers(t *testing.T) {
+	r := startFast(t, 2)
+	sub := r.Subscribe()
+	r.Stop()
+	select {
+	case _, open := <-sub:
+		if open {
+			// Drain any buffered deliveries, then expect close.
+			for range sub {
+			}
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("subscriber channel not closed after Stop")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached before deadline")
+}

@@ -1,0 +1,177 @@
+// Package sim is a deterministic discrete-event simulator: a virtual clock,
+// a pending-event priority queue, and a seeded randomness source. Every
+// timed experiment in this repository runs on it, so all measured times are
+// exact functions of the scenario parameters and the seed — which is what
+// lets the experiment harness check the paper's analytic bounds precisely.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, expressed as the duration elapsed since
+// the start of the run.
+type Time time.Duration
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts the absolute time to a duration since the origin.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String renders the time like a duration.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Never is a sentinel far-future time, useful for disabled deadlines.
+const Never = Time(1<<63 - 1)
+
+// Event is a scheduled callback. It is returned by Schedule-family methods
+// and can be cancelled.
+type Event struct {
+	when     Time
+	seq      uint64 // FIFO tie-break among simultaneous events
+	fn       func()
+	index    int // heap index, -1 when not queued
+	canceled bool
+}
+
+// When returns the virtual time at which the event fires (or was scheduled
+// to fire).
+func (e *Event) When() Time { return e.when }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is the simulator: clock, event queue, and seeded randomness.
+// It is not safe for concurrent use; the whole simulation is single-threaded
+// by design (determinism).
+type Sim struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	rng    *rand.Rand
+	steps  uint64
+	budget uint64 // max events to process, 0 = unlimited
+}
+
+// New creates a simulator with the given seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulator's seeded randomness source. All nondeterminism
+// in a run must come from here.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Steps returns the number of events processed so far.
+func (s *Sim) Steps() uint64 { return s.steps }
+
+// SetBudget bounds the total number of events a Run may process; 0 means
+// unlimited. Exceeding the budget makes Run return ErrBudget.
+func (s *Sim) SetBudget(n uint64) { s.budget = n }
+
+// ErrBudget is returned by Run when the event budget is exhausted, which in
+// a correct scenario indicates a livelock (e.g. endless view churn).
+var ErrBudget = fmt.Errorf("sim: event budget exhausted")
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: that is always a logic error in a discrete-event model.
+func (s *Sim) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
+	}
+	e := &Event{when: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (s *Sim) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Defer schedules fn to run at the current time, after all callbacks already
+// scheduled for the current time. It models a zero-delay local step.
+func (s *Sim) Defer(fn func()) *Event { return s.After(0, fn) }
+
+// Run processes events in time order until the queue is empty, the deadline
+// passes, or the budget is exhausted. The deadline is an absolute virtual
+// time; pass Never to run to quiescence. Events scheduled exactly at the
+// deadline still fire.
+func (s *Sim) Run(deadline Time) error {
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.when > deadline {
+			s.now = deadline
+			return nil
+		}
+		heap.Pop(&s.queue)
+		if next.canceled {
+			continue
+		}
+		if s.budget != 0 && s.steps >= s.budget {
+			return ErrBudget
+		}
+		s.steps++
+		s.now = next.when
+		next.fn()
+	}
+	if deadline != Never && deadline > s.now {
+		s.now = deadline
+	}
+	return nil
+}
+
+// RunFor processes events for the next d of virtual time.
+func (s *Sim) RunFor(d time.Duration) error { return s.Run(s.now.Add(d)) }
+
+// Pending returns the number of events currently queued (including
+// cancelled events not yet discarded).
+func (s *Sim) Pending() int { return len(s.queue) }

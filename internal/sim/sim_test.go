@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New(1)
+	var fired []Time
+	for _, d := range []time.Duration{30, 10, 20, 10, 40} {
+		s.After(d*time.Millisecond, func() { fired = append(fired, s.Now()) })
+	}
+	if err := s.Run(Never); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Fatalf("events out of order: %v", fired)
+	}
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events, want 5", len(fired))
+	}
+	if fired[len(fired)-1] != Time(40*time.Millisecond) {
+		t.Errorf("last event at %v, want 40ms", fired[len(fired)-1])
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(time.Millisecond, func() { order = append(order, i) })
+	}
+	if err := s.Run(Never); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated at %d: %v", i, order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.After(time.Millisecond, func() { fired = true })
+	e.Cancel()
+	if err := s.Run(Never); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Cancelling nil and double-cancelling are no-ops.
+	var nilEvent *Event
+	nilEvent.Cancel()
+	e.Cancel()
+}
+
+func TestDeferRunsAtCurrentTimeAfterQueued(t *testing.T) {
+	s := New(1)
+	var order []string
+	s.At(0, func() {
+		s.Defer(func() { order = append(order, "deferred") })
+		order = append(order, "first")
+	})
+	s.At(0, func() { order = append(order, "second-at-0") })
+	if err := s.Run(Never); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"first", "second-at-0", "deferred"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 0 {
+		t.Errorf("Defer advanced time to %v", s.Now())
+	}
+}
+
+func TestRunDeadlineStopsAndAdvancesClock(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.After(10*time.Millisecond, func() { fired++ })
+	s.After(30*time.Millisecond, func() { fired++ })
+	if err := s.Run(Time(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+	if s.Now() != Time(20*time.Millisecond) {
+		t.Fatalf("Now() = %v, want 20ms", s.Now())
+	}
+	// Events exactly at the deadline still fire.
+	s2 := New(1)
+	hit := false
+	s2.After(20*time.Millisecond, func() { hit = true })
+	if err := s2.Run(Time(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("event at deadline did not fire")
+	}
+}
+
+func TestRunForAccumulates(t *testing.T) {
+	s := New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		s.After(10*time.Millisecond, tick)
+	}
+	s.After(10*time.Millisecond, tick)
+	for i := 0; i < 5; i++ {
+		if err := s.RunFor(10 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if s.Now() != Time(50*time.Millisecond) {
+		t.Fatalf("Now() = %v", s.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.After(10*time.Millisecond, func() {})
+	if err := s.Run(Never); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(0, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	s.After(-time.Millisecond, func() {})
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	s := New(1)
+	var loop func()
+	loop = func() { s.After(time.Millisecond, loop) }
+	s.Defer(loop)
+	s.SetBudget(100)
+	err := s.Run(Never)
+	if err != ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if s.Steps() != 100 {
+		t.Errorf("Steps() = %d, want 100", s.Steps())
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int64 {
+		s := New(42)
+		var out []int64
+		var step func()
+		step = func() {
+			out = append(out, int64(s.Now())+s.Rand().Int63n(1000))
+			if len(out) < 50 {
+				s.After(time.Duration(1+s.Rand().Intn(5))*time.Millisecond, step)
+			}
+		}
+		s.Defer(step)
+		if err := s.Run(Never); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(10 * time.Millisecond)
+	if a.Add(5*time.Millisecond) != Time(15*time.Millisecond) {
+		t.Error("Add wrong")
+	}
+	if a.Sub(Time(4*time.Millisecond)) != 6*time.Millisecond {
+		t.Error("Sub wrong")
+	}
+	if a.Duration() != 10*time.Millisecond {
+		t.Error("Duration wrong")
+	}
+	if a.String() != "10ms" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	s := New(1)
+	if s.Pending() != 0 {
+		t.Fatal("fresh sim has pending events")
+	}
+	s.After(time.Millisecond, func() {})
+	s.After(time.Millisecond, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+}
+
+// TestHeapStress drives a large random schedule and checks global
+// time-monotonicity of callbacks.
+func TestHeapStress(t *testing.T) {
+	s := New(9)
+	rng := rand.New(rand.NewSource(9))
+	var last Time
+	checks := 0
+	var spawn func()
+	spawn = func() {
+		now := s.Now()
+		if now < last {
+			t.Fatalf("time went backwards: %v after %v", now, last)
+		}
+		last = now
+		checks++
+		if checks < 5000 {
+			for i := 0; i < rng.Intn(3); i++ {
+				s.After(time.Duration(rng.Intn(100))*time.Microsecond, spawn)
+			}
+		}
+	}
+	for i := 0; i < 100; i++ {
+		s.After(time.Duration(rng.Intn(1000))*time.Microsecond, spawn)
+	}
+	if err := s.Run(Never); err != nil {
+		t.Fatal(err)
+	}
+	if checks < 100 {
+		t.Fatalf("only %d callbacks ran", checks)
+	}
+}

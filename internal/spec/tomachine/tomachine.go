@@ -1,0 +1,218 @@
+// Package tomachine implements TO-machine, the paper's Figure 3: the
+// abstract, global state machine specifying a totally ordered broadcast
+// service. Clients submit data values with bcast(a)_p; the machine
+// nondeterministically moves pending values into a single global queue
+// (to-order), and delivers each location a prefix of that queue via
+// brcv(a)_{p,q}.
+//
+// The machine is executable: it exposes the paper's precondition/effect
+// transitions directly, adapts to the ioa framework for composition, and
+// doubles as the test oracle for the forward-simulation check of Section 6.
+package tomachine
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/types"
+)
+
+// Bcast is the input action bcast(a)_p: the client at p submits value a.
+type Bcast struct {
+	A types.Value
+	P types.ProcID
+}
+
+// ActionName returns "bcast".
+func (Bcast) ActionName() string { return "bcast" }
+
+// String renders the action.
+func (b Bcast) String() string { return fmt.Sprintf("bcast(%q)_%v", string(b.A), b.P) }
+
+// Brcv is the output action brcv(a)_{p,q}: delivery to the client at q of a
+// value originally submitted at p.
+type Brcv struct {
+	A types.Value
+	P types.ProcID // origin
+	Q types.ProcID // destination
+}
+
+// ActionName returns "brcv".
+func (Brcv) ActionName() string { return "brcv" }
+
+// String renders the action.
+func (b Brcv) String() string { return fmt.Sprintf("brcv(%q)_{%v,%v}", string(b.A), b.P, b.Q) }
+
+// ToOrder is the internal action to-order(a, p): move the head of
+// pending[p] to the end of the global queue.
+type ToOrder struct {
+	A types.Value
+	P types.ProcID
+}
+
+// ActionName returns "to-order".
+func (ToOrder) ActionName() string { return "to-order" }
+
+// String renders the action.
+func (t ToOrder) String() string { return fmt.Sprintf("to-order(%q,%v)", string(t.A), t.P) }
+
+// Entry is one element of the global queue: a data value paired with the
+// location at which it originated.
+type Entry struct {
+	A types.Value
+	P types.ProcID
+}
+
+// Machine is the TO-machine state of Figure 3.
+type Machine struct {
+	procs types.ProcSet
+
+	// Queue is the global totally ordered sequence of ⟨value, origin⟩ pairs.
+	Queue []Entry
+	// Pending[p] holds values submitted at p not yet placed in Queue.
+	Pending map[types.ProcID][]types.Value
+	// Next[p] is the 1-based index in Queue of the next entry to deliver
+	// at p.
+	Next map[types.ProcID]int
+}
+
+// New creates a TO-machine over the given processor universe, in the
+// initial state of Figure 3.
+func New(procs types.ProcSet) *Machine {
+	m := &Machine{
+		procs:   procs,
+		Pending: make(map[types.ProcID][]types.Value, procs.Size()),
+		Next:    make(map[types.ProcID]int, procs.Size()),
+	}
+	for _, p := range procs.Members() {
+		m.Next[p] = 1
+	}
+	return m
+}
+
+// Procs returns the processor universe.
+func (m *Machine) Procs() types.ProcSet { return m.procs }
+
+// ApplyBcast applies the input bcast(a)_p (always enabled).
+func (m *Machine) ApplyBcast(a types.Value, p types.ProcID) {
+	m.Pending[p] = append(m.Pending[p], a)
+}
+
+// ToOrderEnabled reports whether to-order(a, p) is enabled: a is the head
+// of pending[p].
+func (m *Machine) ToOrderEnabled(a types.Value, p types.ProcID) bool {
+	pend := m.Pending[p]
+	return len(pend) > 0 && pend[0] == a
+}
+
+// ApplyToOrder performs to-order(a, p). It returns an error if the
+// precondition fails, so callers that use the machine as an oracle get a
+// diagnosis rather than silent corruption.
+func (m *Machine) ApplyToOrder(a types.Value, p types.ProcID) error {
+	if !m.ToOrderEnabled(a, p) {
+		return fmt.Errorf("tomachine: to-order(%q,%v) not enabled: pending=%v", string(a), p, m.Pending[p])
+	}
+	m.Pending[p] = m.Pending[p][1:]
+	m.Queue = append(m.Queue, Entry{A: a, P: p})
+	return nil
+}
+
+// BrcvEnabled reports whether brcv(a)_{p,q} is enabled:
+// queue(next[q]) = ⟨a, p⟩.
+func (m *Machine) BrcvEnabled(a types.Value, p, q types.ProcID) bool {
+	n := m.Next[q]
+	return n >= 1 && n <= len(m.Queue) && m.Queue[n-1] == Entry{A: a, P: p}
+}
+
+// ApplyBrcv performs brcv(a)_{p,q}, erroring if disabled.
+func (m *Machine) ApplyBrcv(a types.Value, p, q types.ProcID) error {
+	if !m.BrcvEnabled(a, p, q) {
+		return fmt.Errorf("tomachine: brcv(%q)_{%v,%v} not enabled: next[%v]=%d queue len %d",
+			string(a), p, q, q, m.Next[q], len(m.Queue))
+	}
+	m.Next[q]++
+	return nil
+}
+
+// Delivered returns the prefix of the queue already delivered at q.
+func (m *Machine) Delivered(q types.ProcID) []Entry {
+	return m.Queue[:m.Next[q]-1]
+}
+
+// CheckInvariants verifies the machine's basic structural invariants:
+// next pointers stay within queue bounds.
+func (m *Machine) CheckInvariants() error {
+	for _, p := range m.procs.Members() {
+		if n := m.Next[p]; n < 1 || n > len(m.Queue)+1 {
+			return fmt.Errorf("tomachine: next[%v]=%d out of range 1..%d", p, n, len(m.Queue)+1)
+		}
+	}
+	return nil
+}
+
+// Auto adapts Machine to the ioa framework.
+type Auto struct {
+	M *Machine
+}
+
+// NewAuto wraps a fresh machine over procs.
+func NewAuto(procs types.ProcSet) *Auto { return &Auto{M: New(procs)} }
+
+// Name returns "TO-machine".
+func (a *Auto) Name() string { return "TO-machine" }
+
+// Classify implements the signature of Figure 3.
+func (a *Auto) Classify(act ioa.Action) ioa.Kind {
+	switch act.(type) {
+	case Bcast:
+		return ioa.Input
+	case Brcv:
+		return ioa.Output
+	case ToOrder:
+		return ioa.Internal
+	default:
+		return ioa.NotInSignature
+	}
+}
+
+// Input applies an input action.
+func (a *Auto) Input(act ioa.Action) {
+	b, ok := act.(Bcast)
+	if !ok {
+		panic(fmt.Sprintf("tomachine: unexpected input %v", act))
+	}
+	a.M.ApplyBcast(b.A, b.P)
+}
+
+// Enabled enumerates the enabled to-order and brcv actions.
+func (a *Auto) Enabled(buf []ioa.Action) []ioa.Action {
+	for _, p := range a.M.procs.Members() {
+		if pend := a.M.Pending[p]; len(pend) > 0 {
+			buf = append(buf, ToOrder{A: pend[0], P: p})
+		}
+		if n := a.M.Next[p]; n <= len(a.M.Queue) {
+			e := a.M.Queue[n-1]
+			buf = append(buf, Brcv{A: e.A, P: e.P, Q: p})
+		}
+	}
+	return buf
+}
+
+// Perform applies a locally controlled action.
+func (a *Auto) Perform(act ioa.Action) {
+	var err error
+	switch t := act.(type) {
+	case ToOrder:
+		err = a.M.ApplyToOrder(t.A, t.P)
+	case Brcv:
+		err = a.M.ApplyBrcv(t.A, t.P, t.Q)
+	default:
+		err = fmt.Errorf("tomachine: unexpected locally controlled action %v", act)
+	}
+	if err != nil {
+		panic(err) // the executor only performs actions it was told are enabled
+	}
+}
+
+// CheckInvariants defers to the machine.
+func (a *Auto) CheckInvariants() error { return a.M.CheckInvariants() }

@@ -1,0 +1,173 @@
+package tomachine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/types"
+)
+
+func TestBcastToOrderBrcvFlow(t *testing.T) {
+	m := New(types.RangeProcSet(2))
+	m.ApplyBcast("a", 0)
+	m.ApplyBcast("b", 0)
+
+	if !m.ToOrderEnabled("a", 0) {
+		t.Fatal("to-order of head not enabled")
+	}
+	if m.ToOrderEnabled("b", 0) {
+		t.Fatal("to-order of non-head enabled")
+	}
+	if err := m.ApplyToOrder("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ApplyToOrder("b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Queue) != 2 || m.Queue[0] != (Entry{A: "a", P: 0}) {
+		t.Fatalf("queue = %v", m.Queue)
+	}
+
+	// Deliveries follow the queue in order, per processor.
+	if !m.BrcvEnabled("a", 0, 1) {
+		t.Fatal("first delivery not enabled")
+	}
+	if m.BrcvEnabled("b", 0, 1) {
+		t.Fatal("out-of-order delivery enabled")
+	}
+	if err := m.ApplyBrcv("a", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ApplyBrcv("b", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ApplyBrcv("a", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Delivered(1); len(got) != 2 {
+		t.Fatalf("Delivered(1) = %v", got)
+	}
+	if got := m.Delivered(0); len(got) != 1 {
+		t.Fatalf("Delivered(0) = %v", got)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisabledActionsError(t *testing.T) {
+	m := New(types.RangeProcSet(2))
+	if err := m.ApplyToOrder("x", 0); err == nil {
+		t.Error("to-order with empty pending succeeded")
+	}
+	if err := m.ApplyBrcv("x", 0, 1); err == nil {
+		t.Error("brcv with empty queue succeeded")
+	}
+	m.ApplyBcast("x", 0)
+	if err := m.ApplyToOrder("y", 0); err == nil {
+		t.Error("to-order of wrong value succeeded")
+	}
+}
+
+func TestPerSenderFIFO(t *testing.T) {
+	m := New(types.RangeProcSet(2))
+	m.ApplyBcast("first", 1)
+	m.ApplyBcast("second", 1)
+	if m.ToOrderEnabled("second", 1) {
+		t.Fatal("second value orderable before first")
+	}
+	if err := m.ApplyToOrder("first", 1); err != nil {
+		t.Fatal(err)
+	}
+	if !m.ToOrderEnabled("second", 1) {
+		t.Fatal("second value not orderable after first")
+	}
+}
+
+// TestAutoRandomExecution drives the ioa adapter with random clients and
+// verifies the fundamental TO trace properties on the external trace.
+func TestAutoRandomExecution(t *testing.T) {
+	const n = 3
+	auto := NewAuto(types.RangeProcSet(n))
+	exec := ioa.NewExecutor(5, auto)
+	var counter int
+	exec.SetEnvironment(ioa.EnvironmentFunc(func(rng *rand.Rand) ioa.Action {
+		counter++
+		return Bcast{A: types.Value(fmt.Sprintf("v%d", counter)), P: types.ProcID(rng.Intn(n))}
+	}))
+	if err := exec.Run(3000); err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct per-processor delivery sequences; they must be prefixes
+	// of one another (one total order) and each sender's values must be
+	// delivered in submission order.
+	perProc := make(map[types.ProcID][]Brcv)
+	sent := make(map[types.ProcID][]types.Value)
+	for _, ev := range exec.Trace() {
+		switch a := ev.Act.(type) {
+		case Bcast:
+			sent[a.P] = append(sent[a.P], a.A)
+		case Brcv:
+			perProc[a.Q] = append(perProc[a.Q], a)
+		}
+	}
+	var longest []Brcv
+	for _, ds := range perProc {
+		if len(ds) > len(longest) {
+			longest = ds
+		}
+	}
+	for q, ds := range perProc {
+		for i := range ds {
+			if ds[i].A != longest[i].A || ds[i].P != longest[i].P {
+				t.Fatalf("%v's deliveries diverge at %d", q, i)
+			}
+		}
+	}
+	// Per-sender order within the common sequence.
+	idx := make(map[types.ProcID]int)
+	for _, d := range longest {
+		want := sent[d.P][idx[d.P]]
+		if d.A != want {
+			t.Fatalf("delivery %q from %v out of submission order (want %q)", string(d.A), d.P, string(want))
+		}
+		idx[d.P]++
+	}
+	if len(longest) == 0 {
+		t.Fatal("no deliveries in 3000 random steps")
+	}
+}
+
+func TestAutoClassify(t *testing.T) {
+	auto := NewAuto(types.RangeProcSet(2))
+	if auto.Classify(Bcast{A: "x", P: 0}) != ioa.Input {
+		t.Error("Bcast not input")
+	}
+	if auto.Classify(Brcv{A: "x", P: 0, Q: 1}) != ioa.Output {
+		t.Error("Brcv not output")
+	}
+	if auto.Classify(ToOrder{A: "x", P: 0}) != ioa.Internal {
+		t.Error("ToOrder not internal")
+	}
+	type other struct{ ioa.Action }
+	if auto.Classify(other{}) != ioa.NotInSignature {
+		t.Error("foreign action classified")
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	for _, c := range []struct {
+		act  ioa.Action
+		want string
+	}{
+		{Bcast{A: "x", P: 1}, `bcast("x")_p1`},
+		{Brcv{A: "x", P: 1, Q: 2}, `brcv("x")_{p1,p2}`},
+		{ToOrder{A: "x", P: 1}, `to-order("x",p1)`},
+	} {
+		if got := c.act.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package vsmachine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Clone returns a deep copy of the machine. Message values themselves are
+// not copied (they are immutable by the package's conventions).
+func (m *Machine) Clone() *Machine {
+	out := &Machine{
+		procs:         m.procs,
+		weak:          m.weak,
+		Created:       make(map[types.ViewID]types.View, len(m.Created)),
+		CurrentViewID: make(map[types.ProcID]types.ViewID, len(m.CurrentViewID)),
+		Queue:         make(map[types.ViewID][]Entry, len(m.Queue)),
+		pending:       make(map[pg][]Msg, len(m.pending)),
+		next:          make(map[pg]int, len(m.next)),
+		nextSafe:      make(map[pg]int, len(m.nextSafe)),
+	}
+	for k, v := range m.Created {
+		out.Created[k] = v
+	}
+	for k, v := range m.CurrentViewID {
+		out.CurrentViewID[k] = v
+	}
+	for k, v := range m.Queue {
+		out.Queue[k] = append([]Entry(nil), v...)
+	}
+	for k, v := range m.pending {
+		out.pending[k] = append([]Msg(nil), v...)
+	}
+	for k, v := range m.next {
+		out.next[k] = v
+	}
+	for k, v := range m.nextSafe {
+		out.nextSafe[k] = v
+	}
+	return out
+}
+
+// Fingerprint returns a canonical string identifying the machine state,
+// for use as a visited-set key in bounded exhaustive exploration. Message
+// values are rendered with %v; explorer configurations use small
+// comparable payloads (ints, strings), which render canonically.
+func (m *Machine) Fingerprint() string {
+	var b strings.Builder
+	b.WriteString("created:")
+	for _, id := range m.CreatedViewIDs() {
+		fmt.Fprintf(&b, "%v=%v;", id, m.Created[id].Set)
+	}
+	b.WriteString("|cur:")
+	for _, p := range m.procs.Members() {
+		fmt.Fprintf(&b, "%v;", m.CurrentViewID[p])
+	}
+	b.WriteString("|queues:")
+	for _, g := range sortedViewIDs(m.Queue) {
+		fmt.Fprintf(&b, "%v=[", g)
+		for _, e := range m.Queue[g] {
+			fmt.Fprintf(&b, "%v@%v,", e.M, e.P)
+		}
+		b.WriteString("];")
+	}
+	b.WriteString("|pending:")
+	for _, k := range sortedPGs(m.pending) {
+		if len(m.pending[k]) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%v/%v=%v;", k.P, k.G, m.pending[k])
+	}
+	b.WriteString("|next:")
+	for _, k := range sortedPGKeys(m.next) {
+		if m.next[k] != 1 {
+			fmt.Fprintf(&b, "%v/%v=%d;", k.P, k.G, m.next[k])
+		}
+	}
+	b.WriteString("|nextsafe:")
+	for _, k := range sortedPGKeys(m.nextSafe) {
+		if m.nextSafe[k] != 1 {
+			fmt.Fprintf(&b, "%v/%v=%d;", k.P, k.G, m.nextSafe[k])
+		}
+	}
+	return b.String()
+}
+
+func sortedViewIDs(m map[types.ViewID][]Entry) []types.ViewID {
+	ids := make([]types.ViewID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	return ids
+}
+
+func pgLess(a, b pg) bool {
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	return a.G.Less(b.G)
+}
+
+func sortedPGs(m map[pg][]Msg) []pg {
+	ks := make([]pg, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return pgLess(ks[i], ks[j]) })
+	return ks
+}
+
+func sortedPGKeys(m map[pg]int) []pg {
+	ks := make([]pg, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return pgLess(ks[i], ks[j]) })
+	return ks
+}

@@ -1,0 +1,224 @@
+package vsmachine
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// populate drives a machine into a nontrivial state.
+func populate(t *testing.T, m *Machine) {
+	t.Helper()
+	g := types.G0()
+	m.ApplyGpsnd("m1", 0)
+	m.ApplyGpsnd("m2", 0)
+	if err := m.ApplyVSOrder("m1", 0, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ApplyGprcv("m1", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ApplyGprcv("m1", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ApplySafe("m1", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ApplyCreateview(v(2, 1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsDeepAndEquivalent(t *testing.T) {
+	m := New(types.RangeProcSet(2), types.RangeProcSet(2))
+	populate(t, m)
+	c := m.Clone()
+	if m.Fingerprint() != c.Fingerprint() {
+		t.Fatalf("clone fingerprint differs:\n%s\nvs\n%s", m.Fingerprint(), c.Fingerprint())
+	}
+	// Mutating the clone must not affect the original.
+	c.ApplyGpsnd("extra", 1)
+	if err := c.ApplyNewview(v(2, 1, 0, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Fingerprint() == c.Fingerprint() {
+		t.Fatal("mutating the clone changed nothing observable")
+	}
+	if m.CurrentViewID[1] != types.G0() {
+		t.Fatal("clone mutation leaked into the original")
+	}
+	if len(m.Pending(1, types.G0())) != 0 {
+		t.Fatal("clone gpsnd leaked into the original's pending")
+	}
+}
+
+func TestFingerprintDistinguishesStates(t *testing.T) {
+	base := func() *Machine { return New(types.RangeProcSet(2), types.RangeProcSet(2)) }
+	a := base()
+	variants := []func(*Machine){
+		func(m *Machine) { m.ApplyGpsnd("x", 0) },
+		func(m *Machine) {
+			m.ApplyGpsnd("x", 0)
+			if err := m.ApplyVSOrder("x", 0, types.G0()); err != nil {
+				panic(err)
+			}
+		},
+		func(m *Machine) {
+			if err := m.ApplyCreateview(v(2, 0, 0, 1)); err != nil {
+				panic(err)
+			}
+		},
+		func(m *Machine) {
+			if err := m.ApplyCreateview(v(2, 0, 0, 1)); err != nil {
+				panic(err)
+			}
+			if err := m.ApplyNewview(v(2, 0, 0, 1), 0); err != nil {
+				panic(err)
+			}
+		},
+	}
+	seen := map[string]int{a.Fingerprint(): -1}
+	for i, mutate := range variants {
+		m := base()
+		mutate(m)
+		fp := m.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("variants %d and %d share a fingerprint", prev, i)
+		}
+		seen[fp] = i
+	}
+}
+
+func TestFingerprintCanonicalAcrossInsertionOrder(t *testing.T) {
+	// Two machines reaching the same state through different map insertion
+	// orders must fingerprint identically.
+	a := New(types.RangeProcSet(3), types.RangeProcSet(3))
+	b := New(types.RangeProcSet(3), types.RangeProcSet(3))
+	a.ApplyGpsnd("m", 0)
+	a.ApplyGpsnd("n", 2)
+	b.ApplyGpsnd("n", 2)
+	b.ApplyGpsnd("m", 0)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint depends on insertion order")
+	}
+}
+
+// --- GapMachine direct tests ----------------------------------------------
+
+func gapFixture(t *testing.T) *GapMachine {
+	t.Helper()
+	m := NewGap(types.RangeProcSet(2), types.RangeProcSet(2))
+	g := types.G0()
+	for _, msg := range []string{"a", "b", "c"} {
+		m.ApplyGpsnd(msg, 0)
+		if err := m.ApplyVSOrder(msg, 0, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestGapDeliveryAllowsSkips(t *testing.T) {
+	m := gapFixture(t)
+	if !m.GprcvAtEnabled(0, 2) {
+		t.Fatal("skip-ahead delivery not enabled")
+	}
+	e, err := m.ApplyGprcvAt(0, 2) // skip "a", take "b"
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.M != "b" {
+		t.Fatalf("delivered %v, want b", e.M)
+	}
+	// The skipped index is gone for good.
+	if m.GprcvAtEnabled(0, 1) {
+		t.Fatal("skipped index deliverable again")
+	}
+	// Beyond the queue is disabled.
+	if m.GprcvAtEnabled(0, 4) {
+		t.Fatal("past-end delivery enabled")
+	}
+	if _, err := m.ApplyGprcvAt(0, 1); err == nil {
+		t.Fatal("ApplyGprcvAt on skipped index succeeded")
+	}
+}
+
+func TestGapSafeRequiresContiguousPrefixEverywhere(t *testing.T) {
+	m := gapFixture(t)
+	// p0 receives 1 then 3 (skipping 2); p1 receives 1, 2, 3.
+	mustAt(t, m, 0, 1)
+	mustAt(t, m, 0, 3)
+	mustAt(t, m, 1, 1)
+	mustAt(t, m, 1, 2)
+	mustAt(t, m, 1, 3)
+	// Index 1 is contiguous at both: safe.
+	if !m.SafeAtEnabled(1, 1) {
+		t.Fatal("safe(1) not enabled")
+	}
+	if _, err := m.ApplySafeAt(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Index 2 was skipped at p0: its contiguous prefix froze at 1, so
+	// safe(2) can never fire.
+	if m.SafeAtEnabled(1, 2) {
+		t.Fatal("safe(2) enabled despite p0's gap")
+	}
+	// Safe must proceed in order: even if 2 were fine, 3 cannot come first.
+	if m.SafeAtEnabled(1, 3) {
+		t.Fatal("out-of-order safe enabled")
+	}
+	if _, err := m.ApplySafeAt(0, 2); err == nil {
+		t.Fatal("ApplySafeAt on gapped prefix succeeded")
+	}
+}
+
+func TestGapPerSenderGapFreeRestriction(t *testing.T) {
+	m := gapFixture(t) // three messages, all from p0
+	m.PerSenderGapFree = true
+	// Skipping within the same sender is forbidden: index 2 would skip
+	// index 1 from the same sender.
+	if m.GprcvAtEnabled(0, 2) {
+		t.Fatal("same-sender skip enabled in PerSenderGapFree mode")
+	}
+	mustAt(t, m, 0, 1)
+	if !m.GprcvAtEnabled(0, 2) {
+		t.Fatal("in-order delivery blocked")
+	}
+	// Mixed senders: add a message from p1, then skipping p0's message to
+	// reach p1's is allowed, but p0 is then dead to this receiver.
+	m2 := NewGap(types.RangeProcSet(2), types.RangeProcSet(2))
+	m2.PerSenderGapFree = true
+	g := types.G0()
+	m2.ApplyGpsnd("a0", 0)
+	m2.ApplyGpsnd("b0", 0)
+	m2.ApplyGpsnd("a1", 1)
+	for _, msg := range []struct {
+		m Msg
+		p types.ProcID
+	}{{"a0", 0}, {"b0", 0}, {"a1", 1}} {
+		if err := m2.ApplyVSOrder(msg.m, msg.p, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m2.GprcvAtEnabled(0, 3) {
+		t.Fatal("cross-sender skip not enabled")
+	}
+	if _, err := m2.ApplyGprcvAt(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	// p0's sender was skipped; nothing more from p0 may be delivered here.
+	m2.ApplyGpsnd("c0", 0)
+	if err := m2.ApplyVSOrder("c0", 0, g); err != nil {
+		t.Fatal(err)
+	}
+	if m2.GprcvAtEnabled(0, 4) {
+		t.Fatal("delivery from a skipped sender enabled")
+	}
+}
+
+func mustAt(t *testing.T, m *GapMachine, q types.ProcID, k int) {
+	t.Helper()
+	if _, err := m.ApplyGprcvAt(q, k); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package stack
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/failures"
+	"repro/internal/props"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// TestSoakRandomFaults is the long randomized end-to-end burn-in: many
+// seeds, continuous traffic, and an adversarial fault schedule (partitions,
+// crashes, ugly links, heals) over tens of simulated seconds, with full VS
+// and TO trace conformance checked on every run. Gated behind -short.
+func TestSoakRandomFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			soakRun(t, seed)
+		})
+	}
+}
+
+func soakRun(t *testing.T, seed int64) {
+	n := 3 + int(seed)%4 // 3..6 nodes
+	wire := seed%2 == 0  // alternate wire mode for coverage
+	c := NewCluster(Options{Seed: seed, N: n, Delta: time.Millisecond, Wire: wire})
+	rng := rand.New(rand.NewSource(seed * 101))
+
+	// Traffic: a value every 20–60ms from a random node, until the chaos
+	// window closes (the tail must be quiet for the completeness check).
+	const chaosEnd = 12 * time.Second
+	msgs := 0
+	var load func()
+	load = func() {
+		if c.Sim.Now() > sim.Time(chaosEnd) {
+			return
+		}
+		defer c.Sim.After(time.Duration(20+rng.Intn(40))*time.Millisecond, load)
+		msgs++
+		c.Bcast(types.ProcID(rng.Intn(n)), types.Value(fmt.Sprintf("s%d", msgs)))
+	}
+	c.Sim.After(10*time.Millisecond, load)
+
+	// Fault schedule: every 200–500ms, one of partition / crash / ugly /
+	// heal.
+	var chaos func()
+	chaos = func() {
+		if c.Sim.Now() > sim.Time(chaosEnd) {
+			return
+		}
+		defer c.Sim.After(time.Duration(200+rng.Intn(300))*time.Millisecond, chaos)
+		switch rng.Intn(4) {
+		case 0:
+			cut := 1 + rng.Intn(n-1)
+			perm := rng.Perm(n)
+			var left, right []types.ProcID
+			for i, idx := range perm {
+				if i < cut {
+					left = append(left, types.ProcID(idx))
+				} else {
+					right = append(right, types.ProcID(idx))
+				}
+			}
+			c.Oracle.Partition(c.Procs, types.NewProcSet(left...), types.NewProcSet(right...))
+		case 1:
+			p := types.ProcID(rng.Intn(n))
+			c.Oracle.SetProc(p, failures.Bad)
+			for _, q := range c.Procs.Members() {
+				if q != p {
+					c.Oracle.SetChannel(p, q, failures.Bad)
+					c.Oracle.SetChannel(q, p, failures.Bad)
+				}
+			}
+		case 2:
+			for i := 0; i < 4; i++ {
+				a, b := types.ProcID(rng.Intn(n)), types.ProcID(rng.Intn(n))
+				if a != b {
+					c.Oracle.SetChannel(a, b, failures.Ugly)
+				}
+			}
+		case 3:
+			c.Oracle.Heal(c.Procs)
+		}
+	}
+	c.Sim.After(150*time.Millisecond, chaos)
+
+	// Final heal and a long quiet tail so the run ends settled.
+	c.Sim.After(chaosEnd+time.Millisecond, func() { c.Oracle.Heal(c.Procs) })
+	if err := c.Sim.Run(sim.Time(18 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full conformance of both layers.
+	vck := check.NewVSChecker(c.Procs, c.Procs)
+	tck := check.NewTOChecker()
+	for _, e := range c.Log.Events {
+		var err error
+		switch e.Kind {
+		case props.VSNewview:
+			err = vck.Newview(e.View, e.P)
+		case props.VSGpsnd:
+			err = vck.Gpsnd(e.Msg)
+		case props.VSGprcv:
+			err = vck.Gprcv(e.Msg, e.P)
+		case props.VSSafe:
+			err = vck.Safe(e.Msg, e.P)
+		case props.TOBcast:
+			tck.Bcast(e.Value, e.P)
+		case props.TOBrcv:
+			err = tck.Brcv(e.Value, e.From, e.P)
+		}
+		if err != nil {
+			t.Fatalf("conformance violation (wire=%t): %v\nevent: %v", wire, err, e)
+		}
+	}
+	// After the final heal everything ever submitted is delivered
+	// everywhere (TO-property clause b over the whole history).
+	for _, p := range c.Procs.Members() {
+		if got := len(c.Deliveries(p)); got != msgs {
+			t.Errorf("%v delivered %d of %d after the final heal", p, got, msgs)
+		}
+	}
+	t.Logf("soak seed %d: n=%d wire=%t msgs=%d VS events=%d", seed, n, wire, msgs, vck.Events())
+}

@@ -1,0 +1,295 @@
+// Package stack composes the VStoTO algorithm over the VS implementation
+// into the paper's TO service (the dashed box of Figure 1): one TO endpoint
+// per processor, each wiring a vstoto.Proc to a vsimpl.Node and running the
+// algorithm's locally controlled actions eagerly — the timed model's "good
+// processors take enabled steps with no time delay".
+package stack
+
+import (
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/failures"
+	"repro/internal/net"
+	"repro/internal/props"
+	"repro/internal/sim"
+	"repro/internal/types"
+	"repro/internal/vsimpl"
+	"repro/internal/vstoto"
+)
+
+// Delivery is one totally ordered delivery to the client at a node.
+type Delivery struct {
+	From  types.ProcID
+	Value types.Value
+	Time  sim.Time
+}
+
+// Node is one processor's TO endpoint.
+type Node struct {
+	id    types.ProcID
+	sim   *sim.Sim
+	orc   *failures.Oracle
+	proc  *vstoto.Proc
+	vs    *vsimpl.Node
+	log   *props.Log
+	onRcv []func(Delivery)
+
+	bcastSeq   int        // per-origin submission counter for the log
+	deliveries []Delivery // everything delivered here, in order
+}
+
+// Cluster is a full TO service instance on a simulator: the network, the
+// failure oracle, and one Node per processor.
+type Cluster struct {
+	Sim    *sim.Sim
+	Oracle *failures.Oracle
+	Net    *net.Network
+	Log    *props.Log
+	Procs  types.ProcSet
+	Cfg    vsimpl.Config
+	nodes  map[types.ProcID]*Node
+}
+
+// Options configures NewCluster.
+type Options struct {
+	Seed    int64
+	N       int
+	P0Size  int // processors initially in the group (default: all)
+	Delta   time.Duration
+	Jitter  bool
+	Quorums types.QuorumSystem // default: majorities of the universe
+	// Pi and Mu override the derived defaults when non-zero.
+	Pi, Mu time.Duration
+	// Wire, when true, serializes every payload crossing the network
+	// through the binary wire codec and back, so no pointer survives a
+	// hop (a realism/honesty mode; slightly slower).
+	Wire bool
+	// CollectWait overrides the membership collection window (see
+	// vsimpl.Config.CollectWait); used by the E9 ablation.
+	CollectWait time.Duration
+	// OneRound selects the one-round membership protocol of footnote 7
+	// (see vsimpl.Config.OneRound); used by experiment E10.
+	OneRound bool
+	// NoTokenCompaction disables token compaction (see
+	// vsimpl.Config.NoTokenCompaction); used by the E11 ablation.
+	NoTokenCompaction bool
+	// OnDeliver, when non-nil, observes every delivery at every node.
+	OnDeliver func(p types.ProcID, d Delivery)
+}
+
+// NewCluster builds and starts a TO service instance.
+func NewCluster(opts Options) *Cluster {
+	if opts.N <= 0 {
+		panic("stack: N must be positive")
+	}
+	if opts.Delta <= 0 {
+		opts.Delta = time.Millisecond
+	}
+	if opts.P0Size <= 0 || opts.P0Size > opts.N {
+		opts.P0Size = opts.N
+	}
+	s := sim.New(opts.Seed)
+	oracle := failures.NewOracle(s.Now)
+	netCfg := net.Config{Delta: opts.Delta, Jitter: opts.Jitter, UglyLossProb: 0.5, UglyMaxDelayFactor: 10}
+	if opts.Wire {
+		netCfg.Transcode = codec.Roundtrip
+	}
+	nw := net.New(s, oracle, netCfg)
+	procs := types.RangeProcSet(opts.N)
+	p0 := types.NewProcSet(procs.Members()[:opts.P0Size]...)
+	qs := opts.Quorums
+	if qs == nil {
+		qs = types.Majorities{Universe: procs}
+	}
+	cfg := vsimpl.DefaultConfig(opts.Delta, opts.N)
+	if opts.Pi > 0 {
+		cfg.Pi = opts.Pi
+	}
+	if opts.Mu > 0 {
+		cfg.Mu = opts.Mu
+	}
+	if opts.CollectWait > 0 {
+		cfg.CollectWait = opts.CollectWait
+	}
+	cfg.OneRound = opts.OneRound
+	cfg.NoTokenCompaction = opts.NoTokenCompaction
+	c := &Cluster{
+		Sim: s, Oracle: oracle, Net: nw,
+		Log:   &props.Log{},
+		Procs: procs,
+		Cfg:   cfg,
+		nodes: make(map[types.ProcID]*Node, opts.N),
+	}
+	for _, p := range procs.Members() {
+		node := &Node{
+			id:   p,
+			sim:  s,
+			orc:  oracle,
+			proc: vstoto.NewProc(p, qs, p0),
+			log:  c.Log,
+		}
+		if opts.OnDeliver != nil {
+			p := p
+			node.onRcv = append(node.onRcv, func(d Delivery) { opts.OnDeliver(p, d) })
+		}
+		node.vs = vsimpl.NewNode(p, procs, p0, s, nw, oracle, cfg, vsimpl.Handlers{
+			Newview: node.onNewview,
+			Gprcv:   node.onGprcv,
+			Safe:    node.onSafe,
+		})
+		node.vs.Log = c.Log
+		c.nodes[p] = node
+	}
+	for _, p := range procs.Members() {
+		c.nodes[p].vs.Start()
+	}
+	// A processor that recovers (bad → good) immediately resumes its
+	// enabled steps, per the timed model.
+	oracle.Watch(func(e failures.Event) {
+		if !e.Channel && e.Status == failures.Good {
+			if node, ok := c.nodes[e.Proc]; ok {
+				s.Defer(node.drain)
+			}
+		}
+	})
+	return c
+}
+
+// Node returns the endpoint for processor p.
+func (c *Cluster) Node(p types.ProcID) *Node { return c.nodes[p] }
+
+// OnDeliver registers an observer invoked on every delivery at every node,
+// in delivery order. Observers added after deliveries have occurred see
+// only subsequent ones.
+func (c *Cluster) OnDeliver(fn func(p types.ProcID, d Delivery)) {
+	for _, p := range c.Procs.Members() {
+		p := p
+		c.nodes[p].onRcv = append(c.nodes[p].onRcv, func(d Delivery) { fn(p, d) })
+	}
+}
+
+// Bcast submits a client value at processor p.
+func (c *Cluster) Bcast(p types.ProcID, a types.Value) { c.nodes[p].Bcast(a) }
+
+// Deliveries returns everything delivered at p so far, in order.
+func (c *Cluster) Deliveries(p types.ProcID) []Delivery { return c.nodes[p].deliveries }
+
+// ID returns the node's processor identifier.
+func (n *Node) ID() types.ProcID { return n.id }
+
+// Proc exposes the underlying VStoTO automaton (read-only use: inspection
+// in tests and experiments).
+func (n *Node) Proc() *vstoto.Proc { return n.proc }
+
+// VS exposes the underlying VS endpoint.
+func (n *Node) VS() *vsimpl.Node { return n.vs }
+
+// Bcast is the client's bcast(a)_p input.
+func (n *Node) Bcast(a types.Value) {
+	n.bcastSeq++
+	if n.log != nil {
+		n.log.Append(props.Event{
+			T: n.sim.Now(), Kind: props.TOBcast, P: n.id, Value: a, ValueSeq: n.bcastSeq,
+		})
+	}
+	n.proc.Bcast(a)
+	n.drain()
+}
+
+// Deliveries returns everything delivered at this node, in order.
+func (n *Node) Deliveries() []Delivery { return n.deliveries }
+
+func (n *Node) onNewview(v types.View) {
+	n.proc.Newview(v)
+	n.drain()
+}
+
+func (n *Node) onGprcv(from types.ProcID, payload any) {
+	switch m := payload.(type) {
+	case vstoto.LabeledValue:
+		n.proc.GprcvValue(m)
+	case *vstoto.Summary:
+		n.proc.GprcvSummary(from, m)
+	default:
+		panic("stack: unexpected VS payload")
+	}
+	n.drain()
+}
+
+func (n *Node) onSafe(from types.ProcID, payload any) {
+	switch m := payload.(type) {
+	case vstoto.LabeledValue:
+		n.proc.SafeValue(m)
+	case *vstoto.Summary:
+		n.proc.SafeSummary(from)
+	default:
+		panic("stack: unexpected VS payload")
+	}
+	n.drain()
+}
+
+// drain runs every enabled locally controlled action to quiescence: label,
+// gpsnd (values and summaries), confirm, and brcv, interleaved in a fixed
+// order. A stopped processor takes no steps; its inputs have already
+// mutated state, which models the paper's assumption that crashes suspend
+// progress but preserve state.
+func (n *Node) drain() {
+	if n.orc.Proc(n.id) == failures.Bad {
+		return
+	}
+	for {
+		progress := false
+		if _, ok := n.proc.LabelEnabled(); ok {
+			n.proc.Label()
+			progress = true
+		}
+		if n.proc.GpsndSummaryEnabled() {
+			n.vs.Gpsnd(n.proc.GpsndSummary())
+			progress = true
+		}
+		if _, ok := n.proc.GpsndValueEnabled(); ok {
+			n.vs.Gpsnd(n.proc.GpsndValue())
+			progress = true
+		}
+		if n.proc.ConfirmEnabled() {
+			n.proc.Confirm()
+			progress = true
+		}
+		if from, a, ok := n.proc.BrcvEnabled(); ok {
+			reportIdx := n.proc.NextReport // 1-based position about to be consumed
+			n.proc.Brcv()
+			d := Delivery{From: from, Value: a, Time: n.sim.Now()}
+			n.deliveries = append(n.deliveries, d)
+			if n.log != nil {
+				n.log.Append(props.Event{
+					T: n.sim.Now(), Kind: props.TOBrcv, P: n.id, From: from,
+					Value: a, ValueSeq: n.originSeq(reportIdx, from),
+				})
+			}
+			for _, fn := range n.onRcv {
+				fn(d)
+			}
+			progress = true
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// originSeq computes the per-origin submission index of the delivered
+// value: among the labels in this node's order up to and including
+// position idx, the count from the same origin. Because TO delivers each
+// origin's values in submission order with no gaps, this equals the
+// origin's bcast sequence number — giving the log the identity it needs to
+// match brcv events with bcast events.
+func (n *Node) originSeq(idx int, origin types.ProcID) int {
+	count := 0
+	for i := 0; i < idx && i < len(n.proc.Order); i++ {
+		if n.proc.Order[i].Origin == origin {
+			count++
+		}
+	}
+	return count
+}

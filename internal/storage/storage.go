@@ -1,0 +1,68 @@
+// Package storage simulates stable storage with a configurable write
+// latency. The paper's introduction contrasts VStoTO with the algorithms
+// of Keidar and Dolev, which "write the message to stable storage before it
+// is ordered or acknowledged", trading latency for crash tolerance; this
+// package provides the latency-bearing log that the baseline protocol
+// writes through, so experiment E5 can expose exactly that trade.
+package storage
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Stable is a simulated stable-storage log. Writes complete after a fixed
+// latency; at most one write is in flight at a time (a single log device),
+// with further writes queuing behind it.
+type Stable struct {
+	sim     *sim.Sim
+	latency time.Duration
+
+	busy    bool
+	queue   []func()
+	writes  int
+	maxQLen int
+}
+
+// New creates a log device with the given write latency.
+func New(s *sim.Sim, latency time.Duration) *Stable {
+	return &Stable{sim: s, latency: latency}
+}
+
+// Latency returns the configured write latency.
+func (st *Stable) Latency() time.Duration { return st.latency }
+
+// Writes returns the number of completed writes.
+func (st *Stable) Writes() int { return st.writes }
+
+// MaxQueue returns the deepest write queue observed.
+func (st *Stable) MaxQueue() int { return st.maxQLen }
+
+// Write persists an entry and calls done when the write is stable. A zero
+// latency completes on a deferred event (still asynchronous, preserving
+// ordering).
+func (st *Stable) Write(done func()) {
+	st.queue = append(st.queue, done)
+	if len(st.queue) > st.maxQLen {
+		st.maxQLen = len(st.queue)
+	}
+	if !st.busy {
+		st.startNext()
+	}
+}
+
+func (st *Stable) startNext() {
+	if len(st.queue) == 0 {
+		st.busy = false
+		return
+	}
+	st.busy = true
+	done := st.queue[0]
+	st.queue = st.queue[1:]
+	st.sim.After(st.latency, func() {
+		st.writes++
+		done()
+		st.startNext()
+	})
+}

@@ -1,0 +1,98 @@
+// Package timeline renders a recorded timed trace as a per-processor text
+// timeline: one column per processor, one row per time bucket, with marks
+// for view changes, sends, deliveries, safe indications and client events.
+// The timeline command is a thin wrapper around Render.
+package timeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/props"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Render produces the timeline text for a log.
+func Render(log *props.Log, bucket time.Duration) string {
+	procs := map[types.ProcID]bool{}
+	for p := range log.Initial {
+		procs[p] = true
+	}
+	var end sim.Time
+	for _, e := range log.Events {
+		procs[e.P] = true
+		if e.T > end {
+			end = e.T
+		}
+	}
+	var ids []types.ProcID
+	for p := range procs {
+		ids = append(ids, p)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	col := map[types.ProcID]int{}
+	for i, p := range ids {
+		col[p] = i
+	}
+
+	const width = 16
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("%-10s", "time"))
+	for _, p := range ids {
+		b.WriteString(fmt.Sprintf("%-*s", width, p.String()))
+	}
+	b.WriteByte('\n')
+
+	nBuckets := int(end.Duration()/bucket) + 1
+	cells := make([][]string, nBuckets)
+	for i := range cells {
+		cells[i] = make([]string, len(ids))
+	}
+	add := func(t sim.Time, p types.ProcID, mark string) {
+		i := int(t.Duration() / bucket)
+		c := &cells[i][col[p]]
+		if strings.Contains(*c, mark) && len(mark) == 1 {
+			return
+		}
+		if len(*c)+len(mark) <= width-2 {
+			*c += mark
+		}
+	}
+	for _, e := range log.Events {
+		switch e.Kind {
+		case props.VSNewview:
+			add(e.T, e.P, fmt.Sprintf("∇%v|%d ", e.View.ID, e.View.Set.Size()))
+		case props.VSGpsnd:
+			add(e.T, e.P, "s")
+		case props.VSGprcv:
+			add(e.T, e.P, "r")
+		case props.VSSafe:
+			add(e.T, e.P, "✓")
+		case props.TOBcast:
+			add(e.T, e.P, "B")
+		case props.TOBrcv:
+			add(e.T, e.P, "D")
+		}
+	}
+	for i, row := range cells {
+		empty := true
+		for _, c := range row {
+			if c != "" {
+				empty = false
+			}
+		}
+		if empty {
+			continue
+		}
+		b.WriteString(fmt.Sprintf("%-10s", time.Duration(i)*bucket))
+		for _, c := range row {
+			b.WriteString(fmt.Sprintf("%-*s", width, c))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("\nlegend: ∇g|n = newview (id, size), B bcast, D client delivery, s gpsnd, r gprcv, ✓ safe\n")
+	return b.String()
+}

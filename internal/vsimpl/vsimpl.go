@@ -1,0 +1,578 @@
+// Package vsimpl implements the VS service sketched in Section 8: the
+// Cristian–Schmuck-style membership protocol of package membership holds a
+// view together with a circulating token that carries the per-view message
+// sequence and per-member delivery counts.
+//
+// Once a view is installed, a deterministically chosen leader (the minimum
+// member) launches a token around the logical ring of members, spacing
+// launches by π. Each member, when the token passes: appends its buffered
+// client messages to the token's sequence, delivers (gprcv) every message
+// of the sequence it has not yet delivered, records its delivery count in
+// the token, and emits safe events for the prefix of the sequence that
+// every member's recorded count covers. A member that sees no token
+// activity for the timeout π + (n+3)δ initiates a view change, as does a
+// member contacted by a processor outside its membership (probes are sent
+// to non-members every μ).
+//
+// Under the physical assumptions of Section 8 (good processors act
+// immediately, good channels deliver within δ) this implements
+// VS(b, d, Q) with b = 9δ + max{π + (n+3)δ, μ} and d = 2π + nδ, which
+// experiment E4 measures.
+package vsimpl
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/failures"
+	"repro/internal/membership"
+	"repro/internal/net"
+	"repro/internal/props"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Config holds the protocol's timing parameters.
+type Config struct {
+	// Delta is δ, the good-channel delivery bound (must match the network).
+	Delta time.Duration
+	// Pi is π, the spacing of token launches by the ring leader; the
+	// analysis requires π > nδ.
+	Pi time.Duration
+	// Mu is μ, the spacing of probes to processors outside the membership.
+	Mu time.Duration
+	// CollectWait overrides the membership collection window when positive.
+	// The default is 2.5δ: the accept round trip takes up to 2δ exactly,
+	// and windows at or below 2δ lose worst-case replies (the E9 ablation
+	// demonstrates the cliff).
+	CollectWait time.Duration
+	// OneRound switches membership to the one-round protocol of footnote
+	// 7: views are announced directly from a reachability estimate. Saves
+	// a round trip in the stable case, stabilizes more slowly after
+	// failures (experiment E10 quantifies the trade).
+	OneRound bool
+	// NoTokenCompaction disables dropping all-delivered entries from the
+	// circulating token (the E11 ablation: without compaction the token
+	// grows with the view's entire history).
+	NoTokenCompaction bool
+	// ReachWindow is the staleness horizon of the one-round reachability
+	// estimate (default 2μ).
+	ReachWindow time.Duration
+}
+
+// DefaultConfig derives π and μ from δ for an n-processor universe:
+// π = (n+2)δ (comfortably above the nδ requirement) and μ = 2π.
+func DefaultConfig(delta time.Duration, n int) Config {
+	pi := time.Duration(n+2) * delta
+	return Config{Delta: delta, Pi: pi, Mu: 2 * pi}
+}
+
+// TokenTimeout returns the token-loss detection bound π + (n+3)δ used by
+// the paper's analysis for a view of n members.
+func (c Config) TokenTimeout(n int) time.Duration {
+	return c.Pi + time.Duration(n+3)*c.Delta
+}
+
+// AnalyticB returns the paper's stabilization bound
+// b = 9δ + max{π + (n+3)δ, μ}.
+func (c Config) AnalyticB(n int) time.Duration {
+	detect := c.TokenTimeout(n)
+	if c.Mu > detect {
+		detect = c.Mu
+	}
+	return 9*c.Delta + detect
+}
+
+// AnalyticD returns the paper's delivery bound d = 2π + nδ, quoted from
+// the [19] analysis of the Section 8 protocol.
+func (c Config) AnalyticD(n int) time.Duration {
+	return 2*c.Pi + time.Duration(n)*c.Delta
+}
+
+// AnalyticDImpl returns the worst-case safe-latency bound for *this*
+// package's token discipline, d_impl = 3(π + nδ): a message can wait one
+// full token period for pickup, needs one rotation to reach every member,
+// and one more for the members' delivery counts to propagate back through
+// the token before safe can be announced everywhere. The paper quotes
+// d = 2π + nδ for the exact protocol of [19]; ours has the same linear
+// shape in π, n and δ with a larger constant, and measured values usually
+// fall between the two (experiment E4 reports both).
+func (c Config) AnalyticDImpl(n int) time.Duration {
+	return 3 * (c.Pi + time.Duration(n)*c.Delta)
+}
+
+// Handlers is the upward-facing VS interface: the events of Figure 6
+// delivered to the layer above (VStoTO in the paper's Figure 1).
+type Handlers struct {
+	Newview func(v types.View)
+	Gprcv   func(from types.ProcID, payload any)
+	Safe    func(from types.ProcID, payload any)
+}
+
+// TokenMsg is one entry of a token's per-view message sequence. Exported
+// so the wire codec can serialize tokens crossing the simulated network.
+type TokenMsg struct {
+	ID      check.MsgID
+	From    types.ProcID
+	Payload any
+}
+
+// TokenPkt is the circulating token.
+type TokenPkt struct {
+	View types.View
+	// Base is the number of leading entries of the view's total order
+	// compacted out of the token: Msgs[i] is the view's (Base+i+1)-th
+	// message. Entries may be dropped once every member's Delivered count
+	// covers them (they can never need re-delivery), which keeps the token
+	// bounded by the in-flight window instead of growing with the view's
+	// whole history. The E11 ablation measures the difference.
+	Base      int
+	Msgs      []TokenMsg // entries Base+1 .. Base+len(Msgs) of the total order
+	Delivered map[types.ProcID]int
+}
+
+// ProbePkt is the periodic contact attempt to non-members.
+type ProbePkt struct {
+	ViewID types.ViewID // sender's current view id (⊥ if none), for Observe
+}
+
+type bufMsg struct {
+	ID      check.MsgID
+	Payload any
+	View    types.ViewID
+}
+
+// Node is one processor's VS endpoint.
+type Node struct {
+	id       types.ProcID
+	universe types.ProcSet
+	sim      *sim.Sim
+	net      *net.Network
+	oracle   *failures.Oracle
+	cfg      Config
+	handlers Handlers
+	former   *membership.Former
+
+	// Log, when non-nil, records timed VS events for property evaluation
+	// and conformance checking.
+	Log *props.Log
+
+	cur     types.View
+	hasView bool
+
+	lastHeard map[types.ProcID]sim.Time
+
+	sendSeq int
+	buffer  []bufMsg
+
+	// Per-view delivery state.
+	seq        []TokenMsg // messages of the current view delivered here
+	safeSent   int        // prefix of seq for which safe was emitted
+	counts     map[types.ProcID]int
+	lastLaunch sim.Time
+	launchNo   int
+	tokenTimer *sim.Event
+	holdTimer  *sim.Event
+
+	stats Stats
+}
+
+// Stats counts node activity for the experiment reports.
+type Stats struct {
+	Sent        int
+	Delivered   int
+	SafeEmitted int
+	TokenHops   int
+	Timeouts    int
+	ProbesSent  int
+	// MaxTokenEntries is the largest token (entry count) this node handled.
+	MaxTokenEntries int
+}
+
+// NewNode creates the VS endpoint for processor id. Processors in p0 start
+// in the initial view ⟨g0, P0⟩; others start with no view. Call Start once
+// the whole system is wired.
+func NewNode(id types.ProcID, universe, p0 types.ProcSet, s *sim.Sim, nw *net.Network,
+	oracle *failures.Oracle, cfg Config, handlers Handlers) *Node {
+	if cfg.Pi <= 0 || cfg.Delta <= 0 || cfg.Mu <= 0 {
+		panic(fmt.Sprintf("vsimpl: non-positive timing parameter %+v", cfg))
+	}
+	n := &Node{
+		id:        id,
+		universe:  universe,
+		sim:       s,
+		net:       nw,
+		oracle:    oracle,
+		cfg:       cfg,
+		handlers:  handlers,
+		counts:    make(map[types.ProcID]int),
+		lastHeard: make(map[types.ProcID]sim.Time),
+	}
+	var initial types.View
+	if p0.Contains(id) {
+		initial = types.InitialView(p0)
+		n.cur = initial
+		n.hasView = true
+	}
+	// The accept round trip takes up to 2δ exactly; collect slightly longer
+	// so worst-case replies are not lost to event-ordering ties.
+	collectWait := cfg.CollectWait
+	if collectWait <= 0 {
+		collectWait = 2*cfg.Delta + cfg.Delta/2
+	}
+	n.former = membership.NewFormer(id, universe, s, nw, collectWait, initial, n.install)
+	// Hold off competing initiations for one full formation (call δ +
+	// collect + newview δ) plus slack.
+	n.former.HoldOff = collectWait + 4*cfg.Delta
+	if cfg.OneRound {
+		window := cfg.ReachWindow
+		if window <= 0 {
+			window = 2 * cfg.Mu
+		}
+		n.former.SetOneRound(func() types.ProcSet { return n.reachableWithin(window) })
+	}
+	nw.Register(id, n.receive)
+	return n
+}
+
+// reachableWithin returns the processors heard from within the window —
+// the one-round protocol's membership estimate.
+func (n *Node) reachableWithin(window time.Duration) types.ProcSet {
+	var ids []types.ProcID
+	now := n.sim.Now()
+	for p, at := range n.lastHeard {
+		if now.Sub(at) <= window {
+			ids = append(ids, p)
+		}
+	}
+	return types.NewProcSet(ids...)
+}
+
+// ID returns the processor identifier.
+func (n *Node) ID() types.ProcID { return n.id }
+
+// View returns the current view; ok is false while the view is ⊥.
+func (n *Node) View() (types.View, bool) { return n.cur, n.hasView }
+
+// Stats returns the activity counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// FormerStats returns the membership layer's counters.
+func (n *Node) FormerStats() membership.Stats { return n.former.Stats() }
+
+// Start arms the node's timers; in the initial view the leader launches
+// the first token immediately.
+func (n *Node) Start() {
+	if n.Log != nil && n.hasView {
+		n.Log.SetInitial(n.id, n.cur)
+	}
+	if n.hasView {
+		n.armTokenTimer()
+		if n.isLeader() {
+			n.launchToken()
+		}
+	} else {
+		// A processor outside P0 knows nothing; its probe/timeout machinery
+		// will pull it into a view.
+		n.tokenTimer = n.sim.After(n.cfg.TokenTimeout(n.universe.Size()), n.onTokenTimeout)
+	}
+	n.sim.After(n.cfg.Mu, n.probeTick)
+}
+
+// Gpsnd accepts a client message. Sent while the view is ⊥, the message is
+// ignored, exactly as VS-machine specifies.
+func (n *Node) Gpsnd(payload any) {
+	if n.down() {
+		return
+	}
+	if !n.hasView {
+		return
+	}
+	n.sendSeq++
+	n.stats.Sent++
+	id := check.MsgID{Sender: n.id, Seq: n.sendSeq}
+	n.buffer = append(n.buffer, bufMsg{ID: id, Payload: payload, View: n.cur.ID})
+	if n.Log != nil {
+		n.Log.Append(props.Event{T: n.sim.Now(), Kind: props.VSGpsnd, P: n.id, Msg: id})
+	}
+}
+
+// down reports whether this processor is currently stopped.
+func (n *Node) down() bool { return n.oracle.Proc(n.id) == failures.Bad }
+
+func (n *Node) isLeader() bool { return n.hasView && n.cur.Set.Min() == n.id }
+
+// install is the membership layer's callback: a new view takes effect.
+func (n *Node) install(v types.View) {
+	n.cur = v
+	n.hasView = true
+	n.seq = nil
+	n.safeSent = 0
+	n.counts = make(map[types.ProcID]int)
+	n.launchNo = 0
+	n.lastLaunch = 0
+	// Messages buffered for older views are dropped: VS delivers a message
+	// only in its sending view, and undelivered suffixes are permitted.
+	kept := n.buffer[:0]
+	for _, m := range n.buffer {
+		if m.View == v.ID {
+			kept = append(kept, m)
+		}
+	}
+	n.buffer = kept
+	if n.holdTimer != nil {
+		n.holdTimer.Cancel()
+		n.holdTimer = nil
+	}
+	if n.Log != nil {
+		n.Log.Append(props.Event{T: n.sim.Now(), Kind: props.VSNewview, P: n.id, View: v})
+	}
+	if n.handlers.Newview != nil {
+		n.handlers.Newview(v)
+	}
+	n.armTokenTimer()
+	if n.isLeader() {
+		n.launchToken()
+	}
+}
+
+// receive dispatches an incoming packet.
+func (n *Node) receive(pkt net.Packet) {
+	if n.down() {
+		return
+	}
+	n.lastHeard[pkt.From] = n.sim.Now()
+	switch p := pkt.Payload.(type) {
+	case membership.CallPkt:
+		n.former.HandleCall(pkt.From, p)
+	case membership.AcceptPkt:
+		n.former.HandleAccept(pkt.From, p)
+	case membership.NewviewPkt:
+		n.former.HandleNewview(p)
+	case *TokenPkt:
+		n.handleToken(p)
+	case ProbePkt:
+		n.former.Observe(p.ViewID)
+		n.handleProbe(pkt.From)
+	default:
+		panic(fmt.Sprintf("vsimpl: unexpected payload %T", pkt.Payload))
+	}
+}
+
+// handleProbe reacts to contact from a processor outside the current
+// membership: a new view is needed (Section 8's merge trigger).
+func (n *Node) handleProbe(from types.ProcID) {
+	if n.hasView && n.cur.Set.Contains(from) {
+		return // routine contact from a fellow member
+	}
+	n.former.Initiate()
+}
+
+// launchToken starts a fresh circulation of the token from the leader.
+func (n *Node) launchToken() {
+	if !n.isLeader() || n.down() {
+		return
+	}
+	n.launchNo++
+	n.lastLaunch = n.sim.Now()
+	tok := &TokenPkt{
+		View:      n.cur,
+		Msgs:      append([]TokenMsg(nil), n.seq...),
+		Delivered: copyCounts(n.counts),
+	}
+	n.compactToken(tok)
+	// A launch counts as token activity; in a singleton view it is the only
+	// activity, and must keep the loss detector quiet.
+	n.armTokenTimer()
+	n.mergeToken(tok)
+	n.forwardToken(tok)
+}
+
+func copyCounts(m map[types.ProcID]int) map[types.ProcID]int {
+	out := make(map[types.ProcID]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// handleToken processes a token arriving over the ring.
+func (n *Node) handleToken(tok *TokenPkt) {
+	if !n.hasView || tok.View.ID != n.cur.ID {
+		n.former.Observe(tok.View.ID)
+		return // stale token from a view we have left (or never joined)
+	}
+	n.stats.TokenHops++
+	n.armTokenTimer()
+	n.mergeToken(tok)
+	if n.isLeader() {
+		// The token is home: hold it and relaunch π after the previous
+		// launch (the paper's "spacing of token creation").
+		next := n.lastLaunch.Add(n.cfg.Pi)
+		if n.holdTimer != nil {
+			n.holdTimer.Cancel()
+		}
+		if next <= n.sim.Now() {
+			n.launchToken()
+		} else {
+			launch := n.launchNo
+			n.holdTimer = n.sim.At(next, func() {
+				if n.launchNo == launch { // no view change in between
+					n.launchToken()
+				}
+			})
+		}
+		return
+	}
+	n.forwardToken(tok)
+}
+
+// mergeToken appends this node's buffered messages to the token, delivers
+// everything not yet delivered here, updates counts, and emits safe events
+// for the all-members-delivered prefix.
+func (n *Node) mergeToken(tok *TokenPkt) {
+	// Pick up buffered client messages for this view.
+	for _, m := range n.buffer {
+		tok.Msgs = append(tok.Msgs, TokenMsg{ID: m.ID, From: n.id, Payload: m.Payload})
+	}
+	n.buffer = n.buffer[:0]
+	if len(tok.Msgs) > n.stats.MaxTokenEntries {
+		n.stats.MaxTokenEntries = len(tok.Msgs)
+	}
+	// Deliver the sequence suffix we have not delivered yet. Compaction
+	// guarantees Base ≤ every member's count ≤ len(n.seq), so the suffix
+	// beyond our count is always present in the token.
+	for i := len(n.seq) - tok.Base; i < len(tok.Msgs); i++ {
+		m := tok.Msgs[i]
+		n.seq = append(n.seq, m)
+		n.stats.Delivered++
+		if n.Log != nil {
+			n.Log.Append(props.Event{T: n.sim.Now(), Kind: props.VSGprcv, P: n.id, From: m.From, Msg: m.ID})
+		}
+		if n.handlers.Gprcv != nil {
+			n.handlers.Gprcv(m.From, m.Payload)
+		}
+	}
+	// Merge delivery counts (ours is now len(seq)).
+	for p, c := range tok.Delivered {
+		if c > n.counts[p] {
+			n.counts[p] = c
+		}
+	}
+	n.counts[n.id] = len(n.seq)
+	tok.Delivered = copyCounts(n.counts)
+	n.compactToken(tok)
+	// Safe prefix: every member's count covers it.
+	safeUpTo := len(n.seq)
+	for _, p := range n.cur.Set.Members() {
+		if c := n.counts[p]; c < safeUpTo {
+			safeUpTo = c
+		}
+	}
+	for ; n.safeSent < safeUpTo; n.safeSent++ {
+		m := n.seq[n.safeSent]
+		n.stats.SafeEmitted++
+		if n.Log != nil {
+			n.Log.Append(props.Event{T: n.sim.Now(), Kind: props.VSSafe, P: n.id, From: m.From, Msg: m.ID})
+		}
+		if n.handlers.Safe != nil {
+			n.handlers.Safe(m.From, m.Payload)
+		}
+	}
+}
+
+// compactToken drops token entries already delivered at every member of
+// the view (per the counts the token carries). Counts only grow, so a
+// conservative (stale) minimum is always safe.
+func (n *Node) compactToken(tok *TokenPkt) {
+	if n.cfg.NoTokenCompaction {
+		return
+	}
+	minCount := int(^uint(0) >> 1)
+	for _, p := range tok.View.Set.Members() {
+		if c := tok.Delivered[p]; c < minCount {
+			minCount = c
+		}
+	}
+	if minCount > tok.Base {
+		tok.Msgs = append([]TokenMsg(nil), tok.Msgs[minCount-tok.Base:]...)
+		tok.Base = minCount
+	}
+}
+
+// forwardToken sends the token to the next member around the ring.
+func (n *Node) forwardToken(tok *TokenPkt) {
+	members := n.cur.Set.Members()
+	if len(members) == 1 {
+		// Singleton view: the token never travels, so the homecoming path
+		// in handleToken never runs. Schedule the relaunch here, or the
+		// node would starve its own messages and churn on token timeouts.
+		if n.holdTimer != nil {
+			n.holdTimer.Cancel()
+		}
+		launch := n.launchNo
+		n.holdTimer = n.sim.At(n.lastLaunch.Add(n.cfg.Pi), func() {
+			if n.launchNo == launch {
+				n.launchToken()
+			}
+		})
+		return
+	}
+	next := members[0]
+	for i, p := range members {
+		if p == n.id {
+			next = members[(i+1)%len(members)]
+			break
+		}
+	}
+	n.net.Send(n.id, next, tok)
+}
+
+// armTokenTimer (re)arms token-loss detection.
+func (n *Node) armTokenTimer() {
+	if n.tokenTimer != nil {
+		n.tokenTimer.Cancel()
+	}
+	size := n.universe.Size()
+	if n.hasView {
+		size = n.cur.Set.Size()
+	}
+	n.tokenTimer = n.sim.After(n.cfg.TokenTimeout(size), n.onTokenTimeout)
+}
+
+func (n *Node) onTokenTimeout() {
+	if n.down() {
+		// A stopped processor keeps a timer armed so it reintegrates after
+		// recovery, but takes no action now.
+		n.armTokenTimer()
+		return
+	}
+	n.stats.Timeouts++
+	n.former.Initiate()
+	n.armTokenTimer()
+}
+
+// probeTick sends probes to processors outside the membership and re-arms.
+func (n *Node) probeTick() {
+	defer n.sim.After(n.cfg.Mu, n.probeTick)
+	if n.down() {
+		return
+	}
+	vid := types.Bottom
+	if n.hasView {
+		vid = n.cur.ID
+	}
+	for _, p := range n.universe.Members() {
+		if p == n.id {
+			continue
+		}
+		// In one-round mode probes double as heartbeats: the reachability
+		// estimate needs fresh lastHeard entries for members too.
+		if !n.cfg.OneRound && n.hasView && n.cur.Set.Contains(p) {
+			continue
+		}
+		n.stats.ProbesSent++
+		n.net.Send(n.id, p, ProbePkt{ViewID: vid})
+	}
+}

@@ -1,0 +1,168 @@
+package vstoto
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/spec/tomachine"
+	"repro/internal/spec/vsmachine"
+	"repro/internal/types"
+)
+
+// LabelAct is the internal action label(a)_p.
+type LabelAct struct {
+	A types.Value
+	P types.ProcID
+}
+
+// ActionName returns "label".
+func (LabelAct) ActionName() string { return "label" }
+
+// String renders the action.
+func (l LabelAct) String() string { return fmt.Sprintf("label(%q)_%v", string(l.A), l.P) }
+
+// ConfirmAct is the internal action confirm_p.
+type ConfirmAct struct {
+	P types.ProcID
+}
+
+// ActionName returns "confirm".
+func (ConfirmAct) ActionName() string { return "confirm" }
+
+// String renders the action.
+func (c ConfirmAct) String() string { return fmt.Sprintf("confirm_%v", c.P) }
+
+// Auto adapts one VStoTO_p to the ioa framework. Its action vocabulary is
+// exactly Figure 9's signature: bcast/brcv at the client interface (shared
+// with TO-machine's action types) and gpsnd/gprcv/safe/newview at the VS
+// interface (shared with VS-machine's action types), plus the internal
+// label and confirm.
+type Auto struct {
+	P *Proc
+}
+
+// NewAuto wraps a fresh VStoTO_p with history tracking on (the randomized
+// safety checks need it).
+func NewAuto(id types.ProcID, qs types.QuorumSystem, p0 types.ProcSet) *Auto {
+	p := NewProc(id, qs, p0)
+	p.TrackHistory = true
+	return &Auto{P: p}
+}
+
+// Name returns "VStoTO_pN".
+func (a *Auto) Name() string { return fmt.Sprintf("VStoTO_%v", a.P.id) }
+
+// Classify implements Figure 9's signature for this processor.
+func (a *Auto) Classify(act ioa.Action) ioa.Kind {
+	id := a.P.id
+	switch t := act.(type) {
+	case tomachine.Bcast:
+		if t.P == id {
+			return ioa.Input
+		}
+	case tomachine.Brcv:
+		if t.Q == id {
+			return ioa.Output
+		}
+	case vsmachine.Gpsnd:
+		if t.P == id {
+			return ioa.Output
+		}
+	case vsmachine.Gprcv:
+		if t.Q == id {
+			return ioa.Input
+		}
+	case vsmachine.Safe:
+		if t.Q == id {
+			return ioa.Input
+		}
+	case vsmachine.Newview:
+		if t.P == id {
+			return ioa.Input
+		}
+	case LabelAct:
+		if t.P == id {
+			return ioa.Internal
+		}
+	case ConfirmAct:
+		if t.P == id {
+			return ioa.Internal
+		}
+	}
+	return ioa.NotInSignature
+}
+
+// Input applies an input action.
+func (a *Auto) Input(act ioa.Action) {
+	switch t := act.(type) {
+	case tomachine.Bcast:
+		a.P.Bcast(t.A)
+	case vsmachine.Gprcv:
+		switch m := t.M.(type) {
+		case LabeledValue:
+			a.P.GprcvValue(m)
+		case *Summary:
+			a.P.GprcvSummary(t.P, m)
+		default:
+			panic(fmt.Sprintf("vstoto: unexpected gprcv payload %T", t.M))
+		}
+	case vsmachine.Safe:
+		switch m := t.M.(type) {
+		case LabeledValue:
+			a.P.SafeValue(m)
+		case *Summary:
+			a.P.SafeSummary(t.P)
+		default:
+			panic(fmt.Sprintf("vstoto: unexpected safe payload %T", t.M))
+		}
+	case vsmachine.Newview:
+		a.P.Newview(t.V)
+	default:
+		panic(fmt.Sprintf("vstoto: unexpected input %v", act))
+	}
+}
+
+// Enabled enumerates the enabled locally controlled actions of Figure 10.
+func (a *Auto) Enabled(buf []ioa.Action) []ioa.Action {
+	p := a.P
+	if v, ok := p.LabelEnabled(); ok {
+		buf = append(buf, LabelAct{A: v, P: p.id})
+	}
+	if lv, ok := p.GpsndValueEnabled(); ok {
+		buf = append(buf, vsmachine.Gpsnd{M: lv, P: p.id})
+	}
+	if p.GpsndSummaryEnabled() {
+		buf = append(buf, vsmachine.Gpsnd{M: p.SummaryMessage(), P: p.id})
+	}
+	if p.ConfirmEnabled() {
+		buf = append(buf, ConfirmAct{P: p.id})
+	}
+	if q, v, ok := p.BrcvEnabled(); ok {
+		buf = append(buf, tomachine.Brcv{A: v, P: q, Q: p.id})
+	}
+	return buf
+}
+
+// Perform applies a locally controlled action.
+func (a *Auto) Perform(act ioa.Action) {
+	p := a.P
+	switch t := act.(type) {
+	case LabelAct:
+		p.Label()
+	case vsmachine.Gpsnd:
+		switch t.M.(type) {
+		case LabeledValue:
+			p.GpsndValue()
+		case *Summary:
+			p.CommitSummarySend()
+		default:
+			panic(fmt.Sprintf("vstoto: unexpected gpsnd payload %T", t.M))
+		}
+	case ConfirmAct:
+		p.Confirm()
+	case tomachine.Brcv:
+		p.Brcv()
+	default:
+		panic(fmt.Sprintf("vstoto: unexpected locally controlled action %v", act))
+	}
+}

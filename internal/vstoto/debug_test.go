@@ -1,0 +1,21 @@
+package vstoto
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+// TestRegressionLabelDuringRecovery pins the seed that originally exposed
+// the duplicate-ordering bug: with label(a)_p enabled during recovery (the
+// literal Figure 10 precondition), a value labeled between newview and
+// summary-send is ordered twice — once via fullorder at establishment and
+// once when its ordinary message arrives — breaking Lemma 6.21 and the
+// forward simulation. The strengthened precondition (status = normal) must
+// keep this execution clean.
+func TestRegressionLabelDuringRecovery(t *testing.T) {
+	exec, _, _ := buildSystem(t, 4, 4, 1, 0.08)
+	if err := exec.Run(1500); err != nil {
+		t.Fatalf("regression: %v\ntrace tail:\n%v", err, ioa.FormatTrace(tail(exec.Trace(), 20)))
+	}
+}

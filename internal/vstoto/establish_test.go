@@ -1,0 +1,151 @@
+package vstoto
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestEstablishmentWaitsForOwnSend: Figure 10 requires status = collect
+// (own summary sent) for establishment, even if all members' summaries
+// have arrived.
+func TestEstablishmentWaitsForOwnSend(t *testing.T) {
+	p := newTestProc(0, 3)
+	v2 := types.View{ID: gid(2, 0), Set: types.RangeProcSet(3)}
+	p.Newview(v2)
+	if p.Status != StatusSend {
+		t.Fatalf("status = %v", p.Status)
+	}
+	empty := func() *Summary {
+		return &Summary{Con: map[types.Label]types.Value{}, Next: 1, High: types.G0()}
+	}
+	// All three summaries arrive (including one attributed to p itself, as
+	// could happen if VS delivered p's own summary from a previous
+	// incarnation of the exchange) — but p has not sent, so no
+	// establishment.
+	p.GprcvSummary(1, empty())
+	p.GprcvSummary(2, empty())
+	p.GprcvSummary(0, empty())
+	if p.Status != StatusSend {
+		t.Fatalf("established while status=send (status now %v)", p.Status)
+	}
+	// After sending, the next summary receipt completes the exchange.
+	p.GpsndSummary()
+	if p.Status != StatusCollect {
+		t.Fatalf("status = %v after send", p.Status)
+	}
+	p.GprcvSummary(0, empty())
+	if p.Status != StatusNormal {
+		t.Fatalf("not established after full exchange (status %v)", p.Status)
+	}
+}
+
+// TestEstablishmentRequiresExactMembership: the exchange completes exactly
+// when dom(gotstate) equals the view's membership — summaries from fewer
+// members never complete it. (VS guarantees a non-member's summary can
+// never be delivered in the view, so Figure 10 does not guard against it;
+// the spec-composition tests exercise that guarantee.)
+func TestEstablishmentRequiresExactMembership(t *testing.T) {
+	p := newTestProc(0, 4)
+	v2 := types.View{ID: gid(2, 0), Set: types.NewProcSet(0, 1, 2)}
+	p.Newview(v2)
+	p.GpsndSummary()
+	empty := func() *Summary {
+		return &Summary{Con: map[types.Label]types.Value{}, Next: 1, High: types.G0()}
+	}
+	p.GprcvSummary(0, empty())
+	p.GprcvSummary(1, empty())
+	if p.Status == StatusNormal {
+		t.Fatal("established with a member's summary missing")
+	}
+	p.GprcvSummary(2, empty())
+	if p.Status != StatusNormal {
+		t.Fatal("not established once all members reported")
+	}
+}
+
+// TestReestablishmentAcrossViews: a processor can go through several views
+// in a row, each time re-running the exchange; order information flows
+// forward through its own summaries.
+func TestReestablishmentAcrossViews(t *testing.T) {
+	p := newTestProc(0, 3)
+	// Put one confirmed value into g0's history.
+	p.Bcast("a")
+	la := p.Label()
+	p.GpsndValue()
+	p.GprcvValue(LabeledValue{L: la, A: "a"})
+	p.SafeValue(LabeledValue{L: la, A: "a"})
+	p.Confirm()
+
+	prevHigh := p.HighPrimary
+	for epoch := int64(2); epoch <= 5; epoch++ {
+		v := types.View{ID: gid(epoch, 0), Set: types.RangeProcSet(3)}
+		p.Newview(v)
+		own := p.GpsndSummary()
+		p.GprcvSummary(0, own)
+		// Peers echo p's own knowledge (they received the same messages).
+		p.GprcvSummary(1, own)
+		p.GprcvSummary(2, own)
+		if p.Status != StatusNormal {
+			t.Fatalf("epoch %d: not established", epoch)
+		}
+		if !prevHigh.Less(p.HighPrimary) {
+			t.Fatalf("epoch %d: highprimary did not advance (%v → %v)", epoch, prevHigh, p.HighPrimary)
+		}
+		prevHigh = p.HighPrimary
+		// The confirmed prefix survives every exchange.
+		if got := p.ConfirmedLabels(); len(got) != 1 || got[0] != la {
+			t.Fatalf("epoch %d: confirmed = %v", epoch, got)
+		}
+		if p.Order[0] != la {
+			t.Fatalf("epoch %d: order lost la: %v", epoch, p.Order)
+		}
+	}
+}
+
+// TestNonPrimaryThenPrimaryRecovery: a value ordered only in a minority
+// view's content is recovered when a later primary view forms.
+func TestNonPrimaryThenPrimaryRecovery(t *testing.T) {
+	p := newTestProc(0, 5)
+	// Minority view {0,1}: p labels a value; nothing can confirm.
+	vMin := types.View{ID: gid(2, 0), Set: types.NewProcSet(0, 1)}
+	p.Newview(vMin)
+	own := p.GpsndSummary()
+	p.GprcvSummary(0, own)
+	p.GprcvSummary(1, &Summary{Con: map[types.Label]types.Value{}, Next: 1, High: types.G0()})
+	if p.Status != StatusNormal || p.Primary() {
+		t.Fatalf("minority setup wrong: status=%v primary=%t", p.Status, p.Primary())
+	}
+	p.Bcast("stranded")
+	lm := p.Label()
+	p.GpsndValue()
+	p.GprcvValue(LabeledValue{L: lm, A: "stranded"}) // non-primary: content only
+	if len(p.Order) != 0 {
+		t.Fatal("minority view ordered a value")
+	}
+
+	// Majority view forms; everyone's summaries now include the stranded
+	// value through p's summary. Establishment must order it.
+	vMaj := types.View{ID: gid(3, 0), Set: types.RangeProcSet(5)}
+	p.Newview(vMaj)
+	own = p.GpsndSummary()
+	p.GprcvSummary(0, own)
+	for q := types.ProcID(1); q < 5; q++ {
+		p.GprcvSummary(q, &Summary{Con: map[types.Label]types.Value{}, Next: 1, High: types.G0()})
+	}
+	if p.Status != StatusNormal || !p.Primary() {
+		t.Fatalf("majority setup wrong: status=%v primary=%t", p.Status, p.Primary())
+	}
+	found := false
+	for _, l := range p.Order {
+		if l == lm {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stranded value not recovered into the primary order: %v", p.Order)
+	}
+	if p.HighPrimary != vMaj.ID {
+		t.Errorf("highprimary = %v, want %v", p.HighPrimary, vMaj.ID)
+	}
+}

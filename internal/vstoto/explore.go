@@ -1,0 +1,285 @@
+package vstoto
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/spec/tomachine"
+	"repro/internal/spec/vsmachine"
+	"repro/internal/types"
+)
+
+// Bounded exhaustive exploration (model checking) of VStoTO-system: for a
+// tiny configuration — a couple of processors, a couple of client values,
+// a fixed menu of views — enumerate EVERY reachable state of the
+// composition of VS-machine with the VStoTO processors, checking at every
+// state the Section 6 invariants and at every edge the forward-simulation
+// step condition against TO-machine. Where the randomized executor samples
+// schedules, the explorer covers all of them: within the bounds, Theorem
+// 6.26 is checked for every interleaving.
+
+// ExploreConfig bounds the exploration.
+type ExploreConfig struct {
+	// N is the number of processors; P0Size of them start in the initial
+	// view (default all).
+	N      int
+	P0Size int
+	// Quorums defaults to majorities over the universe.
+	Quorums types.QuorumSystem
+	// MaxBcasts bounds the client inputs; the i-th bcast carries the value
+	// "v<i>" and may be submitted at any processor (all choices explored).
+	MaxBcasts int
+	// Views is the menu of views available to createview, taken in order
+	// (identifiers must be increasing).
+	Views []types.View
+	// MaxStates aborts the exploration when the visited set reaches this
+	// size (0 = unlimited).
+	MaxStates int
+	// LiteralFigure10Label configures the processors with the paper's
+	// literal label precondition (see Proc.LiteralFigure10Label).
+	LiteralFigure10Label bool
+}
+
+// ExploreResult reports the exploration's extent.
+type ExploreResult struct {
+	States    int // distinct states visited
+	Edges     int // transitions checked
+	Truncated bool
+	// MaxQueueLen is the longest abstract total order reached (a sanity
+	// signal that the bounds actually exercised deliveries).
+	MaxQueueLen int
+}
+
+type exploreState struct {
+	vs     *vsmachine.Machine
+	procs  map[types.ProcID]*Proc
+	bcasts int
+	views  int
+}
+
+func (s *exploreState) clone() *exploreState {
+	out := &exploreState{
+		vs:     s.vs.Clone(),
+		procs:  make(map[types.ProcID]*Proc, len(s.procs)),
+		bcasts: s.bcasts,
+		views:  s.views,
+	}
+	for p, proc := range s.procs {
+		out.procs[p] = proc.Clone()
+	}
+	return out
+}
+
+func (s *exploreState) fingerprint() string {
+	fp := fmt.Sprintf("b%d;v%d;%s", s.bcasts, s.views, s.vs.Fingerprint())
+	for _, p := range s.vs.Procs().Members() {
+		fp += "|" + s.procs[p].Fingerprint()
+	}
+	return fp
+}
+
+// autos builds fresh adapter views over this state's components.
+func (s *exploreState) autos() (*vsmachine.Auto, map[types.ProcID]*Auto) {
+	vsAuto := &vsmachine.Auto{M: s.vs}
+	procAutos := make(map[types.ProcID]*Auto, len(s.procs))
+	for p, proc := range s.procs {
+		procAutos[p] = &Auto{P: proc}
+	}
+	return vsAuto, procAutos
+}
+
+// enabled enumerates every action available in this state, including the
+// environment's (bounded) choices.
+func (s *exploreState) enabled(cfg ExploreConfig) []ioa.Action {
+	vsAuto, procAutos := s.autos()
+	var acts []ioa.Action
+	acts = vsAuto.Enabled(acts)
+	for _, p := range s.vs.Procs().Members() {
+		acts = procAutos[p].Enabled(acts)
+	}
+	if s.bcasts < cfg.MaxBcasts {
+		val := types.Value(fmt.Sprintf("v%d", s.bcasts+1))
+		for _, p := range s.vs.Procs().Members() {
+			acts = append(acts, tomachine.Bcast{A: val, P: p})
+		}
+	}
+	if s.views < len(cfg.Views) {
+		v := cfg.Views[s.views]
+		if s.vs.CreateviewEnabled(v) {
+			acts = append(acts, vsmachine.Createview{V: v})
+		}
+	}
+	return acts
+}
+
+// apply performs the action on this state (mutating it), mimicking the
+// executor's owner-performs / receivers-input wiring.
+func (s *exploreState) apply(act ioa.Action) error {
+	vsAuto, procAutos := s.autos()
+	switch act.(type) {
+	case tomachine.Bcast:
+		s.bcasts++
+	case vsmachine.Createview:
+		s.views++
+	}
+	// Owner performs.
+	switch vsAuto.Classify(act) {
+	case ioa.Output, ioa.Internal:
+		vsAuto.Perform(act)
+	}
+	for _, p := range s.vs.Procs().Members() {
+		a := procAutos[p]
+		switch a.Classify(act) {
+		case ioa.Output, ioa.Internal:
+			a.Perform(act)
+		}
+	}
+	// Receivers take input.
+	if vsAuto.Classify(act) == ioa.Input {
+		vsAuto.Input(act)
+	}
+	for _, p := range s.vs.Procs().Members() {
+		a := procAutos[p]
+		if a.Classify(act) == ioa.Input {
+			a.Input(act)
+		}
+	}
+	return nil
+}
+
+// ownerKind reports whether exactly one component owns the action; the
+// explorer's action menu is constructed so this always holds.
+func (s *exploreState) system(cfg ExploreConfig) *System {
+	qs := cfg.Quorums
+	if qs == nil {
+		qs = types.Majorities{Universe: s.vs.Procs()}
+	}
+	return NewSystem(s.vs, s.procs, qs)
+}
+
+// checkAbstractStep verifies the forward-simulation step condition for one
+// edge: starting a TO-machine at f(pre), the concrete action's abstract
+// counterpart (bcast, zero or more to-orders, brcv, or nothing) must be
+// enabled and lead exactly to f(post).
+func checkAbstractStep(procs types.ProcSet, pre, post *AbstractState, act ioa.Action) error {
+	shadow := tomachine.New(procs)
+	shadow.Queue = append(shadow.Queue, pre.Queue...)
+	for _, p := range procs.Members() {
+		shadow.Pending[p] = append([]types.Value(nil), pre.Pending[p]...)
+		shadow.Next[p] = pre.Next[p]
+	}
+	if b, ok := act.(tomachine.Bcast); ok {
+		shadow.ApplyBcast(b.A, b.P)
+	}
+	if len(post.Queue) < len(pre.Queue) {
+		return fmt.Errorf("explore: abstract queue shrank")
+	}
+	for _, e := range post.Queue[len(pre.Queue):] {
+		if err := shadow.ApplyToOrder(e.A, e.P); err != nil {
+			return fmt.Errorf("explore: %w", err)
+		}
+	}
+	if b, ok := act.(tomachine.Brcv); ok {
+		if err := shadow.ApplyBrcv(b.A, b.P, b.Q); err != nil {
+			return fmt.Errorf("explore: %w", err)
+		}
+	}
+	// Exact correspondence with f(post).
+	if len(shadow.Queue) != len(post.Queue) {
+		return fmt.Errorf("explore: queue length %d ≠ f(post) %d", len(shadow.Queue), len(post.Queue))
+	}
+	for _, p := range procs.Members() {
+		if shadow.Next[p] != post.Next[p] {
+			return fmt.Errorf("explore: next[%v]=%d ≠ f(post) %d", p, shadow.Next[p], post.Next[p])
+		}
+		sp, pp := shadow.Pending[p], post.Pending[p]
+		if len(sp) != len(pp) {
+			return fmt.Errorf("explore: pending[%v] %v ≠ f(post) %v", p, sp, pp)
+		}
+		for i := range sp {
+			if sp[i] != pp[i] {
+				return fmt.Errorf("explore: pending[%v][%d] %q ≠ %q", p, i, sp[i], pp[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Explore runs the bounded exhaustive check. It returns an error on the
+// first invariant or simulation violation, identifying the failing state
+// and action.
+func Explore(cfg ExploreConfig) (ExploreResult, error) {
+	var res ExploreResult
+	if cfg.P0Size <= 0 || cfg.P0Size > cfg.N {
+		cfg.P0Size = cfg.N
+	}
+	procs := types.RangeProcSet(cfg.N)
+	p0 := types.NewProcSet(procs.Members()[:cfg.P0Size]...)
+	qs := cfg.Quorums
+	if qs == nil {
+		qs = types.Majorities{Universe: procs}
+	}
+
+	initial := &exploreState{
+		vs:    vsmachine.New(procs, p0),
+		procs: make(map[types.ProcID]*Proc, cfg.N),
+	}
+	for _, p := range procs.Members() {
+		pr := NewProc(p, qs, p0)
+		pr.TrackHistory = true
+		pr.LiteralFigure10Label = cfg.LiteralFigure10Label
+		initial.procs[p] = pr
+	}
+
+	visited := map[string]bool{initial.fingerprint(): true}
+	queue := []*exploreState{initial}
+	res.States = 1
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+
+		preSys := cur.system(cfg)
+		preAbs, err := preSys.Abstract()
+		if err != nil {
+			return res, fmt.Errorf("explore: f undefined at a visited state: %w", err)
+		}
+		if len(preAbs.Queue) > res.MaxQueueLen {
+			res.MaxQueueLen = len(preAbs.Queue)
+		}
+
+		for _, act := range cur.enabled(cfg) {
+			succ := cur.clone()
+			if err := succ.apply(act); err != nil {
+				return res, err
+			}
+			res.Edges++
+			sys := succ.system(cfg)
+			if err := sys.CheckInvariants(); err != nil {
+				return res, fmt.Errorf("explore: invariant after %v: %w", act, err)
+			}
+			if err := sys.CheckDeepInvariants(); err != nil {
+				return res, fmt.Errorf("explore: deep invariant after %v: %w", act, err)
+			}
+			postAbs, err := sys.Abstract()
+			if err != nil {
+				return res, fmt.Errorf("explore: f undefined after %v: %w", act, err)
+			}
+			if err := checkAbstractStep(procs, preAbs, postAbs, act); err != nil {
+				return res, fmt.Errorf("explore: simulation step for %v: %w", act, err)
+			}
+			fp := succ.fingerprint()
+			if visited[fp] {
+				continue
+			}
+			if cfg.MaxStates > 0 && res.States >= cfg.MaxStates {
+				res.Truncated = true
+				continue
+			}
+			visited[fp] = true
+			res.States++
+			queue = append(queue, succ)
+		}
+	}
+	return res, nil
+}

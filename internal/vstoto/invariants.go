@@ -1,0 +1,345 @@
+package vstoto
+
+import (
+	"fmt"
+
+	"repro/internal/spec/vsmachine"
+	"repro/internal/types"
+)
+
+// System is the composed VStoTO-system of Section 6: VS-machine together
+// with VStoTO_p for every p, with the derived-variable and invariant
+// apparatus used by the safety proof. It is a *view* over live components
+// (it holds pointers), so invariants can be checked after every step of a
+// randomized execution.
+type System struct {
+	VS    *vsmachine.Machine
+	Procs map[types.ProcID]*Proc
+	QS    types.QuorumSystem
+}
+
+// NewSystem bundles the components.
+func NewSystem(vs *vsmachine.Machine, procs map[types.ProcID]*Proc, qs types.QuorumSystem) *System {
+	return &System{VS: vs, Procs: procs, QS: qs}
+}
+
+// AllState computes the derived variable allstate[p, g]: every summary that
+// is (1) the state of p if p's current view is g, (2) in pending[p,g] of
+// VS-machine, (3) in queue[g] with sender p, or (4) recorded as
+// gotstate(p)_q for some q currently in view g.
+func (s *System) AllState(p types.ProcID, g types.ViewID) []*Summary {
+	var out []*Summary
+	proc := s.Procs[p]
+	if proc.Current.ID == g {
+		out = append(out, proc.StateSummary())
+	}
+	for _, m := range s.VS.Pending(p, g) {
+		if x, ok := m.(*Summary); ok {
+			out = append(out, x)
+		}
+	}
+	for _, e := range s.VS.Queue[g] {
+		if e.P != p {
+			continue
+		}
+		if x, ok := e.M.(*Summary); ok {
+			out = append(out, x)
+		}
+	}
+	for _, q := range s.VS.Procs().Members() {
+		qp := s.Procs[q]
+		if qp.Current.ID == g {
+			if x, ok := qp.GotState[p]; ok {
+				out = append(out, x)
+			}
+		}
+	}
+	return out
+}
+
+// summaryAt tags a summary with the (p, g) slot it came from, for error
+// messages.
+type summaryAt struct {
+	X *Summary
+	P types.ProcID
+	G types.ViewID
+}
+
+// allStateAll enumerates allstate = ∪_{p,g} allstate[p,g]. Only view ids
+// that occur somewhere (created views and procs' current views) can have
+// nonempty slots, so the enumeration is over those.
+func (s *System) allStateAll() []summaryAt {
+	var out []summaryAt
+	seen := make(map[types.ViewID]bool)
+	var gs []types.ViewID
+	for id := range s.VS.Created {
+		if !seen[id] {
+			seen[id] = true
+			gs = append(gs, id)
+		}
+	}
+	for _, p := range s.VS.Procs().Members() {
+		if id := s.Procs[p].Current.ID; !id.IsBottom() && !seen[id] {
+			seen[id] = true
+			gs = append(gs, id)
+		}
+	}
+	for _, p := range s.VS.Procs().Members() {
+		for _, g := range gs {
+			for _, x := range s.AllState(p, g) {
+				out = append(out, summaryAt{X: x, P: p, G: g})
+			}
+		}
+	}
+	return out
+}
+
+// AllContent computes the derived variable allcontent: the union of x.con
+// over all summaries in allstate, together with every processor's content
+// and the labeled values in transit. It returns an error if the union is
+// not a function (violating Lemma 6.5).
+func (s *System) AllContent() (map[types.Label]types.Value, error) {
+	out := make(map[types.Label]types.Value)
+	add := func(l types.Label, a types.Value, where string) error {
+		if prev, ok := out[l]; ok && prev != a {
+			return fmt.Errorf("lemma 6.5: allcontent not a function: %v ↦ %q and %q (%s)",
+				l, string(prev), string(a), where)
+		}
+		out[l] = a
+		return nil
+	}
+	for _, sa := range s.allStateAll() {
+		for l, a := range sa.X.Con {
+			if err := add(l, a, fmt.Sprintf("allstate[%v,%v]", sa.P, sa.G)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Content held locally and labeled values in VS transit also carry
+	// label→value bindings; include them so the function check is global.
+	for _, p := range s.VS.Procs().Members() {
+		for l, a := range s.Procs[p].Content {
+			if err := add(l, a, fmt.Sprintf("content_%v", p)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for g, queue := range s.VS.Queue {
+		for _, e := range queue {
+			if lv, ok := e.M.(LabeledValue); ok {
+				if err := add(lv.L, lv.A, fmt.Sprintf("queue[%v]", g)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// isPrefix reports whether a is a prefix of b.
+func isPrefix(a, b []types.Label) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllConfirm computes the derived variable allconfirm: the least upper
+// bound of x.confirm over allstate. It returns an error if the confirm
+// sequences are not pairwise prefix-comparable (violating Corollary 6.24).
+func (s *System) AllConfirm() ([]types.Label, error) {
+	var lub []types.Label
+	var lubAt string
+	for _, sa := range s.allStateAll() {
+		c := sa.X.Confirm()
+		switch {
+		case isPrefix(c, lub):
+			// lub already covers c.
+		case isPrefix(lub, c):
+			lub = c
+			lubAt = fmt.Sprintf("allstate[%v,%v]", sa.P, sa.G)
+		default:
+			return nil, fmt.Errorf(
+				"corollary 6.24: confirm sequences inconsistent: %v (from %s) vs %v (from allstate[%v,%v])",
+				lub, lubAt, c, sa.P, sa.G)
+		}
+	}
+	return lub, nil
+}
+
+// CheckInvariants verifies the executable subset of the Section 6
+// invariants on the current composed state. Each check is labeled with the
+// lemma it corresponds to.
+func (s *System) CheckInvariants() error {
+	procs := s.VS.Procs().Members()
+
+	// Lemma 6.1: agreement between processor-local current and VS state.
+	for _, p := range procs {
+		proc := s.Procs[p]
+		vsCur := s.VS.CurrentViewID[p]
+		if proc.Current.ID.IsBottom() != vsCur.IsBottom() {
+			return fmt.Errorf("lemma 6.1(1): current_%v=%v but current-viewid[%v]=%v",
+				p, proc.Current.ID, p, vsCur)
+		}
+		if !proc.Current.ID.IsBottom() {
+			if proc.Current.ID != vsCur {
+				return fmt.Errorf("lemma 6.1(2): current_%v=%v ≠ current-viewid[%v]=%v",
+					p, proc.Current.ID, p, vsCur)
+			}
+			created, ok := s.VS.Created[proc.Current.ID]
+			if !ok || !created.Set.Equal(proc.Current.Set) {
+				return fmt.Errorf("lemma 6.1(3): current_%v=%v not in created", p, proc.Current)
+			}
+		}
+	}
+
+	// Lemma 6.2: undefined view forces normal status.
+	for _, p := range procs {
+		proc := s.Procs[p]
+		if proc.Current.ID.IsBottom() && proc.Status != StatusNormal {
+			return fmt.Errorf("lemma 6.2: current_%v=⊥ but status=%v", p, proc.Status)
+		}
+	}
+
+	// Lemma 6.3(1): buffer labels carry the current view id and origin p.
+	for _, p := range procs {
+		proc := s.Procs[p]
+		for _, l := range proc.Buffer {
+			if proc.Current.ID.IsBottom() || l.Origin != p || l.ID != proc.Current.ID {
+				return fmt.Errorf("lemma 6.3(1): buffer_%v holds %v with current=%v", p, l, proc.Current.ID)
+			}
+			// Lemma 6.6: buffered labels have content.
+			if _, ok := proc.Content[l]; !ok {
+				return fmt.Errorf("lemma 6.6: buffer_%v holds %v without content", p, l)
+			}
+		}
+	}
+	// Lemma 6.3(2,3): labeled values in VS pending/queues carry matching
+	// view id and sender.
+	for g, queue := range s.VS.Queue {
+		for _, e := range queue {
+			if lv, ok := e.M.(LabeledValue); ok {
+				if lv.L.Origin != e.P || lv.L.ID != g {
+					return fmt.Errorf("lemma 6.3(3): queue[%v] holds %v from %v", g, lv, e.P)
+				}
+			}
+		}
+	}
+
+	allcontent, err := s.AllContent() // checks Lemma 6.5
+	if err != nil {
+		return err
+	}
+
+	// Lemma 6.4: labels in allcontent with origin p are below p's next
+	// label.
+	for l := range allcontent {
+		proc := s.Procs[l.Origin]
+		bound := types.Label{ID: proc.Current.ID, Seqno: proc.NextSeqno, Origin: l.Origin}
+		if !proc.Current.ID.IsBottom() && !l.Less(bound) {
+			return fmt.Errorf("lemma 6.4: label %v not below %v", l, bound)
+		}
+	}
+
+	// Lemma 6.7(4): no allstate for views above a processor's current view.
+	for _, sa := range s.allStateAll() {
+		proc := s.Procs[sa.P]
+		if proc.Current.ID.IsBottom() || proc.Current.ID.Less(sa.G) {
+			return fmt.Errorf("lemma 6.7(4): allstate[%v,%v] nonempty with current=%v",
+				sa.P, sa.G, proc.Current.ID)
+		}
+		// Lemma 6.12: x.high ≤ g ≤ current.id_p.
+		if sa.G.Less(sa.X.High) {
+			return fmt.Errorf("lemma 6.12(1): allstate[%v,%v] has high=%v > %v",
+				sa.P, sa.G, sa.X.High, sa.G)
+		}
+		// Lemma 6.22(2): x.next ≤ length(x.ord) + 1.
+		if sa.X.Next > len(sa.X.Ord)+1 {
+			return fmt.Errorf("lemma 6.22(2): allstate[%v,%v] has next=%d > len(ord)+1=%d",
+				sa.P, sa.G, sa.X.Next, len(sa.X.Ord)+1)
+		}
+	}
+
+	// Lemma 6.10 / 6.11: established vs status and highprimary bounds.
+	for _, p := range procs {
+		proc := s.Procs[p]
+		if !proc.TrackHistory {
+			continue
+		}
+		for g, est := range proc.Established {
+			if est && proc.Current.ID.Less(g) {
+				return fmt.Errorf("lemma 6.10(1): established[%v,%v] but current=%v", p, g, proc.Current.ID)
+			}
+		}
+		if !proc.Current.ID.IsBottom() {
+			est := proc.Established[proc.Current.ID]
+			wantEst := proc.Status == StatusNormal
+			if est != wantEst {
+				return fmt.Errorf("lemma 6.10(2): established[%v,%v]=%t but status=%v",
+					p, proc.Current.ID, est, proc.Status)
+			}
+			switch {
+			case est && proc.Primary():
+				if proc.HighPrimary != proc.Current.ID {
+					return fmt.Errorf("lemma 6.11(1): established primary %v at %v but highprimary=%v",
+						proc.Current.ID, p, proc.HighPrimary)
+				}
+			case est && !proc.Primary():
+				// The paper's statement implicitly assumes the initial view
+				// ⟨g0, P0⟩ is primary; when P0 holds no quorum the initial
+				// state has highprimary = g0 = current.id, so g0 is exempt.
+				if !proc.HighPrimary.Less(proc.Current.ID) && proc.Current.ID != types.G0() {
+					return fmt.Errorf("lemma 6.11(2): established non-primary %v at %v but highprimary=%v",
+						proc.Current.ID, p, proc.HighPrimary)
+				}
+			default: // not established
+				if !proc.HighPrimary.Less(proc.Current.ID) {
+					return fmt.Errorf("lemma 6.11(3): unestablished %v at %v but highprimary=%v",
+						proc.Current.ID, p, proc.HighPrimary)
+				}
+			}
+		}
+		// Lemma 6.11(4): gotstate summaries have high below the view.
+		for q, x := range proc.GotState {
+			if !proc.Current.ID.IsBottom() && !x.High.Less(proc.Current.ID) {
+				return fmt.Errorf("lemma 6.11(4): gotstate(%v)_%v has high=%v ≥ current=%v",
+					q, p, x.High, proc.Current.ID)
+			}
+		}
+	}
+
+	// Corollary 6.23 / 6.24: confirm sequences are prefixes of higher
+	// orders and pairwise consistent.
+	all := s.allStateAll()
+	for _, a := range all {
+		for _, b := range all {
+			if a.X.High.LessEq(b.X.High) {
+				if !isPrefix(a.X.Confirm(), b.X.Ord) {
+					return fmt.Errorf(
+						"corollary 6.23: confirm of allstate[%v,%v] (high %v) not a prefix of ord of allstate[%v,%v] (high %v)",
+						a.P, a.G, a.X.High, b.P, b.G, b.X.High)
+				}
+			}
+		}
+	}
+	if _, err := s.AllConfirm(); err != nil {
+		return err
+	}
+
+	// Per-proc sanity: nextreport ≤ nextconfirm ≤ len(order)+1.
+	for _, p := range procs {
+		proc := s.Procs[p]
+		if proc.NextReport > proc.NextConfirm {
+			return fmt.Errorf("vstoto: nextreport_%v=%d > nextconfirm=%d", p, proc.NextReport, proc.NextConfirm)
+		}
+		if proc.NextConfirm > len(proc.Order)+1 {
+			return fmt.Errorf("vstoto: nextconfirm_%v=%d > len(order)+1=%d", p, proc.NextConfirm, len(proc.Order)+1)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package vstoto
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// CheckDeepInvariants verifies the history-dependent invariants of
+// Section 6 that need the established/buildorder history variables:
+// Lemmas 6.13, 6.14, 6.17, 6.20 and 6.21. They are costlier than
+// CheckInvariants (quadratic in places), so the randomized harnesses call
+// them per step only for small configurations; the explorer always does.
+func (s *System) CheckDeepInvariants() error {
+	procs := s.VS.Procs().Members()
+	for _, p := range procs {
+		if !s.Procs[p].TrackHistory {
+			return nil // history variables absent; nothing to check
+		}
+	}
+
+	// Lemma 6.17: if established[p, v.id] then every member of v has
+	// current.id ≥ v.id.
+	for _, p := range procs {
+		for gid, est := range s.Procs[p].Established {
+			if !est {
+				continue
+			}
+			v, ok := s.VS.Created[gid]
+			if !ok {
+				if gid == types.G0() {
+					continue // initial view of a sub-universe P0
+				}
+				return fmt.Errorf("lemma 6.17: established[%v,%v] but view not created", p, gid)
+			}
+			for _, q := range v.Set.Members() {
+				cur := s.Procs[q].Current.ID
+				if cur.IsBottom() || cur.Less(gid) {
+					return fmt.Errorf("lemma 6.17: established[%v,%v] but member %v is at %v",
+						p, gid, q, cur)
+				}
+			}
+		}
+	}
+
+	// Lemmas 6.13/6.14: once p established a primary view v and moved on,
+	// p's highprimary (6.13) and every summary of p for higher views
+	// (6.14) stay at or above v.id.
+	for _, p := range procs {
+		proc := s.Procs[p]
+		for gid, est := range proc.Established {
+			if !est || gid == types.G0() {
+				continue
+			}
+			v, ok := s.VS.Created[gid]
+			if !ok || !s.QS.IsQuorumContained(v.Set) {
+				continue
+			}
+			if !proc.Current.ID.IsBottom() && gid.Less(proc.Current.ID) {
+				if proc.HighPrimary.Less(gid) {
+					return fmt.Errorf("lemma 6.13: %v established primary %v (now at %v) but highprimary=%v",
+						p, gid, proc.Current.ID, proc.HighPrimary)
+				}
+				for _, sa := range s.allStateAll() {
+					if sa.P == p && gid.Less(sa.G) && sa.X.High.Less(gid) {
+						return fmt.Errorf("lemma 6.14: allstate[%v,%v] has high=%v < established primary %v",
+							sa.P, sa.G, sa.X.High, gid)
+					}
+				}
+			}
+		}
+	}
+
+	// Lemma 6.20: a label in safe-labels_p implies primary_p, and the
+	// order_p prefix through that label is a prefix of buildorder[q, g]
+	// at every member q of the current view.
+	for _, p := range procs {
+		proc := s.Procs[p]
+		if len(proc.SafeLabels) == 0 {
+			continue
+		}
+		if !proc.Primary() {
+			return fmt.Errorf("lemma 6.20: safe-labels_%v nonempty in a non-primary view", p)
+		}
+		// Longest order prefix terminated by a safe label.
+		longest := 0
+		for i, l := range proc.Order {
+			if proc.SafeLabels[l] {
+				longest = i + 1
+			}
+		}
+		if longest == 0 {
+			continue
+		}
+		sigma := proc.Order[:longest]
+		// The prefix check applies to positions whose entire preceding
+		// prefix is safe — confirmability requires contiguity, so check the
+		// contiguous safe prefix only.
+		contig := 0
+		for _, l := range proc.Order {
+			if proc.SafeLabels[l] {
+				contig++
+			} else {
+				break
+			}
+		}
+		sigma = sigma[:contig]
+		for _, q := range proc.Current.Set.Members() {
+			bo := s.Procs[q].BuildOrder[proc.Current.ID]
+			if !isPrefix(sigma, bo) {
+				return fmt.Errorf("lemma 6.20: safe prefix of order_%v (len %d) not a prefix of buildorder[%v,%v] (len %d)",
+					p, len(sigma), q, proc.Current.ID, len(bo))
+			}
+		}
+	}
+
+	// Lemma 6.21: every summary's ord is closed under
+	// sent-before-by-the-same-client with respect to allcontent.
+	// Equivalent linear form: for each origin o, the o-labels of ord, read
+	// in position order, must be exactly the first k labels of o's sorted
+	// allcontent labels, in that sorted order.
+	allcontent, err := s.AllContent()
+	if err != nil {
+		return err
+	}
+	perOrigin := make(map[types.ProcID][]types.Label)
+	for l := range allcontent {
+		perOrigin[l.Origin] = append(perOrigin[l.Origin], l)
+	}
+	for _, ls := range perOrigin {
+		types.SortLabels(ls)
+	}
+	for _, sa := range s.allStateAll() {
+		seen := make(map[types.ProcID]int)
+		for i, l := range sa.X.Ord {
+			want := perOrigin[l.Origin]
+			k := seen[l.Origin]
+			if k >= len(want) || want[k] != l {
+				expected := "none"
+				if k < len(want) {
+					expected = want[k].String()
+				}
+				return fmt.Errorf("lemma 6.21: allstate[%v,%v].ord(%d)=%v but origin's next expected label is %s",
+					sa.P, sa.G, i+1, l, expected)
+			}
+			seen[l.Origin] = k + 1
+		}
+	}
+	return nil
+}

@@ -1,0 +1,382 @@
+package vstoto
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Status is the VStoTO_p processing status of Figure 9.
+type Status int
+
+// The three statuses: normal (anywhere outside the first recovery phase),
+// send (a new view was announced; the state-exchange summary is not yet
+// sent), collect (waiting for the remaining members' summaries).
+const (
+	StatusNormal Status = iota
+	StatusSend
+	StatusCollect
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case StatusNormal:
+		return "normal"
+	case StatusSend:
+		return "send"
+	case StatusCollect:
+		return "collect"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Proc is the per-processor VStoTO_p automaton: the state of Figure 9 with
+// the transitions of Figure 10, exposed as explicit precondition/effect
+// method pairs so that both the randomized ioa executor and the timed
+// event-driven stack can drive it.
+type Proc struct {
+	id types.ProcID
+	qs types.QuorumSystem
+
+	// Current is the current view (views⊥; ⊥ encoded as ID.IsBottom()).
+	Current types.View
+	// NextSeqno generates the per-view label sequence numbers, from 1.
+	NextSeqno int
+	// Buffer holds labels of values labeled but not yet gpsnd'd.
+	Buffer []types.Label
+	// Order is the tentative total order of labels.
+	Order []types.Label
+	// NextConfirm is the 1-based index of the next unconfirmed position in
+	// Order.
+	NextConfirm int
+	// NextReport is the 1-based index of the next confirmed position not
+	// yet released to the client.
+	NextReport int
+	// HighPrimary is the highest established-primary view identifier that
+	// has affected Order (G⊥).
+	HighPrimary types.ViewID
+	// Status is normal/send/collect.
+	Status Status
+	// Delay buffers client values not yet labeled.
+	Delay []types.Value
+	// Content is the label→value relation (a partial function; Lemma 6.5).
+	Content map[types.Label]types.Value
+	// GotState accumulates state-exchange summaries in the current view.
+	GotState GotState
+	// SafeExch is the set of members whose summaries are known safe.
+	SafeExch map[types.ProcID]bool
+	// SafeLabels is the set of labels reported safe in the current view.
+	SafeLabels map[types.Label]bool
+
+	// LiteralFigure10Label reverts label(a)_p to the paper's literal
+	// precondition (no status check). It exists to *study* the resulting
+	// defect: with it set, a value labeled during recovery is ordered
+	// twice, and both the randomized checker and the bounded exhaustive
+	// explorer find the violation (see TestExploreFindsLiteralLabelBug).
+	// Never set it in real use.
+	LiteralFigure10Label bool
+
+	// History variables for the Section 6 proof apparatus (maintained when
+	// TrackHistory is set; the timed stack leaves it off).
+	TrackHistory bool
+	// Established[g] is the paper's established[p, g].
+	Established map[types.ViewID]bool
+	// BuildOrder[g] is the paper's buildorder[p, g]: the last value of
+	// Order while p was in view g.
+	BuildOrder map[types.ViewID][]types.Label
+}
+
+// NewProc creates VStoTO_p. Processors in p0 start in the initial view
+// ⟨g0, P0⟩ with highprimary g0; the rest start with both ⊥.
+func NewProc(id types.ProcID, qs types.QuorumSystem, p0 types.ProcSet) *Proc {
+	p := &Proc{
+		id:          id,
+		qs:          qs,
+		NextSeqno:   1,
+		NextConfirm: 1,
+		NextReport:  1,
+		Content:     make(map[types.Label]types.Value),
+		GotState:    make(GotState),
+		SafeExch:    make(map[types.ProcID]bool),
+		SafeLabels:  make(map[types.Label]bool),
+		Established: make(map[types.ViewID]bool),
+		BuildOrder:  make(map[types.ViewID][]types.Label),
+	}
+	if p0.Contains(id) {
+		p.Current = types.InitialView(p0)
+		p.HighPrimary = types.G0()
+		p.Established[types.G0()] = true
+	}
+	return p
+}
+
+// ID returns the processor identifier.
+func (p *Proc) ID() types.ProcID { return p.id }
+
+// Primary is the derived variable of Figure 9: current ≠ ⊥ and current.set
+// contains a quorum.
+func (p *Proc) Primary() bool {
+	return !p.Current.ID.IsBottom() && p.qs.IsQuorumContained(p.Current.Set)
+}
+
+func (p *Proc) recordOrder() {
+	if p.TrackHistory && !p.Current.ID.IsBottom() {
+		p.BuildOrder[p.Current.ID] = append([]types.Label(nil), p.Order...)
+	}
+}
+
+// --- Input actions -------------------------------------------------------
+
+// Bcast applies the input bcast(a)_p: append a to delay.
+func (p *Proc) Bcast(a types.Value) { p.Delay = append(p.Delay, a) }
+
+// Newview applies the input newview(v)_p.
+func (p *Proc) Newview(v types.View) {
+	p.Current = v
+	p.NextSeqno = 1
+	p.Buffer = nil
+	p.GotState = make(GotState)
+	p.SafeExch = make(map[types.ProcID]bool)
+	p.SafeLabels = make(map[types.Label]bool)
+	p.Status = StatusSend
+}
+
+// GprcvValue applies the input gprcv(⟨l,a⟩)_{q,p} for an ordinary message.
+func (p *Proc) GprcvValue(lv LabeledValue) {
+	p.Content[lv.L] = lv.A
+	if p.Primary() {
+		p.Order = append(p.Order, lv.L)
+		p.recordOrder()
+	}
+}
+
+// GprcvSummary applies the input gprcv(x)_{q,p} for a state-exchange
+// summary; it performs view establishment when the last summary arrives.
+func (p *Proc) GprcvSummary(q types.ProcID, x *Summary) {
+	for l, a := range x.Con {
+		p.Content[l] = a
+	}
+	p.GotState[q] = x
+	if p.GotState.domainEquals(p.Current.Set) && p.Status == StatusCollect {
+		p.NextConfirm = p.GotState.MaxNextConfirm()
+		if p.Primary() {
+			p.Order = append([]types.Label(nil), p.GotState.FullOrder()...)
+			p.HighPrimary = p.Current.ID
+		} else {
+			p.Order = append([]types.Label(nil), p.GotState.ShortOrder()...)
+			p.HighPrimary = p.GotState.MaxPrimary()
+		}
+		p.Status = StatusNormal
+		if p.TrackHistory {
+			p.Established[p.Current.ID] = true
+		}
+		p.recordOrder()
+	}
+}
+
+// SafeValue applies the input safe(⟨l,a⟩)_{q,p}.
+func (p *Proc) SafeValue(lv LabeledValue) {
+	if p.Primary() {
+		p.SafeLabels[lv.L] = true
+	}
+}
+
+// SafeSummary applies the input safe(x)_{q,p} for a state-exchange summary.
+func (p *Proc) SafeSummary(q types.ProcID) {
+	p.SafeExch[q] = true
+	if p.safeExchComplete() && p.Primary() {
+		for _, l := range p.GotState.FullOrder() {
+			p.SafeLabels[l] = true
+		}
+	}
+}
+
+func (p *Proc) safeExchComplete() bool {
+	if p.Current.ID.IsBottom() || len(p.SafeExch) != p.Current.Set.Size() {
+		return false
+	}
+	for _, q := range p.Current.Set.Members() {
+		if !p.SafeExch[q] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Locally controlled actions ------------------------------------------
+
+// LabelEnabled reports whether the internal action label(a)_p is enabled,
+// returning the value at the head of delay.
+//
+// Figure 10 states the precondition as "a is head of delay ∧ current ≠ ⊥";
+// we additionally require status = normal. Without it, a value labeled
+// between newview and the completion of state exchange enters the sender's
+// own summary con, is ordered once at establishment (via fullorder) and
+// again when its ordinary message is later delivered — a duplicate that
+// breaks Lemma 6.21 and the forward simulation (our randomized checker
+// finds this in seconds). The delay queue exists precisely to hold values
+// during recovery, so the strengthened precondition matches the paper's
+// intent ("normal activity") and restores the proven invariants.
+func (p *Proc) LabelEnabled() (types.Value, bool) {
+	if len(p.Delay) == 0 || p.Current.ID.IsBottom() {
+		return "", false
+	}
+	if p.Status != StatusNormal && !p.LiteralFigure10Label {
+		return "", false
+	}
+	return p.Delay[0], true
+}
+
+// Label performs label(a)_p and returns the label assigned.
+func (p *Proc) Label() types.Label {
+	a, ok := p.LabelEnabled()
+	if !ok {
+		panic("vstoto: Label performed while disabled")
+	}
+	l := types.Label{ID: p.Current.ID, Seqno: p.NextSeqno, Origin: p.id}
+	p.Content[l] = a
+	p.Buffer = append(p.Buffer, l)
+	p.NextSeqno++
+	p.Delay = p.Delay[1:]
+	return l
+}
+
+// GpsndValueEnabled reports whether gpsnd(⟨l,a⟩)_p is enabled, returning
+// the pair to send.
+func (p *Proc) GpsndValueEnabled() (LabeledValue, bool) {
+	if p.Status != StatusNormal || len(p.Buffer) == 0 {
+		return LabeledValue{}, false
+	}
+	l := p.Buffer[0]
+	a, ok := p.Content[l]
+	if !ok {
+		return LabeledValue{}, false
+	}
+	return LabeledValue{L: l, A: a}, true
+}
+
+// GpsndValue performs gpsnd(⟨l,a⟩)_p, returning the message for the VS
+// layer.
+func (p *Proc) GpsndValue() LabeledValue {
+	lv, ok := p.GpsndValueEnabled()
+	if !ok {
+		panic("vstoto: GpsndValue performed while disabled")
+	}
+	p.Buffer = p.Buffer[1:]
+	return lv
+}
+
+// GpsndSummaryEnabled reports whether the state-exchange gpsnd(x)_p is
+// enabled.
+func (p *Proc) GpsndSummaryEnabled() bool { return p.Status == StatusSend }
+
+// SummaryMessage builds (without any state change) the summary
+// x = ⟨content, order, nextconfirm, highprimary⟩ that the state-exchange
+// gpsnd would carry. The summary is an immutable snapshot.
+func (p *Proc) SummaryMessage() *Summary {
+	con := make(map[types.Label]types.Value, len(p.Content))
+	for l, a := range p.Content {
+		con[l] = a
+	}
+	return &Summary{
+		Con:  con,
+		Ord:  append([]types.Label(nil), p.Order...),
+		Next: p.NextConfirm,
+		High: p.HighPrimary,
+	}
+}
+
+// CommitSummarySend applies the effect of the state-exchange gpsnd(x)_p:
+// status moves from send to collect.
+func (p *Proc) CommitSummarySend() {
+	if !p.GpsndSummaryEnabled() {
+		panic("vstoto: CommitSummarySend while not in send status")
+	}
+	p.Status = StatusCollect
+}
+
+// GpsndSummary performs the state-exchange gpsnd(x)_p: it builds the
+// summary snapshot and moves to collect.
+func (p *Proc) GpsndSummary() *Summary {
+	if !p.GpsndSummaryEnabled() {
+		panic("vstoto: GpsndSummary performed while disabled")
+	}
+	x := p.SummaryMessage()
+	p.Status = StatusCollect
+	return x
+}
+
+// ConfirmEnabled reports whether the internal action confirm_p is enabled.
+func (p *Proc) ConfirmEnabled() bool {
+	if !p.Primary() || p.NextConfirm > len(p.Order) {
+		return false
+	}
+	return p.SafeLabels[p.Order[p.NextConfirm-1]]
+}
+
+// Confirm performs confirm_p.
+func (p *Proc) Confirm() {
+	if !p.ConfirmEnabled() {
+		panic("vstoto: Confirm performed while disabled")
+	}
+	p.NextConfirm++
+}
+
+// BrcvEnabled reports whether the output brcv(a)_{q,p} is enabled,
+// returning the origin q and value a.
+func (p *Proc) BrcvEnabled() (types.ProcID, types.Value, bool) {
+	if p.NextReport >= p.NextConfirm || p.NextReport > len(p.Order) {
+		return 0, "", false
+	}
+	l := p.Order[p.NextReport-1]
+	a, ok := p.Content[l]
+	if !ok {
+		return 0, "", false
+	}
+	return l.Origin, a, true
+}
+
+// Brcv performs brcv(a)_{q,p}, returning the origin and value released to
+// the client.
+func (p *Proc) Brcv() (types.ProcID, types.Value) {
+	q, a, ok := p.BrcvEnabled()
+	if !ok {
+		panic("vstoto: Brcv performed while disabled")
+	}
+	p.NextReport++
+	return q, a
+}
+
+// Quiescent reports whether no locally controlled action is enabled — used
+// by the timed stack, where good processors run enabled actions eagerly.
+func (p *Proc) Quiescent() bool {
+	if _, ok := p.LabelEnabled(); ok {
+		return false
+	}
+	if _, ok := p.GpsndValueEnabled(); ok {
+		return false
+	}
+	if p.GpsndSummaryEnabled() || p.ConfirmEnabled() {
+		return false
+	}
+	_, _, brcv := p.BrcvEnabled()
+	return !brcv
+}
+
+// ConfirmedLabels returns the confirmed prefix of Order (the paper's
+// order-derived confirm sequence for this processor's own summary).
+func (p *Proc) ConfirmedLabels() []types.Label {
+	n := p.NextConfirm - 1
+	if n > len(p.Order) {
+		n = len(p.Order)
+	}
+	return p.Order[:n]
+}
+
+// StateSummary returns the summary whose components are the current local
+// state (the x of allstate clause 1), without changing status.
+func (p *Proc) StateSummary() *Summary {
+	return &Summary{Con: p.Content, Ord: p.Order, Next: p.NextConfirm, High: p.HighPrimary}
+}

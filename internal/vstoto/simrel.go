@@ -1,0 +1,155 @@
+package vstoto
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/spec/tomachine"
+	"repro/internal/types"
+)
+
+// AbstractState is the image f(x) of the composed system state under the
+// forward simulation relation of Section 6.2: a complete TO-machine state.
+type AbstractState struct {
+	Queue   []tomachine.Entry
+	Pending map[types.ProcID][]types.Value
+	Next    map[types.ProcID]int
+}
+
+// Abstract computes f(x) for the current state of the composed system:
+//
+//  1. queue = applyall(⟨allcontent, origin⟩, allconfirm)
+//  2. next[p] = nextreport_p
+//  3. pending[p] = the values of labels with origin p in allcontent but not
+//     in allconfirm, in label order, followed by delay_p.
+func (s *System) Abstract() (*AbstractState, error) {
+	allcontent, err := s.AllContent()
+	if err != nil {
+		return nil, err
+	}
+	allconfirm, err := s.AllConfirm()
+	if err != nil {
+		return nil, err
+	}
+	abs := &AbstractState{
+		Pending: make(map[types.ProcID][]types.Value),
+		Next:    make(map[types.ProcID]int),
+	}
+	confirmed := make(map[types.Label]bool, len(allconfirm))
+	for _, l := range allconfirm {
+		a, ok := allcontent[l]
+		if !ok {
+			return nil, fmt.Errorf("vstoto: confirmed label %v has no content", l)
+		}
+		abs.Queue = append(abs.Queue, tomachine.Entry{A: a, P: l.Origin})
+		confirmed[l] = true
+	}
+	perOrigin := make(map[types.ProcID][]types.Label)
+	for l := range allcontent {
+		if !confirmed[l] {
+			perOrigin[l.Origin] = append(perOrigin[l.Origin], l)
+		}
+	}
+	for _, p := range s.VS.Procs().Members() {
+		labels := perOrigin[p]
+		types.SortLabels(labels)
+		var vals []types.Value
+		for _, l := range labels {
+			vals = append(vals, allcontent[l])
+		}
+		vals = append(vals, s.Procs[p].Delay...)
+		abs.Pending[p] = vals
+		abs.Next[p] = s.Procs[p].NextReport
+	}
+	return abs, nil
+}
+
+// SimulationChecker maintains a shadow TO-machine and, after every step of
+// a randomized execution of the composed system, (a) advances the shadow by
+// the abstract actions that Lemma 6.25 assigns to the concrete step, and
+// (b) verifies that f(x') equals the shadow state exactly. A successful
+// long run is a machine-checked witness of the forward simulation and hence
+// of Theorem 6.26 on that execution.
+type SimulationChecker struct {
+	Sys    *System
+	Shadow *tomachine.Machine
+}
+
+// NewSimulationChecker builds the checker with a fresh shadow machine.
+func NewSimulationChecker(sys *System) *SimulationChecker {
+	return &SimulationChecker{Sys: sys, Shadow: tomachine.New(sys.VS.Procs())}
+}
+
+// Hook returns an executor step hook performing the per-step check.
+func (c *SimulationChecker) Hook() func(ioa.TraceEvent) error {
+	return func(ev ioa.TraceEvent) error { return c.AfterStep(ev.Act) }
+}
+
+// AfterStep advances the shadow machine according to the concrete action
+// just performed and checks f-correspondence.
+func (c *SimulationChecker) AfterStep(act ioa.Action) error {
+	if t, ok := act.(tomachine.Bcast); ok {
+		c.Shadow.ApplyBcast(t.A, t.P)
+	}
+	// Any step may have extended allconfirm (confirm_p corresponds to
+	// to-order); catch up the shadow queue before checking deliveries.
+	allconfirm, err := c.Sys.AllConfirm()
+	if err != nil {
+		return err
+	}
+	if len(allconfirm) < len(c.Shadow.Queue) {
+		return fmt.Errorf("simulation: allconfirm shrank from %d to %d", len(c.Shadow.Queue), len(allconfirm))
+	}
+	if len(allconfirm) > len(c.Shadow.Queue) {
+		allcontent, err := c.Sys.AllContent()
+		if err != nil {
+			return err
+		}
+		for _, l := range allconfirm[len(c.Shadow.Queue):] {
+			a, ok := allcontent[l]
+			if !ok {
+				return fmt.Errorf("simulation: confirmed label %v has no content", l)
+			}
+			if err := c.Shadow.ApplyToOrder(a, l.Origin); err != nil {
+				return fmt.Errorf("simulation: to-order for confirmed label %v not enabled: %w", l, err)
+			}
+		}
+	}
+	if t, ok := act.(tomachine.Brcv); ok {
+		if err := c.Shadow.ApplyBrcv(t.A, t.P, t.Q); err != nil {
+			return fmt.Errorf("simulation: concrete brcv has no abstract counterpart: %w", err)
+		}
+	}
+	return c.checkCorrespondence()
+}
+
+// checkCorrespondence verifies f(x) equals the shadow state exactly.
+func (c *SimulationChecker) checkCorrespondence() error {
+	abs, err := c.Sys.Abstract()
+	if err != nil {
+		return err
+	}
+	if len(abs.Queue) != len(c.Shadow.Queue) {
+		return fmt.Errorf("simulation: f(x).queue len %d ≠ shadow len %d", len(abs.Queue), len(c.Shadow.Queue))
+	}
+	for i := range abs.Queue {
+		if abs.Queue[i] != c.Shadow.Queue[i] {
+			return fmt.Errorf("simulation: f(x).queue[%d]=%v ≠ shadow %v", i, abs.Queue[i], c.Shadow.Queue[i])
+		}
+	}
+	for _, p := range c.Sys.VS.Procs().Members() {
+		if abs.Next[p] != c.Shadow.Next[p] {
+			return fmt.Errorf("simulation: f(x).next[%v]=%d ≠ shadow %d", p, abs.Next[p], c.Shadow.Next[p])
+		}
+		ap, sp := abs.Pending[p], c.Shadow.Pending[p]
+		if len(ap) != len(sp) {
+			return fmt.Errorf("simulation: f(x).pending[%v]=%v ≠ shadow %v", p, ap, sp)
+		}
+		for i := range ap {
+			if ap[i] != sp[i] {
+				return fmt.Errorf("simulation: f(x).pending[%v][%d]=%q ≠ shadow %q", p, i, ap[i], sp[i])
+			}
+		}
+	}
+	return nil
+}

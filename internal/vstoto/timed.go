@@ -1,0 +1,118 @@
+package vstoto
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/failures"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// TimedProc is the Section 7 construction VStoTO′_p: the untimed VStoTO_p
+// automaton extended with
+//
+//   - failure-status input actions good_p / bad_p / ugly_p, recorded in a
+//     failure-status variable (initially good);
+//   - the precondition "failure-status ≠ bad" on every output and internal
+//     action;
+//   - time-passage actions ν(t), enabled only when it is NOT the case that
+//     the status is good and some output or internal action is enabled —
+//     i.e. a good processor performs enabled steps with no time delay, a
+//     bad processor is stopped, and an ugly processor may take steps or
+//     let time pass, nondeterministically.
+//
+// The timed stack (package stack) realizes exactly these rules by draining
+// enabled actions eagerly for good processors and suspending bad ones;
+// TimedProc exists to state the construction explicitly and to let tests
+// check the stack's behavior against it.
+type TimedProc struct {
+	P *Proc
+	// Status is the failure-status variable of the construction.
+	Status failures.Status
+	// Now tracks the local time across ν(t) actions.
+	Now sim.Time
+}
+
+// NewTimedProc wraps a processor, initially good at time zero.
+func NewTimedProc(p *Proc) *TimedProc {
+	return &TimedProc{P: p}
+}
+
+// SetStatus applies a failure-status input action.
+func (tp *TimedProc) SetStatus(s failures.Status) { tp.Status = s }
+
+// LocallyControlledEnabled reports whether any output or internal action
+// of the underlying automaton is enabled (label, gpsnd, confirm, brcv).
+func (tp *TimedProc) LocallyControlledEnabled() bool { return !tp.P.Quiescent() }
+
+// CanPerform reports whether the processor may take a locally controlled
+// step now: the step must be enabled and the status must not be bad.
+func (tp *TimedProc) CanPerform() bool {
+	return tp.Status != failures.Bad && tp.LocallyControlledEnabled()
+}
+
+// CanAdvanceTime reports whether ν(t) is enabled: time may not pass while
+// the processor is good and has an enabled output or internal action.
+func (tp *TimedProc) CanAdvanceTime() bool {
+	if tp.Status == failures.Good && tp.LocallyControlledEnabled() {
+		return false
+	}
+	return true
+}
+
+// AdvanceTime performs ν(t). It returns an error if ν is not enabled —
+// that is, if a good processor would be sitting on an enabled action.
+func (tp *TimedProc) AdvanceTime(t time.Duration) error {
+	if t <= 0 {
+		return fmt.Errorf("vstoto: ν(%v) with non-positive duration", t)
+	}
+	if !tp.CanAdvanceTime() {
+		return fmt.Errorf("vstoto: ν(%v) while good and enabled (a good processor acts immediately)", t)
+	}
+	tp.Now = tp.Now.Add(t)
+	return nil
+}
+
+// Drain performs every enabled locally controlled action, in the stack's
+// canonical order, invoking the callbacks for externally visible outputs.
+// It returns the number of steps taken; zero when the processor is bad or
+// quiescent. This is the "good processors take enabled steps immediately"
+// rule packaged for the timed harness.
+func (tp *TimedProc) Drain(
+	sendVS func(payload any),
+	deliver func(from types.ProcID, a types.Value),
+) int {
+	if tp.Status == failures.Bad {
+		return 0
+	}
+	steps := 0
+	for {
+		progress := false
+		if _, ok := tp.P.LabelEnabled(); ok {
+			tp.P.Label()
+			progress = true
+		}
+		if tp.P.GpsndSummaryEnabled() {
+			sendVS(tp.P.GpsndSummary())
+			progress = true
+		}
+		if _, ok := tp.P.GpsndValueEnabled(); ok {
+			sendVS(tp.P.GpsndValue())
+			progress = true
+		}
+		if tp.P.ConfirmEnabled() {
+			tp.P.Confirm()
+			progress = true
+		}
+		if _, _, ok := tp.P.BrcvEnabled(); ok {
+			from, a := tp.P.Brcv()
+			deliver(from, a)
+			progress = true
+		}
+		if !progress {
+			return steps
+		}
+		steps++
+	}
+}

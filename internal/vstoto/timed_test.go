@@ -1,0 +1,84 @@
+package vstoto
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/failures"
+	"repro/internal/types"
+)
+
+func TestTimedGoodProcessorBlocksTimeWhileEnabled(t *testing.T) {
+	tp := NewTimedProc(newTestProc(0, 3))
+	if !tp.CanAdvanceTime() {
+		t.Fatal("quiescent good processor cannot let time pass")
+	}
+	tp.P.Bcast("a") // label becomes enabled
+	if tp.CanAdvanceTime() {
+		t.Fatal("good processor with an enabled action lets time pass")
+	}
+	if err := tp.AdvanceTime(time.Millisecond); err == nil {
+		t.Fatal("ν accepted while good and enabled")
+	}
+	// Draining restores quiescence... label + gpsnd consume the value.
+	n := tp.Drain(func(any) {}, func(types.ProcID, types.Value) {})
+	if n == 0 {
+		t.Fatal("drain made no progress")
+	}
+	if !tp.CanAdvanceTime() {
+		t.Fatal("still blocked after draining")
+	}
+	if err := tp.AdvanceTime(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if tp.Now != 1e6 {
+		t.Errorf("Now = %v", tp.Now)
+	}
+}
+
+func TestTimedBadProcessorFrozenButTimePasses(t *testing.T) {
+	tp := NewTimedProc(newTestProc(0, 3))
+	tp.P.Bcast("a")
+	tp.SetStatus(failures.Bad)
+	if tp.CanPerform() {
+		t.Fatal("bad processor can perform")
+	}
+	if n := tp.Drain(func(any) {}, func(types.ProcID, types.Value) {}); n != 0 {
+		t.Fatalf("bad processor drained %d steps", n)
+	}
+	// Time passes freely while bad, even with enabled actions.
+	if err := tp.AdvanceTime(5 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery: state was preserved; the enabled action resumes.
+	tp.SetStatus(failures.Good)
+	if !tp.CanPerform() {
+		t.Fatal("recovered processor cannot perform")
+	}
+	if n := tp.Drain(func(any) {}, func(types.ProcID, types.Value) {}); n == 0 {
+		t.Fatal("recovered processor made no progress")
+	}
+}
+
+func TestTimedUglyProcessorMayDoEither(t *testing.T) {
+	tp := NewTimedProc(newTestProc(0, 3))
+	tp.P.Bcast("a")
+	tp.SetStatus(failures.Ugly)
+	// Ugly: both performing and letting time pass are allowed.
+	if !tp.CanPerform() {
+		t.Fatal("ugly processor cannot perform")
+	}
+	if !tp.CanAdvanceTime() {
+		t.Fatal("ugly processor cannot let time pass")
+	}
+}
+
+func TestTimedRejectsNonPositiveDuration(t *testing.T) {
+	tp := NewTimedProc(newTestProc(0, 3))
+	if err := tp.AdvanceTime(0); err == nil {
+		t.Fatal("ν(0) accepted")
+	}
+	if err := tp.AdvanceTime(-time.Second); err == nil {
+		t.Fatal("negative ν accepted")
+	}
+}

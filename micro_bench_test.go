@@ -1,0 +1,116 @@
+package pgcs_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/codec"
+	"repro/internal/failures"
+	"repro/internal/net"
+	"repro/internal/sim"
+	"repro/internal/types"
+	"repro/internal/vsimpl"
+	"repro/internal/vstoto"
+)
+
+// BenchmarkCodecRoundtrip measures wire-codec cost for the common payloads.
+func BenchmarkCodecRoundtrip(b *testing.B) {
+	lv := vstoto.LabeledValue{
+		L: types.Label{ID: types.G0(), Seqno: 42, Origin: 3},
+		A: "a moderately sized payload value for the benchmark",
+	}
+	con := make(map[types.Label]types.Value, 50)
+	ord := make([]types.Label, 0, 50)
+	for i := 1; i <= 50; i++ {
+		l := types.Label{ID: types.G0(), Seqno: i, Origin: types.ProcID(i % 5)}
+		con[l] = types.Value(fmt.Sprintf("value-%d", i))
+		ord = append(ord, l)
+	}
+	sum := &vstoto.Summary{Con: con, Ord: ord, Next: 25, High: types.G0()}
+
+	b.Run("labeled-value", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := codec.Roundtrip(lv); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("summary-50", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := codec.Roundtrip(sum); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTOCheckerThroughput measures the trace checker's per-event cost.
+func BenchmarkTOCheckerThroughput(b *testing.B) {
+	const n = 5
+	ck := check.NewTOChecker()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		origin := types.ProcID(i % n)
+		v := types.Value(fmt.Sprintf("v%d", i))
+		ck.Bcast(v, origin)
+		for q := 0; q < n; q++ {
+			if err := ck.Brcv(v, origin, types.ProcID(q)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(ck.Events())/float64(b.N), "events/op")
+}
+
+// BenchmarkTokenRing measures raw VS-layer delivery throughput (messages
+// safe everywhere per simulated second).
+func BenchmarkTokenRing(b *testing.B) {
+	for _, n := range []int{3, 8} {
+		n := n
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			s := sim.New(1)
+			oracle := failures.NewOracle(s.Now)
+			nw := net.New(s, oracle, net.Config{Delta: time.Millisecond})
+			procs := types.RangeProcSet(n)
+			cfg := vsimpl.DefaultConfig(time.Millisecond, n)
+			nodes := make([]*vsimpl.Node, n)
+			for i := 0; i < n; i++ {
+				nodes[i] = vsimpl.NewNode(types.ProcID(i), procs, procs, s, nw, oracle, cfg, vsimpl.Handlers{})
+			}
+			for _, nd := range nodes {
+				nd.Start()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nodes[i%n].Gpsnd(i)
+				if i%32 == 31 {
+					if err := s.RunFor(100 * time.Millisecond); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			if err := s.RunFor(2 * time.Second); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			st := nodes[0].Stats()
+			if st.Delivered < b.N {
+				b.Fatalf("delivered %d of %d", st.Delivered, b.N)
+			}
+			b.ReportMetric(float64(st.SafeEmitted)/(float64(s.Now())/float64(time.Second)), "safe/simsec")
+		})
+	}
+}
+
+// BenchmarkExplorer measures exhaustive-exploration state throughput.
+func BenchmarkExplorer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := vstoto.Explore(vstoto.ExploreConfig{N: 2, MaxBcasts: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.States), "states/op")
+	}
+}

@@ -1,0 +1,174 @@
+package pgcs_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func TestSimClusterEndToEnd(t *testing.T) {
+	c := pgcs.NewSimCluster(pgcs.Config{N: 4, Seed: 1, Delta: time.Millisecond})
+	c.Broadcast(0, "one")
+	c.Broadcast(3, "two")
+	if err := c.Run(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	ref := c.Deliveries(0)
+	if len(ref) != 2 {
+		t.Fatalf("node 0 delivered %d values", len(ref))
+	}
+	for _, p := range c.Procs().Members() {
+		ds := c.Deliveries(p)
+		if len(ds) != 2 {
+			t.Fatalf("%v delivered %d", p, len(ds))
+		}
+		for i := range ds {
+			if ds[i].Value != ref[i].Value {
+				t.Fatalf("%v diverges", p)
+			}
+		}
+	}
+	v, ok := c.CurrentView(0)
+	if !ok || !v.Set.Equal(c.Procs()) {
+		t.Errorf("view = %v %t", v, ok)
+	}
+	if c.Now() == 0 {
+		t.Error("virtual clock did not advance")
+	}
+	if c.EventLog().Len() == 0 {
+		t.Error("event log empty")
+	}
+	if c.Stack() == nil {
+		t.Error("Stack() nil")
+	}
+}
+
+func TestPartitionHealViaFacade(t *testing.T) {
+	c := pgcs.NewSimCluster(pgcs.Config{N: 5, Seed: 2, Delta: time.Millisecond})
+	c.Partition(pgcs.NewProcSet(0, 1, 2), pgcs.NewProcSet(3, 4))
+	if err := c.Run(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	c.Broadcast(4, "minority")
+	if err := c.Run(300 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Deliveries(4)) != 0 {
+		t.Fatal("minority delivered without quorum")
+	}
+	c.Heal()
+	if err := c.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.Procs().Members() {
+		if len(c.Deliveries(p)) != 1 {
+			t.Fatalf("%v delivered %d after heal", p, len(c.Deliveries(p)))
+		}
+	}
+}
+
+func TestCustomQuorums(t *testing.T) {
+	// Majorities(7) over a 3-node cluster: no attainable view can hold 4
+	// of 7, so no view is ever primary and nothing is delivered.
+	c := pgcs.NewSimCluster(pgcs.Config{N: 3, Seed: 3, Delta: time.Millisecond, Quorums: pgcs.Majorities(7)})
+	c.Broadcast(0, "never")
+	if err := c.Run(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Deliveries(0)) != 0 {
+		t.Fatal("delivered without a primary view")
+	}
+}
+
+func TestInitialMembers(t *testing.T) {
+	c := pgcs.NewSimCluster(pgcs.Config{N: 3, Seed: 4, Delta: time.Millisecond, InitialMembers: 2})
+	if _, ok := c.CurrentView(2); ok {
+		t.Fatal("outsider starts with a view")
+	}
+	// The outsider is pulled in by probing.
+	if err := c.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c.CurrentView(2)
+	if !ok || !v.Set.Contains(2) {
+		t.Fatalf("outsider never joined: %v %t", v, ok)
+	}
+}
+
+func TestReplicatedMemoryFacade(t *testing.T) {
+	c := pgcs.NewSimCluster(pgcs.Config{N: 3, Seed: 5, Delta: time.Millisecond})
+	mem := c.Memory()
+	applied := false
+	mem.Write(0, "k", "v", func() { applied = true })
+	if err := c.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.Procs().Members() {
+		if got := mem.Read(p, "k"); got != "v" {
+			t.Errorf("%v reads %q", p, got)
+		}
+	}
+	if !applied {
+		t.Fatal("write not applied (ack fires when deliveries are pumped)")
+	}
+	var atomicVal string
+	mem.ReadAtomic(1, "k", func(v string) { atomicVal = v })
+	if err := c.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	mem.Read(0, "") // pump
+	if atomicVal != "v" {
+		t.Errorf("atomic read = %q", atomicVal)
+	}
+	if err := mem.CheckCoherence(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminismOfFacadeRuns(t *testing.T) {
+	run := func() string {
+		c := pgcs.NewSimCluster(pgcs.Config{N: 4, Seed: 77, Delta: time.Millisecond})
+		for i := 0; i < 5; i++ {
+			c.Broadcast(pgcs.ProcID(i%4), pgcs.Value(fmt.Sprintf("v%d", i)))
+		}
+		c.Partition(pgcs.NewProcSet(0, 1), pgcs.NewProcSet(2, 3))
+		if err := c.Run(300 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		c.Heal()
+		if err := c.Run(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		out := ""
+		for _, d := range c.Deliveries(0) {
+			out += string(d.Value) + ";"
+		}
+		return out
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different outcomes:\n%s\n%s", a, b)
+	}
+}
+
+func TestLiveClusterFacade(t *testing.T) {
+	live := pgcs.StartLiveCluster(pgcs.LiveOptions{
+		Config: pgcs.Config{N: 3, Seed: 6, Delta: time.Millisecond},
+		Speed:  2000,
+	})
+	defer live.Stop()
+	sub := live.Subscribe()
+	live.Bcast(0, "live")
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case d := <-sub:
+			if d.Value == "live" {
+				return
+			}
+		case <-deadline:
+			t.Fatal("live delivery never arrived")
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package chaos
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestArtifactRoundTrip(t *testing.T) {
+	r := Run(Config{Campaign: CrashRestart, Seed: 11, N: 4, Window: 1200 * time.Millisecond})
+	a := NewArtifact(r)
+	data, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := back.Config()
+	if cfg.Campaign != CrashRestart || cfg.Seed != 11 || cfg.N != 4 ||
+		cfg.Delta != time.Millisecond || cfg.Window != 1200*time.Millisecond {
+		t.Fatalf("decoded config = %+v", cfg)
+	}
+	if cfg.RecoveryBound != r.Bound {
+		t.Errorf("artifact lost the effective bound: %v vs %v", cfg.RecoveryBound, r.Bound)
+	}
+	if len(cfg.Schedule) != len(r.Schedule) {
+		t.Fatalf("schedule length %d, want %d", len(cfg.Schedule), len(r.Schedule))
+	}
+	for i := range cfg.Schedule {
+		if cfg.Schedule[i] != r.Schedule[i] {
+			t.Fatalf("event %d: %v vs %v", i, cfg.Schedule[i], r.Schedule[i])
+		}
+	}
+}
+
+// TestSameSeedSameArtifactBytes is the CLI determinism criterion: the same
+// seed and campaign produce byte-identical artifacts across independent
+// runs.
+func TestSameSeedSameArtifactBytes(t *testing.T) {
+	for _, ct := range Campaigns {
+		cfg := Config{Campaign: ct, Seed: 5, N: 4, Window: 1200 * time.Millisecond}
+		a, err := NewArtifact(Run(cfg)).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewArtifact(Run(cfg)).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: artifacts differ across identical runs", ct)
+		}
+	}
+}
+
+// TestReplayedRunMatchesOriginal: a run reconstructed from an artifact
+// reproduces the original's observable outcome exactly, including when the
+// artifact's schedule is used verbatim rather than regenerated.
+func TestReplayedRunMatchesOriginal(t *testing.T) {
+	orig := Run(Config{Campaign: LeaderCrash, Seed: 2, N: 4, Window: 1200 * time.Millisecond})
+	data, err := NewArtifact(orig).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := DecodeArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := Run(art.Config())
+	if replay.Msgs != orig.Msgs || replay.Deliveries != orig.Deliveries ||
+		replay.Net != orig.Net || replay.Recovery != orig.Recovery {
+		t.Fatalf("replay diverged:\noriginal %+v\nreplay   %+v", orig, replay)
+	}
+	if replay.Failed() != orig.Failed() {
+		t.Fatalf("verdicts differ: %v vs %v", replay.Violation, orig.Violation)
+	}
+}
+
+func TestDecodeArtifactRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "}{",
+		"wrong version": `{"version":99,"campaign":"mixed","seed":1,"n":4,"delta_ns":1000000,"window_ns":1000000000,"recovery_bound_ns":1,"events":[]}`,
+		"bad n":         `{"version":1,"campaign":"mixed","seed":1,"n":1,"delta_ns":1000000,"window_ns":1000000000,"recovery_bound_ns":1,"events":[]}`,
+		"bad delta":     `{"version":1,"campaign":"mixed","seed":1,"n":4,"delta_ns":0,"window_ns":1000000000,"recovery_bound_ns":1,"events":[]}`,
+		"bad event":     `{"version":1,"campaign":"mixed","seed":1,"n":4,"delta_ns":1000000,"window_ns":1000000000,"recovery_bound_ns":1,"events":[{"t_ns":1,"status":"great","proc":0}]}`,
+	}
+	for name, data := range cases {
+		if _, err := DecodeArtifact([]byte(data)); err == nil {
+			t.Errorf("%s: accepted %s", name, data)
+		}
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	var v *Violation
+	if v.String() != "ok" {
+		t.Errorf("nil violation = %q", v.String())
+	}
+	v = &Violation{Check: "conformance", Detail: "boom"}
+	if !strings.Contains(v.String(), "conformance") || !strings.Contains(v.String(), "boom") {
+		t.Errorf("violation = %q", v.String())
+	}
+}

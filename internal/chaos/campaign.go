@@ -1,0 +1,402 @@
+// Package chaos is the adversarial fault-injection harness: it generates
+// typed campaigns of failure schedules against a stack.Cluster, runs each
+// under continuous traffic with full TO/VS trace conformance plus a
+// recovery-liveness check, shrinks any failing schedule to a minimal
+// counterexample by delta debugging, and serializes counterexamples into
+// JSON artifacts that cmd/chaos can replay byte for byte.
+//
+// Everything is deterministic: a campaign is a pure function of its type,
+// seed, and spec; a run is a pure function of its Config. The same seed
+// therefore always produces the same schedule, the same trace, the same
+// verdict, and the same artifact bytes — which is what makes a CI failure
+// reproducible from the artifact alone.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/failures"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// CampaignType names one family of adversarial failure schedules.
+type CampaignType string
+
+// The campaign families. Each stresses a different hypothesis of the
+// paper's conditional properties (Figures 5 and 7): what survives crashes,
+// partitions, timing-free (ugly) links, and combinations thereof.
+const (
+	// CrashRestart: waves of processor crashes and staggered restarts,
+	// sometimes leaving processors down until the final heal.
+	CrashRestart CampaignType = "crash-restart"
+	// RollingPartition: a sequence of random partitions, each replacing
+	// the previous one, with occasional full heals between.
+	RollingPartition CampaignType = "rolling-partition"
+	// NestedPartition: a partition whose larger side is sub-partitioned,
+	// then healed inner-first — views must shrink and re-grow monotonically.
+	NestedPartition CampaignType = "nested-partition"
+	// Flapping: a few links and one processor toggle good↔bad at periods
+	// close to δ, far faster than membership can stabilize.
+	Flapping CampaignType = "flapping"
+	// Asymmetric: one-way ugly/bad links (a→b afflicted while b→a stays
+	// good), rotated across pairs — the "ugly" timing-free regime.
+	Asymmetric CampaignType = "asymmetric"
+	// LeaderCrash: crashes targeted at the current ring leader (the
+	// minimum live processor), timed just before token-launch instants,
+	// cascading leadership down the ring.
+	LeaderCrash CampaignType = "leader-crash"
+	// Mixed: the soak-test adversary — every 200–500ms one of partition /
+	// crash / ugly links / heal, uniformly at random.
+	Mixed CampaignType = "mixed"
+)
+
+// Campaigns lists every campaign type, in a fixed order.
+var Campaigns = []CampaignType{
+	CrashRestart, RollingPartition, NestedPartition, Flapping, Asymmetric, LeaderCrash, Mixed,
+}
+
+// ParseCampaign validates a campaign name.
+func ParseCampaign(s string) (CampaignType, error) {
+	for _, c := range Campaigns {
+		if string(c) == s {
+			return c, nil
+		}
+	}
+	return "", fmt.Errorf("chaos: unknown campaign %q (have %v)", s, Campaigns)
+}
+
+// Spec parameterizes schedule generation.
+type Spec struct {
+	// N is the number of processors (IDs 0..N-1).
+	N int
+	// Delta is the network's δ; fault timing scales with it.
+	Delta time.Duration
+	// Window is the adversary's active interval [0, Window): every
+	// generated event falls strictly inside it. The runner force-heals the
+	// world at the end of the window, establishing the recovery-liveness
+	// hypothesis.
+	Window time.Duration
+	// Pi is the token-launch period π, used to time leader-targeted
+	// crashes against token circulation.
+	Pi time.Duration
+}
+
+// Generate produces the failure schedule of the given campaign type,
+// deterministically from (ct, seed, spec).
+func Generate(ct CampaignType, seed int64, spec Spec) (failures.Schedule, error) {
+	if spec.N < 2 {
+		return nil, fmt.Errorf("chaos: need at least 2 processors, have %d", spec.N)
+	}
+	if spec.Delta <= 0 || spec.Window <= 0 {
+		return nil, fmt.Errorf("chaos: Delta and Window must be positive")
+	}
+	g := &gen{
+		rng:  rand.New(rand.NewSource(seed)),
+		spec: spec,
+		all:  types.RangeProcSet(spec.N),
+	}
+	switch ct {
+	case CrashRestart:
+		g.crashRestart()
+	case RollingPartition:
+		g.rollingPartition()
+	case NestedPartition:
+		g.nestedPartition()
+	case Flapping:
+		g.flapping()
+	case Asymmetric:
+		g.asymmetric()
+	case LeaderCrash:
+		g.leaderCrash()
+	case Mixed:
+		g.mixed()
+	default:
+		return nil, fmt.Errorf("chaos: unknown campaign %q", ct)
+	}
+	g.out.Sort()
+	return g.out, nil
+}
+
+type gen struct {
+	rng  *rand.Rand
+	spec Spec
+	all  types.ProcSet
+	out  failures.Schedule
+}
+
+// inWindow clamps t strictly inside the adversary window.
+func (g *gen) inWindow(t time.Duration) sim.Time {
+	if t < 0 {
+		t = 0
+	}
+	if t >= g.spec.Window {
+		t = g.spec.Window - 1
+	}
+	return sim.Time(t)
+}
+
+func (g *gen) proc(t time.Duration, p types.ProcID, s failures.Status) {
+	g.out = append(g.out, failures.Event{Time: g.inWindow(t), Proc: p, Status: s})
+}
+
+func (g *gen) channel(t time.Duration, from, to types.ProcID, s failures.Status) {
+	g.out = append(g.out, failures.Event{
+		Time: g.inWindow(t), Channel: true,
+		Pair: failures.Pair{From: from, To: to}, Status: s,
+	})
+}
+
+// partition emits the event-list form of Oracle.Partition: all processors
+// good, channels good within a component and bad across (processors in no
+// component are fully cut off).
+func (g *gen) partition(t time.Duration, components ...types.ProcSet) {
+	comp := make(map[types.ProcID]int)
+	for i, c := range components {
+		for _, p := range c.Members() {
+			comp[p] = i + 1
+		}
+	}
+	for _, p := range g.all.Members() {
+		g.proc(t, p, failures.Good)
+		for _, r := range g.all.Members() {
+			if p == r {
+				continue
+			}
+			if comp[p] != 0 && comp[p] == comp[r] {
+				g.channel(t, p, r, failures.Good)
+			} else {
+				g.channel(t, p, r, failures.Bad)
+			}
+		}
+	}
+}
+
+// heal emits the event-list form of Oracle.Heal.
+func (g *gen) heal(t time.Duration) {
+	g.partition(t, g.all)
+}
+
+// randomSplit partitions the universe into k non-empty components.
+func (g *gen) randomSplit(k int) []types.ProcSet {
+	n := g.spec.N
+	if k > n {
+		k = n
+	}
+	perm := g.rng.Perm(n)
+	// k-1 distinct cut points define k non-empty runs of the permutation.
+	sets := make([][]types.ProcID, k)
+	for i, idx := range perm {
+		// Assign the first k elements one per component (non-emptiness),
+		// the rest uniformly.
+		c := i
+		if i >= k {
+			c = g.rng.Intn(k)
+		}
+		sets[c] = append(sets[c], types.ProcID(idx))
+	}
+	out := make([]types.ProcSet, k)
+	for i, s := range sets {
+		out[i] = types.NewProcSet(s...)
+	}
+	return out
+}
+
+func (g *gen) crashRestart() {
+	w := g.spec.Window
+	waves := 2 + g.rng.Intn(3)
+	for i := 0; i < waves; i++ {
+		start := time.Duration(i+1) * w / time.Duration(waves+1)
+		k := 1 + g.rng.Intn(g.spec.N-1) // crash 1..N-1, never the whole world at once
+		for _, idx := range g.rng.Perm(g.spec.N)[:k] {
+			p := types.ProcID(idx)
+			at := start + time.Duration(g.rng.Int63n(int64(20*g.spec.Delta)))
+			g.proc(at, p, failures.Bad)
+			// Two thirds restart before the window closes; the rest stay
+			// down until the forced heal.
+			if g.rng.Intn(3) < 2 {
+				up := at + time.Duration(g.rng.Int63n(int64(w/4)))
+				g.proc(up, p, failures.Good)
+			}
+		}
+	}
+}
+
+func (g *gen) rollingPartition() {
+	w := g.spec.Window
+	t := w / 8
+	for t < w {
+		switch g.rng.Intn(5) {
+		case 0:
+			g.heal(t)
+		case 1:
+			g.partition(t, g.randomSplit(3)...)
+		default:
+			g.partition(t, g.randomSplit(2)...)
+		}
+		t += time.Duration(int64(w)/8 + g.rng.Int63n(int64(w)/8))
+	}
+}
+
+func (g *gen) nestedPartition() {
+	w := g.spec.Window
+	outer := g.randomSplit(2)
+	big, small := outer[0], outer[1]
+	if small.Size() > big.Size() {
+		big, small = small, big
+	}
+	g.partition(w/6, big, small)
+	if big.Size() >= 2 {
+		// Sub-partition the larger side, hold, then heal inner-first.
+		members := big.Members()
+		cut := 1 + g.rng.Intn(len(members)-1)
+		inner1 := types.NewProcSet(members[:cut]...)
+		inner2 := types.NewProcSet(members[cut:]...)
+		g.partition(2*w/6, inner1, inner2, small)
+		g.partition(4*w/6, big, small) // inner heal: big reunites, outer cut remains
+	}
+	if g.rng.Intn(2) == 0 {
+		g.heal(5 * w / 6) // sometimes heal the outer cut early, too
+	}
+}
+
+func (g *gen) flapping() {
+	w := g.spec.Window
+	// A few directed links flap…
+	links := 2 + g.rng.Intn(3)
+	for i := 0; i < links; i++ {
+		a := types.ProcID(g.rng.Intn(g.spec.N))
+		b := types.ProcID(g.rng.Intn(g.spec.N))
+		if a == b {
+			b = types.ProcID((int(b) + 1) % g.spec.N)
+		}
+		down := failures.Bad
+		if g.rng.Intn(2) == 0 {
+			down = failures.Ugly
+		}
+		t := time.Duration(g.rng.Int63n(int64(w / 4)))
+		for t < w {
+			g.channel(t, a, b, down)
+			t += g.spec.Delta + time.Duration(g.rng.Int63n(int64(8*g.spec.Delta)))
+			g.channel(t, a, b, failures.Good)
+			t += g.spec.Delta + time.Duration(g.rng.Int63n(int64(8*g.spec.Delta)))
+		}
+	}
+	// …and one processor flaps more slowly (close to the membership
+	// timescale, the nastiest regime for view agreement).
+	p := types.ProcID(g.rng.Intn(g.spec.N))
+	period := 10 * g.spec.Delta
+	t := w / 4
+	for t < w {
+		g.proc(t, p, failures.Bad)
+		t += period + time.Duration(g.rng.Int63n(int64(period)))
+		g.proc(t, p, failures.Good)
+		t += 4*period + time.Duration(g.rng.Int63n(int64(4*period)))
+	}
+}
+
+func (g *gen) asymmetric() {
+	w := g.spec.Window
+	phases := 3 + g.rng.Intn(3)
+	for i := 0; i < phases; i++ {
+		start := time.Duration(i) * w / time.Duration(phases)
+		end := time.Duration(i+1) * w / time.Duration(phases)
+		// Afflict 1..3 ordered pairs one-way for the phase.
+		pairs := 1 + g.rng.Intn(3)
+		for j := 0; j < pairs; j++ {
+			a := types.ProcID(g.rng.Intn(g.spec.N))
+			b := types.ProcID(g.rng.Intn(g.spec.N))
+			if a == b {
+				b = types.ProcID((int(b) + 1) % g.spec.N)
+			}
+			st := failures.Ugly
+			if g.rng.Intn(3) == 0 {
+				st = failures.Bad
+			}
+			at := start + time.Duration(g.rng.Int63n(int64(end-start)))
+			g.channel(at, a, b, st)
+			// The reverse direction is explicitly good: strictly one-way.
+			g.channel(at, b, a, failures.Good)
+			if g.rng.Intn(2) == 0 {
+				g.channel(end-1, a, b, failures.Good)
+			}
+		}
+	}
+}
+
+func (g *gen) leaderCrash() {
+	w, pi := g.spec.Window, g.spec.Pi
+	if pi <= 0 {
+		pi = time.Duration(g.spec.N+2) * g.spec.Delta
+	}
+	// downUntil[p] is the instant p comes back up (forever for crashes with
+	// no scheduled restart); liveness is evaluated at each strike's time,
+	// since a restart scheduled earlier may land after a later strike.
+	const forever = time.Duration(1<<62 - 1)
+	downUntil := make([]time.Duration, g.spec.N)
+	// Strike just before token-launch instants (multiples of π), so the
+	// token in flight is orphaned and the next launch never happens.
+	k := int64(2)
+	for {
+		at := time.Duration(k)*pi - g.spec.Delta/2
+		if at >= w {
+			break
+		}
+		leader, alive := types.ProcID(0), 0
+		for i := g.spec.N - 1; i >= 0; i-- {
+			if downUntil[i] <= at {
+				alive++
+				leader = types.ProcID(i)
+			}
+		}
+		if alive > 1 { // keep at least one processor alive
+			g.proc(at, leader, failures.Bad)
+			downUntil[leader] = forever
+			// Restart after a few token periods, usually.
+			if g.rng.Intn(4) > 0 {
+				upAt := at + time.Duration(2+g.rng.Intn(3))*pi
+				if upAt < w {
+					g.proc(upAt, leader, failures.Good)
+					downUntil[leader] = upAt
+				}
+			}
+		}
+		k += 2 + int64(g.rng.Intn(3))
+	}
+}
+
+func (g *gen) mixed() {
+	w := g.spec.Window
+	t := 150 * time.Millisecond
+	if t >= w {
+		t = w / 8
+	}
+	for t < w {
+		switch g.rng.Intn(4) {
+		case 0:
+			g.partition(t, g.randomSplit(2)...)
+		case 1:
+			p := types.ProcID(g.rng.Intn(g.spec.N))
+			g.proc(t, p, failures.Bad)
+			for _, q := range g.all.Members() {
+				if q != p {
+					g.channel(t, p, q, failures.Bad)
+					g.channel(t, q, p, failures.Bad)
+				}
+			}
+		case 2:
+			for i := 0; i < 4; i++ {
+				a := types.ProcID(g.rng.Intn(g.spec.N))
+				b := types.ProcID(g.rng.Intn(g.spec.N))
+				if a != b {
+					g.channel(t, a, b, failures.Ugly)
+				}
+			}
+		case 3:
+			g.heal(t)
+		}
+		t += 200*time.Millisecond + time.Duration(g.rng.Int63n(int64(300*time.Millisecond)))
+	}
+}

@@ -1,0 +1,239 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/failures"
+	"repro/internal/net"
+	"repro/internal/props"
+	"repro/internal/sim"
+	"repro/internal/stack"
+	"repro/internal/types"
+)
+
+// Config fully determines one chaos run. Zero values get defaults from
+// withDefaults; the effective (defaulted) config is recorded in the Result
+// and in any artifact, so replays never depend on default drift.
+type Config struct {
+	Campaign CampaignType
+	Seed     int64
+	// N is the cluster size (default 5).
+	N int
+	// Delta is the network δ (default 1ms).
+	Delta time.Duration
+	// Wire turns on wire-codec transcoding of every payload.
+	Wire bool
+	// Window is the adversary's active interval (default 4s). The runner
+	// force-heals the world at the end of the window (or just after the
+	// schedule's last event, whichever is later), independent of the
+	// schedule — the heal is part of the harness hypothesis, not of the
+	// shrinkable adversary.
+	Window time.Duration
+	// RecoveryBound overrides the recovery-liveness deadline after the
+	// final heal; 0 means the analytic default b + 2·d_impl for the
+	// cluster's configuration.
+	RecoveryBound time.Duration
+	// Schedule, when non-nil, is used verbatim instead of generating the
+	// campaign from the seed (replay and shrinking paths).
+	Schedule failures.Schedule
+	// ExtraCheck, when non-nil, runs after the built-in checks and may
+	// report an additional violation. Tests use it to inject deliberately
+	// broken oracles and verify the shrinking pipeline end to end.
+	ExtraCheck func(*Result) *Violation
+}
+
+func (c Config) withDefaults() Config {
+	if c.Campaign == "" {
+		c.Campaign = Mixed
+	}
+	if c.N == 0 {
+		c.N = 5
+	}
+	if c.Delta == 0 {
+		c.Delta = time.Millisecond
+	}
+	if c.Window == 0 {
+		c.Window = 4 * time.Second
+	}
+	return c
+}
+
+// Violation describes one failed check.
+type Violation struct {
+	// Check names the failed oracle: "conformance", "recovery-liveness",
+	// "no-traffic", "sim", or an ExtraCheck-defined name.
+	Check string
+	// Detail is the human-readable diagnosis.
+	Detail string
+}
+
+func (v *Violation) String() string {
+	if v == nil {
+		return "ok"
+	}
+	return fmt.Sprintf("%s: %s", v.Check, v.Detail)
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// Config is the effective configuration (defaults resolved).
+	Config Config
+	// Schedule is the fault schedule that ran (generated or supplied).
+	Schedule failures.Schedule
+	// HealTime is when the runner force-healed the world.
+	HealTime sim.Time
+	// Bound is the effective recovery-liveness deadline after HealTime.
+	Bound time.Duration
+	// Msgs counts client submissions; Deliveries counts TO deliveries
+	// summed over all nodes.
+	Msgs, Deliveries int
+	// Net is the final network activity; PostHeal is the activity in the
+	// window after the final heal (the non-vacuity evidence).
+	Net, PostHeal net.Stats
+	// VSEvents counts VS-layer events that passed through the checker.
+	VSEvents int
+	// Recovery is the recovery-liveness measurement.
+	Recovery props.RecoveryMeasure
+	// Violation is nil iff every check passed.
+	Violation *Violation
+	// Cluster is the finished cluster, for ExtraCheck and tests; nil after
+	// artifact round trips.
+	Cluster *stack.Cluster
+}
+
+// Failed reports whether any check failed.
+func (r *Result) Failed() bool { return r.Violation != nil }
+
+// Run executes one chaos run to completion and checks it. It never calls
+// the wall clock or global randomness: the result is a pure function of
+// the config.
+func Run(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{Config: cfg}
+
+	sched := cfg.Schedule
+	if sched == nil {
+		spec := Spec{N: cfg.N, Delta: cfg.Delta, Window: cfg.Window}
+		spec.Pi = time.Duration(cfg.N+2) * cfg.Delta // mirrors vsimpl.DefaultConfig
+		var err error
+		sched, err = Generate(cfg.Campaign, cfg.Seed, spec)
+		if err != nil {
+			res.Violation = &Violation{Check: "config", Detail: err.Error()}
+			return res
+		}
+	}
+	res.Schedule = sched
+
+	c := stack.NewCluster(stack.Options{Seed: cfg.Seed, N: cfg.N, Delta: cfg.Delta, Wire: cfg.Wire})
+	res.Cluster = c
+	bound := cfg.RecoveryBound
+	if bound == 0 {
+		bound = c.Cfg.AnalyticB(cfg.N) + 2*c.Cfg.AnalyticDImpl(cfg.N)
+	}
+	res.Bound = bound
+
+	// The forced final heal establishes the recovery-liveness hypothesis.
+	// It always lands strictly after the schedule's last event.
+	healT := sim.Time(cfg.Window)
+	if end := sched.End(); end >= healT {
+		healT = end + 1
+	}
+	res.HealTime = healT
+
+	c.ApplySchedule(sched)
+	c.Sim.At(healT, func() {
+		res.PostHeal = c.Net.Snapshot() // baseline; subtracted below
+		c.Oracle.Heal(c.Procs)
+	})
+
+	// Continuous traffic from an rng independent of the schedule's, so a
+	// shrunk schedule faces the identical workload.
+	traffic := rand.New(rand.NewSource(cfg.Seed*0x9e3779b9 + 1))
+	var load func()
+	load = func() {
+		if c.Sim.Now() >= healT {
+			return
+		}
+		c.Sim.After(time.Duration(20+traffic.Intn(40))*time.Millisecond, load)
+		res.Msgs++
+		c.Bcast(types.ProcID(traffic.Intn(cfg.N)), types.Value(fmt.Sprintf("c%d", res.Msgs)))
+	}
+	c.Sim.After(10*time.Millisecond, load)
+
+	// Run past the recovery deadline so a late delivery is observed as
+	// late rather than missing.
+	c.Sim.SetBudget(50_000_000)
+	if err := c.Sim.Run(healT.Add(bound + bound/2)); err != nil {
+		res.Violation = &Violation{Check: "sim", Detail: err.Error()}
+		return res
+	}
+	res.Net = c.Net.Snapshot()
+	res.PostHeal = res.Net.Sub(res.PostHeal)
+	res.Deliveries = c.TotalDeliveries()
+
+	// Check 1: full TO/VS trace conformance (safety).
+	vsEvents, err := Conformance(c.Log, c.Procs, c.Procs)
+	res.VSEvents = vsEvents
+	if err != nil {
+		res.Violation = &Violation{Check: "conformance", Detail: err.Error()}
+		return res
+	}
+
+	// Check 2: recovery liveness — after the forced heal the whole
+	// universe is a consistently good (hence quorum) component, so
+	// everything ever submitted must be delivered everywhere within the
+	// bound.
+	res.Recovery = props.MeasureRecovery(c.Log, c.Procs, healT, bound)
+	if res.Recovery.FirstViolation != "" {
+		res.Violation = &Violation{Check: "recovery-liveness", Detail: res.Recovery.FirstViolation}
+		return res
+	}
+
+	// Check 3: non-vacuity — traffic must actually have flowed. A
+	// schedule (or harness bug) that blackholes everything passes the
+	// safety checks without testing anything.
+	if res.Msgs == 0 || res.PostHeal.Delivered == 0 || res.Deliveries == 0 {
+		res.Violation = &Violation{Check: "no-traffic", Detail: fmt.Sprintf(
+			"msgs=%d post-heal packets=%d deliveries=%d: run is vacuous",
+			res.Msgs, res.PostHeal.Delivered, res.Deliveries)}
+		return res
+	}
+
+	if cfg.ExtraCheck != nil {
+		res.Violation = cfg.ExtraCheck(res)
+	}
+	return res
+}
+
+// Conformance replays a recorded log through the VS and TO trace checkers
+// and returns the number of VS events checked plus the first violation, if
+// any. p0 is the initial-view membership (the stack starts every processor
+// inside it unless Options.P0Size says otherwise).
+func Conformance(log *props.Log, universe, p0 types.ProcSet) (int, error) {
+	vck := check.NewVSChecker(universe, p0)
+	tck := check.NewTOChecker()
+	for _, e := range log.Events {
+		var err error
+		switch e.Kind {
+		case props.VSNewview:
+			err = vck.Newview(e.View, e.P)
+		case props.VSGpsnd:
+			err = vck.Gpsnd(e.Msg)
+		case props.VSGprcv:
+			err = vck.Gprcv(e.Msg, e.P)
+		case props.VSSafe:
+			err = vck.Safe(e.Msg, e.P)
+		case props.TOBcast:
+			tck.Bcast(e.Value, e.P)
+		case props.TOBrcv:
+			err = tck.Brcv(e.Value, e.From, e.P)
+		}
+		if err != nil {
+			return vck.Events(), fmt.Errorf("%v (event: %v)", err, e)
+		}
+	}
+	return vck.Events(), nil
+}

@@ -1,0 +1,108 @@
+package chaos
+
+import (
+	"repro/internal/failures"
+)
+
+// ShrinkStats reports what a shrink did.
+type ShrinkStats struct {
+	// Runs is the number of candidate schedules evaluated.
+	Runs int
+	// From and To are the event counts before and after minimization.
+	From, To int
+}
+
+// Shrink minimizes a failing schedule by delta debugging (Zeller's ddmin,
+// complement-elimination variant): it repeatedly removes chunks of fault
+// events, keeping any candidate on which fails still reports true, until
+// no single event can be removed — a 1-minimal counterexample. fails must
+// be deterministic (the chaos runner is); maxRuns caps the number of
+// candidate evaluations (≤ 0 means a generous default).
+//
+// The returned schedule is always a subsequence of the input (event order
+// and times preserved), and fails(returned) is true whenever fails(input)
+// was — if the predicate is not reproducible even on the unmodified input,
+// the input is returned unchanged.
+func Shrink(sched failures.Schedule, fails func(failures.Schedule) bool, maxRuns int) (failures.Schedule, ShrinkStats) {
+	if maxRuns <= 0 {
+		maxRuns = 2000
+	}
+	st := ShrinkStats{From: len(sched)}
+	try := func(cand failures.Schedule) bool {
+		if st.Runs >= maxRuns {
+			return false
+		}
+		st.Runs++
+		return fails(cand)
+	}
+
+	if !try(sched) {
+		// Not reproducible: refuse to "minimize" noise.
+		st.To = len(sched)
+		return sched, st
+	}
+	// An empty schedule failing means the bug is independent of the
+	// adversary — the minimal counterexample is "no faults at all".
+	if try(failures.Schedule{}) {
+		st.To = 0
+		return failures.Schedule{}, st
+	}
+
+	cur := sched
+	n := 2
+	for len(cur) >= 2 {
+		reduced := false
+		chunk := (len(cur) + n - 1) / n
+		for start := 0; start < len(cur); start += chunk {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := make(failures.Schedule, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if try(cand) {
+				cur = cand
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break // 1-minimal: no single event is removable
+			}
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+		if st.Runs >= maxRuns {
+			break
+		}
+	}
+	st.To = len(cur)
+	return cur, st
+}
+
+// ShrinkResult minimizes the schedule of a failing run so that re-running
+// it still yields a violation of the same check, and returns the minimized
+// run. If the result did not fail, it is returned as is.
+func ShrinkResult(r *Result, maxRuns int) (*Result, ShrinkStats) {
+	if !r.Failed() {
+		return r, ShrinkStats{From: len(r.Schedule), To: len(r.Schedule)}
+	}
+	wanted := r.Violation.Check
+	rerun := func(s failures.Schedule) *Result {
+		cfg := r.Config
+		cfg.Schedule = s
+		return Run(cfg)
+	}
+	min, st := Shrink(r.Schedule, func(s failures.Schedule) bool {
+		rr := rerun(s)
+		return rr.Failed() && rr.Violation.Check == wanted
+	}, maxRuns)
+	return rerun(min), st
+}

@@ -1,0 +1,212 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/failures"
+	"repro/internal/sim"
+)
+
+func syntheticSchedule(n int) failures.Schedule {
+	s := make(failures.Schedule, n)
+	for i := range s {
+		s[i] = failures.Event{Time: sim.Time(i + 1), Proc: 0, Status: failures.Bad}
+		if i%2 == 1 {
+			s[i] = failures.Event{Time: sim.Time(i + 1), Channel: true,
+				Pair: failures.Pair{From: 0, To: 1}, Status: failures.Ugly}
+		}
+	}
+	return s
+}
+
+func TestShrinkToSingleEvent(t *testing.T) {
+	s := syntheticSchedule(37)
+	target := s[19]
+	min, st := Shrink(s, func(c failures.Schedule) bool {
+		for _, e := range c {
+			if e == target {
+				return true
+			}
+		}
+		return false
+	}, 0)
+	if len(min) != 1 || min[0] != target {
+		t.Fatalf("minimized to %v, want exactly [%v]", min, target)
+	}
+	if st.From != 37 || st.To != 1 || st.Runs == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestShrinkToEventPair(t *testing.T) {
+	// The failure needs two widely separated events: ddmin must keep both
+	// and drop the other 58.
+	s := syntheticSchedule(60)
+	a, b := s[3], s[51]
+	min, _ := Shrink(s, func(c failures.Schedule) bool {
+		hasA, hasB := false, false
+		for _, e := range c {
+			hasA = hasA || e == a
+			hasB = hasB || e == b
+		}
+		return hasA && hasB
+	}, 0)
+	if len(min) != 2 || min[0] != a || min[1] != b {
+		t.Fatalf("minimized to %v, want [%v %v]", min, a, b)
+	}
+}
+
+func TestShrinkPreservesOrderAndSubsequence(t *testing.T) {
+	s := syntheticSchedule(24)
+	min, _ := Shrink(s, func(c failures.Schedule) bool { return len(c) >= 5 }, 0)
+	if len(min) != 5 {
+		t.Fatalf("minimized to %d events, want 5", len(min))
+	}
+	// Subsequence check: every kept event appears in the original, in order.
+	j := 0
+	for _, e := range min {
+		for j < len(s) && s[j] != e {
+			j++
+		}
+		if j == len(s) {
+			t.Fatalf("minimized schedule is not a subsequence: %v", min)
+		}
+		j++
+	}
+}
+
+func TestShrinkFaultIndependentBug(t *testing.T) {
+	// A predicate true even on the empty schedule: the minimal
+	// counterexample is "no faults at all".
+	min, st := Shrink(syntheticSchedule(10), func(failures.Schedule) bool { return true }, 0)
+	if len(min) != 0 {
+		t.Fatalf("want empty schedule, got %v", min)
+	}
+	if st.Runs != 2 {
+		t.Errorf("expected exactly 2 probe runs, got %d", st.Runs)
+	}
+}
+
+func TestShrinkUnreproducibleReturnsInput(t *testing.T) {
+	s := syntheticSchedule(10)
+	min, st := Shrink(s, func(failures.Schedule) bool { return false }, 0)
+	if len(min) != len(s) {
+		t.Fatalf("unreproducible failure was 'minimized' to %v", min)
+	}
+	if st.Runs != 1 {
+		t.Errorf("expected a single probe run, got %d", st.Runs)
+	}
+}
+
+func TestShrinkRespectsRunCap(t *testing.T) {
+	s := syntheticSchedule(64)
+	runs := 0
+	min, st := Shrink(s, func(c failures.Schedule) bool {
+		runs++
+		return len(c) > 0 // any non-empty subset fails: would shrink to 1 given budget
+	}, 5)
+	if st.Runs > 5 {
+		t.Fatalf("evaluated %d candidates, cap was 5", st.Runs)
+	}
+	if runs != st.Runs {
+		t.Errorf("stats runs %d != observed %d", st.Runs, runs)
+	}
+	if len(min) == 0 {
+		t.Error("cap of 5 cannot reach the empty schedule from 64 events")
+	}
+}
+
+// TestInjectedBugShrinksToMinimalReplayableCounterexample is the
+// acceptance-criteria pipeline, end to end: a deliberately broken checker
+// (it declares any run in which processor 1 ever crashed a violation) trips
+// on a full mixed campaign; delta debugging shrinks the schedule to the
+// single crash event; the minimized run serializes to an artifact; the
+// artifact replays byte for byte with the identical violation.
+func TestInjectedBugShrinksToMinimalReplayableCounterexample(t *testing.T) {
+	brokenChecker := func(r *Result) *Violation {
+		for _, e := range r.Cluster.Oracle.History() {
+			if !e.Channel && e.Proc == 1 && e.Status == failures.Bad {
+				return &Violation{Check: "injected-bug", Detail: "processor 1 crashed during the run"}
+			}
+		}
+		return nil
+	}
+	// Find a seed whose mixed campaign crashes processor 1 at some point.
+	var first *Result
+	for seed := int64(1); seed <= 20; seed++ {
+		t.Logf("seed %d", seed)
+		r := Run(Config{Campaign: Mixed, Seed: seed, N: 4,
+			Window: 1200 * time.Millisecond, ExtraCheck: brokenChecker})
+		if r.Failed() {
+			if r.Violation.Check != "injected-bug" {
+				t.Fatalf("seed %d: real violation before the injected one: %v", seed, r.Violation)
+			}
+			first = r
+			break
+		}
+	}
+	if first == nil {
+		t.Fatal("no mixed campaign crashed processor 1 in 20 seeds")
+	}
+
+	min, st := ShrinkResult(first, 0)
+	t.Logf("shrunk %d → %d events in %d runs", st.From, st.To, st.Runs)
+	if !min.Failed() || min.Violation.Check != "injected-bug" {
+		t.Fatalf("minimized run lost the violation: %v", min.Violation)
+	}
+	if len(min.Schedule) != 1 {
+		t.Fatalf("minimal counterexample has %d events, want exactly the one crash: %v",
+			len(min.Schedule), min.Schedule)
+	}
+	e := min.Schedule[0]
+	if e.Channel || e.Proc != 1 || e.Status != failures.Bad {
+		t.Fatalf("minimal event is %v, want bad_p1", e)
+	}
+
+	// Artifact round trip and byte-for-byte replay.
+	art := NewArtifact(min)
+	enc, err := art.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeArtifact(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := back.Config()
+	cfg.ExtraCheck = brokenChecker
+	replay := Run(cfg)
+	if !replay.Failed() || replay.Violation.Check != "injected-bug" {
+		t.Fatalf("replay lost the violation: %v", replay.Violation)
+	}
+	if replay.Msgs != min.Msgs || replay.Deliveries != min.Deliveries || replay.Net != min.Net {
+		t.Fatalf("replay diverged: %+v vs %+v", replay, min)
+	}
+	enc2, err := NewArtifact(replay).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatalf("replayed artifact differs from the original:\n%s\n%s", enc, enc2)
+	}
+}
+
+// TestBrokenLivenessBoundShrinksToEmpty: with an absurd 1ns recovery
+// bound, even a fault-free run violates liveness — the shrinker must
+// report the empty schedule, diagnosing the bug as fault-independent.
+func TestBrokenLivenessBoundShrinksToEmpty(t *testing.T) {
+	r := Run(Config{Campaign: Mixed, Seed: 3, N: 4,
+		Window: 1200 * time.Millisecond, RecoveryBound: time.Nanosecond})
+	if !r.Failed() || r.Violation.Check != "recovery-liveness" {
+		t.Fatalf("absurd bound did not trip liveness: %v", r.Violation)
+	}
+	min, _ := ShrinkResult(r, 0)
+	if len(min.Schedule) != 0 {
+		t.Fatalf("fault-independent bug minimized to %d events, want 0", len(min.Schedule))
+	}
+	if !min.Failed() || min.Violation.Check != "recovery-liveness" {
+		t.Fatalf("minimized run lost the violation: %v", min.Violation)
+	}
+}

@@ -1,0 +1,66 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestSoakRandomFaults is the long randomized end-to-end burn-in, formerly
+// internal/stack's inline soak, now running on the chaos harness: many
+// seeds, continuous traffic, and the mixed adversary (partitions, crashes,
+// ugly links, heals) over tens of simulated seconds, with full VS and TO
+// trace conformance plus the recovery-liveness and non-vacuity checks on
+// every run. Gated behind -short.
+func TestSoakRandomFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			t.Logf("seed %d", seed)
+			n := 3 + int(seed)%4 // 3..6 nodes
+			wire := seed%2 == 0  // alternate wire mode for coverage
+			r := Run(Config{
+				Campaign: Mixed, Seed: seed, N: n, Wire: wire,
+				Window: 12 * time.Second,
+			})
+			if r.Failed() {
+				min, st := ShrinkResult(r, 400)
+				data, _ := NewArtifact(min).Encode()
+				t.Fatalf("violation: %v\nminimized to %d events in %d runs; replay artifact:\n%s",
+					r.Violation, st.To, st.Runs, data)
+			}
+			t.Logf("soak seed %d: n=%d wire=%t msgs=%d deliveries=%d VS events=%d max recovery lag %v (bound %v)",
+				seed, n, wire, r.Msgs, r.Deliveries, r.VSEvents, r.Recovery.MaxLag, r.Bound)
+		})
+	}
+}
+
+// TestCampaignSweep runs every campaign type at moderate scale — larger
+// clusters and windows than the -short gate, several seeds each. Not
+// gated: it is the tier-1 evidence that every adversary family passes.
+func TestCampaignSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign sweep skipped in -short mode")
+	}
+	for _, ct := range Campaigns {
+		ct := ct
+		t.Run(string(ct), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 4; seed++ {
+				t.Logf("seed %d", seed)
+				n := 3 + int(seed)%3
+				r := Run(Config{Campaign: ct, Seed: seed, N: n, Window: 4 * time.Second, Wire: seed%2 == 1})
+				if r.Failed() {
+					min, st := ShrinkResult(r, 400)
+					data, _ := NewArtifact(min).Encode()
+					t.Fatalf("seed %d: %v\nminimized to %d events in %d runs; replay artifact:\n%s",
+						seed, r.Violation, st.To, st.Runs, data)
+				}
+			}
+		})
+	}
+}

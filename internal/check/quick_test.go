@@ -13,6 +13,7 @@ import (
 // accepts every trace it can produce. Soundness's complement: the checker
 // may not reject legal behavior.
 func TestTOCheckerAcceptsGeneratedValidTraces(t *testing.T) {
+	t.Logf("seeds 1..30")
 	for seed := int64(1); seed <= 30; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		n := 2 + rng.Intn(4)
@@ -117,6 +118,7 @@ func TestTOCheckerRejectsMutatedTraces(t *testing.T) {
 		return nil
 	}
 
+	t.Logf("seeds 1..60")
 	rejected, tried := 0, 0
 	for seed := int64(1); seed <= 60; seed++ {
 		rng := rand.New(rand.NewSource(seed))

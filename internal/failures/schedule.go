@@ -1,0 +1,121 @@
+package failures
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Schedule is a list of failure-status events to be applied at their
+// recorded times. It is the declarative form of an adversary: the chaos
+// harness generates schedules, applies them to live clusters, shrinks the
+// failing ones, and serializes them into replayable artifacts.
+type Schedule []Event
+
+// Sort orders the schedule by time, with the original relative order kept
+// among simultaneous events (the order of application matters for replay
+// fidelity, so sorting must be stable).
+func (s Schedule) Sort() {
+	sort.SliceStable(s, func(i, j int) bool { return s[i].Time < s[j].Time })
+}
+
+// End returns the time of the last event, or zero for an empty schedule.
+func (s Schedule) End() sim.Time {
+	var end sim.Time
+	for _, e := range s {
+		if e.Time > end {
+			end = e.Time
+		}
+	}
+	return end
+}
+
+// Apply applies one event's status change to the oracle, now. The event's
+// recorded Time is not consulted; use ApplyAt to honor it.
+func (o *Oracle) Apply(e Event) {
+	if e.Channel {
+		o.SetChannel(e.Pair.From, e.Pair.To, e.Status)
+	} else {
+		o.SetProc(e.Proc, e.Status)
+	}
+}
+
+// ApplyAt schedules every event of the schedule onto the simulator so that
+// it is applied to the oracle exactly at its recorded time. Events are
+// scheduled up front, so among callbacks at the same instant the schedule's
+// events fire in list order, before any work scheduled later — which makes
+// a replayed schedule reproduce the oracle history byte for byte.
+func (s Schedule) ApplyAt(sm *sim.Sim, o *Oracle) {
+	for _, e := range s {
+		e := e
+		sm.At(e.Time, func() { o.Apply(e) })
+	}
+}
+
+// eventJSON is the wire form of an Event: times in nanoseconds of virtual
+// time, statuses by name, and the proc/channel variants kept distinct so a
+// hand-edited artifact cannot silently conflate them.
+type eventJSON struct {
+	TimeNS  int64  `json:"t_ns"`
+	Channel bool   `json:"channel,omitempty"`
+	Proc    *int   `json:"proc,omitempty"`
+	From    *int   `json:"from,omitempty"`
+	To      *int   `json:"to,omitempty"`
+	Status  string `json:"status"`
+}
+
+// ParseStatus parses a status name produced by Status.String.
+func ParseStatus(s string) (Status, error) {
+	switch s {
+	case "good":
+		return Good, nil
+	case "bad":
+		return Bad, nil
+	case "ugly":
+		return Ugly, nil
+	default:
+		return Good, fmt.Errorf("failures: unknown status %q", s)
+	}
+}
+
+// MarshalJSON encodes the event in the wire form.
+func (e Event) MarshalJSON() ([]byte, error) {
+	w := eventJSON{TimeNS: int64(e.Time), Channel: e.Channel, Status: e.Status.String()}
+	if e.Channel {
+		from, to := int(e.Pair.From), int(e.Pair.To)
+		w.From, w.To = &from, &to
+	} else {
+		p := int(e.Proc)
+		w.Proc = &p
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the wire form, rejecting malformed variants.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var w eventJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	st, err := ParseStatus(w.Status)
+	if err != nil {
+		return err
+	}
+	out := Event{Time: sim.Time(w.TimeNS), Channel: w.Channel, Status: st}
+	if w.Channel {
+		if w.From == nil || w.To == nil || w.Proc != nil {
+			return fmt.Errorf("failures: channel event needs from/to and no proc")
+		}
+		out.Pair = Pair{From: types.ProcID(*w.From), To: types.ProcID(*w.To)}
+	} else {
+		if w.Proc == nil || w.From != nil || w.To != nil {
+			return fmt.Errorf("failures: proc event needs proc and no from/to")
+		}
+		out.Proc = types.ProcID(*w.Proc)
+	}
+	*e = out
+	return nil
+}

@@ -1,0 +1,173 @@
+package failures
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s := Schedule{
+		{Time: sim.Time(5 * time.Millisecond), Proc: 2, Status: Bad},
+		{Time: sim.Time(5 * time.Millisecond), Channel: true, Pair: Pair{From: 0, To: 1}, Status: Ugly},
+		{Time: sim.Time(9 * time.Millisecond), Proc: 2, Status: Good},
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(s) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(s))
+	}
+	for i := range s {
+		if back[i] != s[i] {
+			t.Errorf("event %d round-tripped to %v, want %v", i, back[i], s[i])
+		}
+	}
+	// Re-encoding is byte-identical (artifacts must be stable).
+	data2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Errorf("re-encoding differs:\n%s\n%s", data, data2)
+	}
+}
+
+func TestScheduleJSONRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`{"t_ns":1,"status":"great","proc":0}`,            // unknown status
+		`{"t_ns":1,"status":"bad"}`,                       // proc event without proc
+		`{"t_ns":1,"channel":true,"status":"bad","to":1}`, // channel event without from
+		`{"t_ns":1,"status":"bad","proc":0,"from":1,"to":2}`, // mixed variant
+	}
+	for _, c := range cases {
+		var e Event
+		if err := json.Unmarshal([]byte(c), &e); err == nil {
+			t.Errorf("accepted malformed event %s", c)
+		}
+	}
+}
+
+func TestScheduleSortAndEnd(t *testing.T) {
+	s := Schedule{
+		{Time: 30, Proc: 0, Status: Good},
+		{Time: 10, Proc: 1, Status: Bad},
+		{Time: 10, Channel: true, Pair: Pair{From: 1, To: 2}, Status: Bad},
+	}
+	if s.End() != 30 {
+		t.Errorf("End = %v, want 30", s.End())
+	}
+	s.Sort()
+	if s[0].Time != 10 || s[2].Time != 30 {
+		t.Fatalf("not sorted: %v", s)
+	}
+	// Stable: the two simultaneous events keep their relative order.
+	if s[0].Channel || !s[1].Channel {
+		t.Errorf("simultaneous events reordered: %v", s)
+	}
+	if (Schedule{}).End() != 0 {
+		t.Errorf("empty schedule End != 0")
+	}
+}
+
+// TestApplyAtReproducesHistory pins the replay fidelity contract: applying
+// a schedule onto a fresh sim+oracle reproduces the recorded oracle history
+// exactly — same events, same times, same order.
+func TestApplyAtReproducesHistory(t *testing.T) {
+	s := Schedule{
+		{Time: sim.Time(2 * time.Millisecond), Proc: 1, Status: Ugly},
+		{Time: sim.Time(2 * time.Millisecond), Channel: true, Pair: Pair{From: 0, To: 1}, Status: Bad},
+		{Time: sim.Time(7 * time.Millisecond), Proc: 1, Status: Good},
+	}
+	sm := sim.New(1)
+	o := NewOracle(sm.Now)
+	s.ApplyAt(sm, o)
+	if err := sm.Run(sim.Never); err != nil {
+		t.Fatal(err)
+	}
+	h := o.History()
+	if len(h) != len(s) {
+		t.Fatalf("history has %d events, want %d", len(h), len(s))
+	}
+	for i := range s {
+		if h[i] != s[i] {
+			t.Errorf("history[%d] = %v, want %v", i, h[i], s[i])
+		}
+	}
+	if o.Proc(1) != Good || o.Channel(0, 1) != Bad {
+		t.Errorf("final statuses wrong: proc1=%v ch01=%v", o.Proc(1), o.Channel(0, 1))
+	}
+}
+
+// TestOracleStatusRoundTrips drives a processor and a channel through the
+// full good→ugly→bad→good cycle, checking the current status, the history,
+// and the consistently-partitioned predicate across a heal.
+func TestOracleStatusRoundTrips(t *testing.T) {
+	o, now := newOracle()
+	cycle := []Status{Ugly, Bad, Good}
+	for i, st := range cycle {
+		*now = sim.Time(i + 1)
+		o.SetProc(0, st)
+		if o.Proc(0) != st {
+			t.Errorf("proc status after step %d = %v, want %v", i, o.Proc(0), st)
+		}
+		o.SetChannel(0, 1, st)
+		if o.Channel(0, 1) != st {
+			t.Errorf("channel status after step %d = %v, want %v", i, o.Channel(0, 1), st)
+		}
+		if o.Channel(1, 0) != Good {
+			t.Errorf("reverse channel perturbed at step %d", i)
+		}
+	}
+	h := o.History()
+	if len(h) != 2*len(cycle) {
+		t.Fatalf("history has %d events, want %d", len(h), 2*len(cycle))
+	}
+	for i, st := range cycle {
+		if h[2*i].Status != st || h[2*i+1].Status != st {
+			t.Errorf("history step %d statuses %v/%v, want %v", i, h[2*i].Status, h[2*i+1].Status, st)
+		}
+	}
+	// StatusAfter replays the same cycle from the history.
+	for i, st := range cycle {
+		if got := StatusAfter(h, sim.Time(i+1), 0); got != st {
+			t.Errorf("StatusAfter(step %d) = %v, want %v", i, got, st)
+		}
+	}
+
+	// The consistently-partitioned predicate across a heal: isolated, then
+	// healed (predicate must turn false — boundary channels are good), then
+	// isolated again.
+	universe := types.RangeProcSet(4)
+	q := types.NewProcSet(0, 1)
+	o.Isolate(q, universe)
+	if !o.IsIsolated(q, universe) {
+		t.Fatal("isolation not established")
+	}
+	o.Heal(universe)
+	if o.IsIsolated(q, universe) {
+		t.Fatal("IsIsolated still true after heal (boundary channels are good)")
+	}
+	o.Isolate(q, universe)
+	if !o.IsIsolated(q, universe) {
+		t.Fatal("re-isolation after heal not established")
+	}
+	// A member going ugly breaks the hypothesis; recovering restores it.
+	o.SetProc(1, Ugly)
+	if o.IsIsolated(q, universe) {
+		t.Error("IsIsolated true with an ugly member")
+	}
+	o.SetProc(1, Good)
+	if !o.IsIsolated(q, universe) {
+		t.Error("IsIsolated false after the member recovered")
+	}
+}

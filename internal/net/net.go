@@ -57,11 +57,27 @@ func DefaultConfig() Config {
 	return Config{Delta: time.Millisecond, UglyLossProb: 0.5, UglyMaxDelayFactor: 10}
 }
 
-// Stats counts network activity for the experiment reports.
+// Stats counts network activity for the experiment reports and for the
+// chaos harness's non-vacuity assertions (a fault schedule that blackholes
+// everything "passes" every safety check; Delivered > 0 proves traffic
+// actually flowed).
 type Stats struct {
 	Sent                                     int
 	Delivered                                int
 	DroppedChannel, DroppedProc, DroppedUgly int
+}
+
+// Sub returns the activity between an earlier snapshot and this one:
+// s - prev, counter by counter. Use it to assert traffic in a window, e.g.
+// between a final heal and the end of a run.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Sent:           s.Sent - prev.Sent,
+		Delivered:      s.Delivered - prev.Delivered,
+		DroppedChannel: s.DroppedChannel - prev.DroppedChannel,
+		DroppedProc:    s.DroppedProc - prev.DroppedProc,
+		DroppedUgly:    s.DroppedUgly - prev.DroppedUgly,
+	}
 }
 
 // Network is the simulated network. Register a handler per processor, then
@@ -93,6 +109,11 @@ func (n *Network) Register(p types.ProcID, h func(Packet)) { n.handlers[p] = h }
 
 // Stats returns a copy of the activity counters.
 func (n *Network) Stats() Stats { return n.stats }
+
+// Snapshot returns a copy of the activity counters, for diffing a window
+// of activity with Stats.Sub. (Alias of Stats; named for call sites that
+// capture a baseline to subtract later.)
+func (n *Network) Snapshot() Stats { return n.stats }
 
 // Delta returns the configured δ.
 func (n *Network) Delta() time.Duration { return n.cfg.Delta }

@@ -105,6 +105,73 @@ func TestProcessorDyingInFlightDropsDelivery(t *testing.T) {
 	if len(f.got[1]) != 0 {
 		t.Error("packet delivered to a processor that died in flight")
 	}
+	// The drop happens on the deliver-time path (the receiver was good at
+	// send time), so it must be accounted as a processor drop, not counted
+	// as delivered.
+	if st := f.net.Stats(); st.DroppedProc != 1 || st.Delivered != 0 || st.Sent != 1 {
+		t.Errorf("stats = %+v, want the in-flight drop counted as DroppedProc", st)
+	}
+}
+
+func TestProcessorRevivingBeforeDeliveryReceives(t *testing.T) {
+	// Receiver status is sampled again at the delivery instant: a receiver
+	// that dies and recovers while the packet is in flight still gets it
+	// (its state survived the crash, per the paper's crash model).
+	f := newFixture(Config{Delta: 2 * time.Millisecond}, 2)
+	f.net.Send(0, 1, "in-flight")
+	f.sim.After(500*time.Microsecond, func() { f.oracle.SetProc(1, failures.Bad) })
+	f.sim.After(time.Millisecond, func() { f.oracle.SetProc(1, failures.Good) })
+	if err := f.sim.Run(sim.Never); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.got[1]) != 1 {
+		t.Fatal("packet lost although the receiver recovered before the delivery instant")
+	}
+	if st := f.net.Stats(); st.Delivered != 1 || st.DroppedProc != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestChannelTurningBadInFlightStillDelivers(t *testing.T) {
+	// Channel status is sampled at send time only (the paper: a packet sent
+	// while the channel is good arrives within δ). Going bad mid-flight
+	// must not retroactively drop it — only the receiver dying can.
+	f := newFixture(Config{Delta: 2 * time.Millisecond}, 2)
+	f.net.Send(0, 1, "committed")
+	f.sim.After(time.Millisecond, func() { f.oracle.SetChannel(0, 1, failures.Bad) })
+	if err := f.sim.Run(sim.Never); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.got[1]) != 1 {
+		t.Fatal("good-channel send dropped by a mid-flight channel failure")
+	}
+	if st := f.net.Stats(); st.Delivered != 1 || st.DroppedChannel != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSnapshotSubWindowsActivity(t *testing.T) {
+	f := newFixture(Config{Delta: time.Millisecond}, 2)
+	f.net.Send(0, 1, "first")
+	if err := f.sim.Run(sim.Never); err != nil {
+		t.Fatal(err)
+	}
+	base := f.net.Snapshot()
+	if base.Delivered != 1 {
+		t.Fatalf("baseline = %+v", base)
+	}
+	f.oracle.SetChannel(0, 1, failures.Bad)
+	f.net.Send(0, 1, "walled")
+	f.oracle.SetChannel(0, 1, failures.Good)
+	f.net.Send(0, 1, "second")
+	f.net.Send(0, 1, "third")
+	if err := f.sim.Run(sim.Never); err != nil {
+		t.Fatal(err)
+	}
+	w := f.net.Snapshot().Sub(base)
+	if w.Sent != 3 || w.Delivered != 2 || w.DroppedChannel != 1 {
+		t.Errorf("window = %+v, want Sent 3 Delivered 2 DroppedChannel 1", w)
+	}
 }
 
 func TestUglyChannelLossAndDelayBounds(t *testing.T) {

@@ -1,0 +1,126 @@
+package props
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// RecoveryMeasure is the outcome of evaluating recovery liveness over a
+// recorded execution: after the final heal at healT the component q is
+// consistently good, so every value ever submitted at a member of q must
+// reach every member of q within the analytic stabilization + delivery
+// budget.
+type RecoveryMeasure struct {
+	// Values counts the submissions entering the measurement (bcasts at
+	// members of q).
+	Values int
+	// Missing counts ⟨value, member⟩ pairs with no delivery by the end of
+	// the log.
+	Missing int
+	// MaxLag is the worst observed delivery lag: time of brcv minus
+	// max(time of bcast, healT), over all measured pairs.
+	MaxLag time.Duration
+	// FirstViolation describes the first missing or late delivery (empty
+	// when the property holds).
+	FirstViolation string
+}
+
+// CheckRecoveryLiveness evaluates the recovery-liveness predicate: given
+// that from healT onward every member and channel of q is good (the
+// heal-the-world hypothesis — the caller asserts it, typically by forcing
+// Oracle.Heal at healT and injecting no further faults), every value bcast
+// at a member of q — whenever it was submitted, including during earlier
+// partitions or at a then-crashed processor — must be brcv'd at every
+// member of q no later than max(bcastT, healT) + bound.
+//
+// This is the conditional TO-property clause (Figure 5, clause 2(b))
+// instantiated with Q = the healed component and the whole preceding fault
+// history folded into the hypothesis interval; bound plays the role of
+// l′ + d. A run that blackholes traffic forever, or a membership layer that
+// never reconverges after the heal, fails this check even though pure
+// safety conformance passes vacuously.
+func CheckRecoveryLiveness(log *Log, q types.ProcSet, healT sim.Time, bound time.Duration) error {
+	m := MeasureRecovery(log, q, healT, bound)
+	if m.FirstViolation != "" {
+		return fmt.Errorf("props: recovery liveness: %s", m.FirstViolation)
+	}
+	return nil
+}
+
+// MeasureRecovery computes the recovery-liveness measurement; see
+// CheckRecoveryLiveness for the predicate. FirstViolation is set as soon
+// as a value misses its deadline, but the scan continues so Missing and
+// MaxLag describe the whole run.
+func MeasureRecovery(log *Log, q types.ProcSet, healT sim.Time, bound time.Duration) RecoveryMeasure {
+	var m RecoveryMeasure
+
+	type key struct {
+		Origin types.ProcID
+		Seq    int
+	}
+	bcastT := make(map[key]sim.Time)
+	value := make(map[key]types.Value)
+	type at struct {
+		key
+		P types.ProcID
+	}
+	brcvT := make(map[at]sim.Time)
+	for _, e := range log.Events {
+		switch e.Kind {
+		case TOBcast:
+			if q.Contains(e.P) {
+				k := key{e.P, e.ValueSeq}
+				bcastT[k] = e.T
+				value[k] = e.Value
+			}
+		case TOBrcv:
+			if q.Contains(e.P) {
+				k := at{key{e.From, e.ValueSeq}, e.P}
+				if _, dup := brcvT[k]; !dup { // first delivery decides the lag
+					brcvT[k] = e.T
+				}
+			}
+		}
+	}
+	m.Values = len(bcastT)
+	violate := func(s string) {
+		if m.FirstViolation == "" {
+			m.FirstViolation = s
+		}
+	}
+	for k, t0 := range bcastT {
+		deadline := healT
+		if t0 > deadline {
+			deadline = t0
+		}
+		deadline = deadline.Add(bound)
+		for _, p := range q.Members() {
+			dt, ok := brcvT[at{k, p}]
+			if !ok {
+				m.Missing++
+				violate(fmt.Sprintf("%q (#%d from %v, bcast %v) never delivered at %v (deadline %v)",
+					string(value[k]), k.Seq, k.Origin, t0, p, deadline))
+				continue
+			}
+			lag := dt.Sub(maxTime(t0, healT))
+			if lag > m.MaxLag {
+				m.MaxLag = lag
+			}
+			if dt > deadline {
+				violate(fmt.Sprintf("%q (#%d from %v, bcast %v) delivered at %v only at %v, %v past the %v deadline",
+					string(value[k]), k.Seq, k.Origin, t0, p, dt, dt.Sub(deadline), deadline))
+			}
+		}
+	}
+	return m
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,93 @@
+package props
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+func ms(d int) sim.Time { return sim.Time(time.Duration(d) * time.Millisecond) }
+
+func recoveryLog(events ...Event) *Log {
+	l := &Log{}
+	for _, e := range events {
+		l.Append(e)
+	}
+	return l
+}
+
+func TestRecoveryLivenessHolds(t *testing.T) {
+	q := types.NewProcSet(0, 1)
+	// Value submitted before the heal at 10ms, delivered everywhere by 14ms;
+	// value submitted after the heal delivered within its own deadline.
+	l := recoveryLog(
+		Event{T: ms(2), Kind: TOBcast, P: 0, Value: "a", ValueSeq: 1},
+		Event{T: ms(13), Kind: TOBrcv, P: 0, From: 0, Value: "a", ValueSeq: 1},
+		Event{T: ms(14), Kind: TOBrcv, P: 1, From: 0, Value: "a", ValueSeq: 1},
+		Event{T: ms(20), Kind: TOBcast, P: 1, Value: "b", ValueSeq: 1},
+		Event{T: ms(24), Kind: TOBrcv, P: 0, From: 1, Value: "b", ValueSeq: 1},
+		Event{T: ms(24), Kind: TOBrcv, P: 1, From: 1, Value: "b", ValueSeq: 1},
+	)
+	if err := CheckRecoveryLiveness(l, q, ms(10), 5*time.Millisecond); err != nil {
+		t.Fatalf("liveness should hold: %v", err)
+	}
+	m := MeasureRecovery(l, q, ms(10), 5*time.Millisecond)
+	if m.Values != 2 || m.Missing != 0 {
+		t.Errorf("measure = %+v", m)
+	}
+	// Worst lag: "a" at p1 delivered 4ms after the heal.
+	if m.MaxLag != 4*time.Millisecond {
+		t.Errorf("MaxLag = %v, want 4ms", m.MaxLag)
+	}
+}
+
+func TestRecoveryLivenessMissingDelivery(t *testing.T) {
+	q := types.NewProcSet(0, 1)
+	l := recoveryLog(
+		Event{T: ms(2), Kind: TOBcast, P: 0, Value: "a", ValueSeq: 1},
+		Event{T: ms(12), Kind: TOBrcv, P: 0, From: 0, Value: "a", ValueSeq: 1},
+		// p1 never receives it.
+	)
+	err := CheckRecoveryLiveness(l, q, ms(10), 5*time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "never delivered") {
+		t.Fatalf("want missing-delivery violation, got %v", err)
+	}
+	if m := MeasureRecovery(l, q, ms(10), 5*time.Millisecond); m.Missing != 1 {
+		t.Errorf("Missing = %d, want 1", m.Missing)
+	}
+}
+
+func TestRecoveryLivenessLateDelivery(t *testing.T) {
+	q := types.NewProcSet(0, 1)
+	l := recoveryLog(
+		Event{T: ms(2), Kind: TOBcast, P: 0, Value: "a", ValueSeq: 1},
+		Event{T: ms(12), Kind: TOBrcv, P: 0, From: 0, Value: "a", ValueSeq: 1},
+		Event{T: ms(30), Kind: TOBrcv, P: 1, From: 0, Value: "a", ValueSeq: 1}, // 15ms past deadline
+	)
+	err := CheckRecoveryLiveness(l, q, ms(10), 5*time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "past the") {
+		t.Fatalf("want late-delivery violation, got %v", err)
+	}
+	// The same log passes under a looser bound.
+	if err := CheckRecoveryLiveness(l, q, ms(10), 25*time.Millisecond); err != nil {
+		t.Fatalf("loose bound should pass: %v", err)
+	}
+}
+
+func TestRecoveryLivenessIgnoresOutsiders(t *testing.T) {
+	q := types.NewProcSet(0, 1)
+	// A bcast at processor 5 (outside q) with no deliveries anywhere must
+	// not enter the measurement.
+	l := recoveryLog(
+		Event{T: ms(2), Kind: TOBcast, P: 5, Value: "x", ValueSeq: 1},
+	)
+	if err := CheckRecoveryLiveness(l, q, ms(10), time.Millisecond); err != nil {
+		t.Fatalf("outsider bcast should be ignored: %v", err)
+	}
+	if m := MeasureRecovery(l, q, ms(10), time.Millisecond); m.Values != 0 {
+		t.Errorf("Values = %d, want 0", m.Values)
+	}
+}

@@ -16,6 +16,7 @@ import (
 // This is the executable claim of footnote 3.
 func TestSequentialConsistencyUnderChurn(t *testing.T) {
 	const n = 4
+	t.Logf("seed 61")
 	m, c := newMemory(61, n)
 	h := NewHistoryChecker(m)
 	rng := rand.New(rand.NewSource(61))

@@ -16,6 +16,7 @@ import (
 // memory") made checkable.
 func TestAtomicLinearizability(t *testing.T) {
 	const n = 3
+	t.Logf("seed 81")
 	m, c := newMemory(81, n)
 	ck := NewAtomicChecker(m)
 	rng := rand.New(rand.NewSource(81))

@@ -229,6 +229,7 @@ func TestPendingCount(t *testing.T) {
 // TestHeapStress drives a large random schedule and checks global
 // time-monotonicity of callbacks.
 func TestHeapStress(t *testing.T) {
+	t.Logf("seed 9")
 	s := New(9)
 	rng := rand.New(rand.NewSource(9))
 	var last Time

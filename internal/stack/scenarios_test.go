@@ -15,6 +15,7 @@ import (
 // TestUglyLinksStillSafe: degrading links to ugly (lossy, slow) may stall
 // progress and churn views, but can never violate the total order.
 func TestUglyLinksStillSafe(t *testing.T) {
+	t.Logf("seed 21")
 	c := NewCluster(Options{Seed: 21, N: 4, Delta: time.Millisecond})
 	rng := rand.New(rand.NewSource(21))
 	c.Sim.After(20*time.Millisecond, func() {

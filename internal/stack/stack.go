@@ -159,6 +159,23 @@ func NewCluster(opts Options) *Cluster {
 // Node returns the endpoint for processor p.
 func (c *Cluster) Node(p types.ProcID) *Node { return c.nodes[p] }
 
+// ApplySchedule arms a failure schedule against the running cluster: every
+// event is applied to the oracle at exactly its recorded time. This is the
+// chaos harness's injection point; combined with the oracle's recorded
+// history it makes fault campaigns replayable byte for byte.
+func (c *Cluster) ApplySchedule(s failures.Schedule) { s.ApplyAt(c.Sim, c.Oracle) }
+
+// TotalDeliveries returns the number of deliveries summed over all nodes —
+// a cheap non-vacuity signal for fault campaigns (a schedule that
+// blackholes everything delivers nothing and "passes" every safety check).
+func (c *Cluster) TotalDeliveries() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += len(n.deliveries)
+	}
+	return total
+}
+
 // OnDeliver registers an observer invoked on every delivery at every node,
 // in delivery order. Observers added after deliveries have occurred see
 // only subsequent ones.

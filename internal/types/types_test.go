@@ -32,6 +32,7 @@ func TestViewIDLessIsStrictTotalOrder(t *testing.T) {
 	gen := func(r *rand.Rand) ViewID {
 		return ViewID{Epoch: r.Int63n(4), Proc: ProcID(r.Intn(4))}
 	}
+	t.Logf("seed 1")
 	r := rand.New(rand.NewSource(1))
 	for i := 0; i < 2000; i++ {
 		a, b, c := gen(r), gen(r), gen(r)
@@ -154,6 +155,7 @@ func TestRangeProcSet(t *testing.T) {
 }
 
 func TestProcSetQuickProperties(t *testing.T) {
+	t.Logf("seed 7")
 	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(7))}
 	mk := func(raw []uint8) ProcSet {
 		ids := make([]ProcID, len(raw))

@@ -54,6 +54,7 @@ func TestGapVSLiteralFootnote5Counterexample(t *testing.T) {
 }
 
 func runGapVS(t *testing.T, seed int64, steps int, perSenderGapFree bool) (int, error) {
+	t.Logf("seed %d", seed)
 	const n = 3
 	rng := rand.New(rand.NewSource(seed))
 	procs := types.RangeProcSet(n)

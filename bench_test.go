@@ -104,6 +104,12 @@ func BenchmarkE13_ModelChecking(b *testing.B) {
 	}
 }
 
+func BenchmarkE14_CrashRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportTable(b, experiments.E14(int64(i+1)))
+	}
+}
+
 // BenchmarkStackThroughput measures end-to-end ordered-broadcast
 // throughput of the full stack (values fully delivered at every node per
 // simulated second), for several cluster sizes.

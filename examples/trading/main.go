@@ -76,8 +76,8 @@ func main() {
 	fmt.Println("\n== site partition: desks 3,4 lose the quorum ==")
 	cluster.Partition(pgcs.NewProcSet(0, 1, 2), pgcs.NewProcSet(3, 4))
 	must(cluster.Run(200 * time.Millisecond))
-	cluster.Broadcast(1, "BUY|40")        // executes on the quorum side
-	cluster.Broadcast(4, "SELL|9999")     // minority: queued, NOT executed
+	cluster.Broadcast(1, "BUY|40")    // executes on the quorum side
+	cluster.Broadcast(4, "SELL|9999") // minority: queued, NOT executed
 	must(cluster.Run(500 * time.Millisecond))
 	pump()
 	report(cluster, books)

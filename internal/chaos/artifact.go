@@ -23,6 +23,10 @@ type Artifact struct {
 	DeltaNS  int64        `json:"delta_ns"`
 	WindowNS int64        `json:"window_ns"`
 	Wire     bool         `json:"wire,omitempty"`
+	// StorageLatencyNS is the effective stable-storage write latency λ
+	// (defaults already resolved, so replays survive changes to the
+	// torn-write campaign's default).
+	StorageLatencyNS int64 `json:"storage_latency_ns,omitempty"`
 	// RecoveryBoundNS is the explicit liveness deadline; always recorded
 	// (never 0) so replays survive changes to the analytic default.
 	RecoveryBoundNS int64 `json:"recovery_bound_ns"`
@@ -36,15 +40,16 @@ type Artifact struct {
 // NewArtifact captures a run into an artifact.
 func NewArtifact(r *Result) Artifact {
 	a := Artifact{
-		Version:         ArtifactVersion,
-		Campaign:        r.Config.Campaign,
-		Seed:            r.Config.Seed,
-		N:               r.Config.N,
-		DeltaNS:         int64(r.Config.Delta),
-		WindowNS:        int64(r.Config.Window),
-		Wire:            r.Config.Wire,
-		RecoveryBoundNS: int64(r.Bound),
-		Events:          r.Schedule,
+		Version:          ArtifactVersion,
+		Campaign:         r.Config.Campaign,
+		Seed:             r.Config.Seed,
+		N:                r.Config.N,
+		DeltaNS:          int64(r.Config.Delta),
+		WindowNS:         int64(r.Config.Window),
+		Wire:             r.Config.Wire,
+		StorageLatencyNS: int64(r.Config.StorageLatency),
+		RecoveryBoundNS:  int64(r.Bound),
+		Events:           r.Schedule,
 	}
 	if a.Events == nil {
 		a.Events = failures.Schedule{}
@@ -64,14 +69,15 @@ func (a Artifact) Config() Config {
 		sched = failures.Schedule{}
 	}
 	return Config{
-		Campaign:      a.Campaign,
-		Seed:          a.Seed,
-		N:             a.N,
-		Delta:         time.Duration(a.DeltaNS),
-		Wire:          a.Wire,
-		Window:        time.Duration(a.WindowNS),
-		RecoveryBound: time.Duration(a.RecoveryBoundNS),
-		Schedule:      sched,
+		Campaign:       a.Campaign,
+		Seed:           a.Seed,
+		N:              a.N,
+		Delta:          time.Duration(a.DeltaNS),
+		Wire:           a.Wire,
+		StorageLatency: time.Duration(a.StorageLatencyNS),
+		Window:         time.Duration(a.WindowNS),
+		RecoveryBound:  time.Duration(a.RecoveryBoundNS),
+		Schedule:       sched,
 	}
 }
 

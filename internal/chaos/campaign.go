@@ -51,11 +51,21 @@ const (
 	// Mixed: the soak-test adversary — every 200–500ms one of partition /
 	// crash / ugly links / heal, uniformly at random.
 	Mixed CampaignType = "mixed"
+	// Amnesia: waves of amnesia crashes (failures.Amnesia — stop plus loss
+	// of all volatile state), occasionally wiping the whole universe at
+	// once, with staggered restarts that force a WAL replay and rejoin.
+	Amnesia CampaignType = "amnesia"
+	// TornWrite: rapid-fire amnesia strikes under positive stable-storage
+	// write latency, so crashes land while WAL records are in flight and
+	// tear the log's tail (the runner defaults StorageLatency to δ/4 for
+	// this campaign).
+	TornWrite CampaignType = "torn-write"
 )
 
 // Campaigns lists every campaign type, in a fixed order.
 var Campaigns = []CampaignType{
 	CrashRestart, RollingPartition, NestedPartition, Flapping, Asymmetric, LeaderCrash, Mixed,
+	Amnesia, TornWrite,
 }
 
 // ParseCampaign validates a campaign name.
@@ -113,6 +123,10 @@ func Generate(ct CampaignType, seed int64, spec Spec) (failures.Schedule, error)
 		g.leaderCrash()
 	case Mixed:
 		g.mixed()
+	case Amnesia:
+		g.amnesia()
+	case TornWrite:
+		g.tornWrite()
 	default:
 		return nil, fmt.Errorf("chaos: unknown campaign %q", ct)
 	}
@@ -364,6 +378,50 @@ func (g *gen) leaderCrash() {
 			}
 		}
 		k += 2 + int64(g.rng.Intn(3))
+	}
+}
+
+func (g *gen) amnesia() {
+	w := g.spec.Window
+	waves := 2 + g.rng.Intn(3)
+	for i := 0; i < waves; i++ {
+		start := time.Duration(i+1) * w / time.Duration(waves+1)
+		k := 1 + g.rng.Intn(g.spec.N-1)
+		if g.rng.Intn(3) == 0 {
+			// Total amnesia: every processor forgets at once, and the group
+			// must be rebuilt entirely from stable storage.
+			k = g.spec.N
+		}
+		for _, idx := range g.rng.Perm(g.spec.N)[:k] {
+			p := types.ProcID(idx)
+			at := start + time.Duration(g.rng.Int63n(int64(20*g.spec.Delta)))
+			g.proc(at, p, failures.Amnesia)
+			// Two thirds restart (and replay their WAL) before the window
+			// closes; the rest stay wiped until the forced heal.
+			if g.rng.Intn(3) < 2 {
+				up := at + time.Duration(g.rng.Int63n(int64(w/4)))
+				g.proc(up, p, failures.Good)
+			}
+		}
+	}
+}
+
+func (g *gen) tornWrite() {
+	w := g.spec.Window
+	pi := g.spec.Pi
+	if pi <= 0 {
+		pi = time.Duration(g.spec.N+2) * g.spec.Delta
+	}
+	// Many short outages at random instants: with λ > 0 some strikes land
+	// while a WAL record is in flight, tearing the log's tail; quick
+	// restarts make the truncated replay rejoin under ongoing traffic.
+	strikes := 6 + g.rng.Intn(7)
+	for i := 0; i < strikes; i++ {
+		p := types.ProcID(g.rng.Intn(g.spec.N))
+		at := w/8 + time.Duration(g.rng.Int63n(int64(w-w/8)))
+		g.proc(at, p, failures.Amnesia)
+		up := at + time.Duration(1+g.rng.Intn(4))*pi
+		g.proc(up, p, failures.Good)
 	}
 }
 

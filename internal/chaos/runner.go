@@ -36,6 +36,16 @@ type Config struct {
 	// final heal; 0 means the analytic default b + 2·d_impl for the
 	// cluster's configuration.
 	RecoveryBound time.Duration
+	// StorageLatency is each node's stable-storage write latency λ (see
+	// stack.Options.StorageLatency). Zero keeps λ = 0, except for the
+	// torn-write campaign, which defaults it to δ/4 so amnesia strikes can
+	// land while WAL records are in flight.
+	StorageLatency time.Duration
+	// SkipRecoveryReplay passes stack.Options.SkipRecoveryReplay through:
+	// amnesia recovery restarts from an empty snapshot instead of a WAL
+	// replay. Tests use it to verify the harness catches (and shrinks to) a
+	// broken recovery path. Never set it otherwise.
+	SkipRecoveryReplay bool
 	// Schedule, when non-nil, is used verbatim instead of generating the
 	// campaign from the seed (replay and shrinking paths).
 	Schedule failures.Schedule
@@ -58,13 +68,16 @@ func (c Config) withDefaults() Config {
 	if c.Window == 0 {
 		c.Window = 4 * time.Second
 	}
+	if c.StorageLatency == 0 && c.Campaign == TornWrite {
+		c.StorageLatency = c.Delta / 4
+	}
 	return c
 }
 
 // Violation describes one failed check.
 type Violation struct {
 	// Check names the failed oracle: "conformance", "recovery-liveness",
-	// "no-traffic", "sim", or an ExtraCheck-defined name.
+	// "no-traffic", "rejoin-safety", "sim", or an ExtraCheck-defined name.
 	Check string
 	// Detail is the human-readable diagnosis.
 	Detail string
@@ -127,7 +140,11 @@ func Run(cfg Config) *Result {
 	}
 	res.Schedule = sched
 
-	c := stack.NewCluster(stack.Options{Seed: cfg.Seed, N: cfg.N, Delta: cfg.Delta, Wire: cfg.Wire})
+	c := stack.NewCluster(stack.Options{
+		Seed: cfg.Seed, N: cfg.N, Delta: cfg.Delta, Wire: cfg.Wire,
+		StorageLatency:     cfg.StorageLatency,
+		SkipRecoveryReplay: cfg.SkipRecoveryReplay,
+	})
 	res.Cluster = c
 	bound := cfg.RecoveryBound
 	if bound == 0 {
@@ -199,6 +216,14 @@ func Run(cfg Config) *Result {
 		res.Violation = &Violation{Check: "no-traffic", Detail: fmt.Sprintf(
 			"msgs=%d post-heal packets=%d deliveries=%d: run is vacuous",
 			res.Msgs, res.PostHeal.Delivered, res.Deliveries)}
+		return res
+	}
+
+	// Check 4: rejoin safety — a processor rebuilt from its WAL after an
+	// amnesia crash never re-delivers, rewinds, or skips relative to the
+	// delivery prefix it persisted before the crash.
+	if err := props.CheckRejoinSafety(c.Log, c.Crashes); err != nil {
+		res.Violation = &Violation{Check: "rejoin-safety", Detail: err.Error()}
 		return res
 	}
 

@@ -42,6 +42,12 @@ type VSChecker struct {
 
 	sendView map[MsgID]types.ViewID // view in which the message was sent (⊥ recorded too)
 	sendSeq  map[types.ProcID]int   // sends observed per sender (id sanity)
+	// viewSends lists each sender's send sequence numbers per view, in send
+	// order: the per-sender prefix check scans a sender's actual sends
+	// instead of the numeric gap between identifiers, which keeps it cheap
+	// even when sequence numbers jump (the stack partitions the sequence
+	// space by incarnation, so gaps of 2³² are routine).
+	viewSends map[viewProc][]int
 
 	// Per view: the constructed total order and each receiver's delivered
 	// and safe prefix lengths.
@@ -72,6 +78,7 @@ func NewVSChecker(universe, p0 types.ProcSet) *VSChecker {
 		hasView:   make(map[types.ProcID]bool),
 		sendView:  make(map[MsgID]types.ViewID),
 		sendSeq:   make(map[types.ProcID]int),
+		viewSends: make(map[viewProc][]int),
 		order:     make(map[types.ViewID][]MsgID),
 		deliv:     make(map[viewProc]int),
 		safe:      make(map[viewProc]int),
@@ -108,7 +115,10 @@ func (c *VSChecker) Gpsnd(id MsgID) error {
 	}
 	c.sendSeq[id.Sender]++
 	if c.hasView[id.Sender] {
-		c.sendView[id] = c.current[id.Sender].ID
+		g := c.current[id.Sender].ID
+		c.sendView[id] = g
+		vp := viewProc{G: g, P: id.Sender}
+		c.viewSends[vp] = append(c.viewSends[vp], id.Seq)
 	} else {
 		c.sendView[id] = types.Bottom // must never be delivered
 	}
@@ -173,9 +183,11 @@ func (c *VSChecker) checkSenderPrefix(g types.ViewID, ord []MsgID, id MsgID) err
 			maxSeq = prev.Seq
 		}
 	}
-	for seq := maxSeq + 1; seq < id.Seq; seq++ {
-		skipped := MsgID{Sender: id.Sender, Seq: seq}
-		if sv, ok := c.sendView[skipped]; ok && sv == g {
+	// Per-sender sends are monotone, so the list is increasing and the
+	// first hit is the smallest skipped identifier.
+	for _, seq := range c.viewSends[viewProc{G: g, P: id.Sender}] {
+		if seq > maxSeq && seq < id.Seq {
+			skipped := MsgID{Sender: id.Sender, Seq: seq}
 			return fmt.Errorf("message skips %v sent earlier in the same view (per-sender prefix)", skipped)
 		}
 	}

@@ -15,6 +15,7 @@ package codec
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -24,6 +25,11 @@ import (
 	"repro/internal/vsimpl"
 	"repro/internal/vstoto"
 )
+
+// ErrMalformed is wrapped by every decoding failure, so callers can
+// distinguish malformed input (errors.Is(err, ErrMalformed)) from
+// programming errors without matching message text.
+var ErrMalformed = errors.New("malformed input")
 
 // Type tags.
 const (
@@ -58,7 +64,7 @@ type reader struct {
 
 func (r *reader) fail(what string) {
 	if r.err == nil {
-		r.err = fmt.Errorf("codec: truncated %s at offset %d", what, r.off)
+		r.err = fmt.Errorf("codec: truncated %s at offset %d: %w", what, r.off, ErrMalformed)
 	}
 }
 func (r *reader) u8() byte {
@@ -155,11 +161,14 @@ func getLabel(r *reader) types.Label {
 
 func putMsgID(w *writer, id check.MsgID) {
 	w.i32(int(id.Sender))
-	w.i32(id.Seq)
+	// Seq is 64-bit on the wire: recovered incarnations resume sending
+	// above an incarnation-scoped floor (inc<<32), so a 32-bit field
+	// would silently alias post-recovery message IDs onto pre-crash ones.
+	w.i64(int64(id.Seq))
 }
 
 func getMsgID(r *reader) check.MsgID {
-	return check.MsgID{Sender: types.ProcID(r.i32()), Seq: r.i32()}
+	return check.MsgID{Sender: types.ProcID(r.i32()), Seq: int(r.i64())}
 }
 
 func putSummary(w *writer, x *vstoto.Summary) {
@@ -268,20 +277,22 @@ func encodeInto(w *writer, payload any) error {
 	return nil
 }
 
-// Decode parses a wire payload.
+// Decode parses a wire payload. Any failure — truncation, oversized
+// length fields, unknown tags, trailing bytes — is reported as an error
+// wrapping ErrMalformed; malformed input never panics.
 func Decode(buf []byte) (any, error) {
 	r := &reader{buf: buf}
-	out := decodeFrom(r)
+	out := decodeFrom(r, 0)
 	if r.err != nil {
 		return nil, r.err
 	}
 	if r.off != len(buf) {
-		return nil, fmt.Errorf("codec: %d trailing bytes", len(buf)-r.off)
+		return nil, fmt.Errorf("codec: %d trailing bytes: %w", len(buf)-r.off, ErrMalformed)
 	}
 	return out, nil
 }
 
-func decodeFrom(r *reader) any {
+func decodeFrom(r *reader, depth int) any {
 	switch tag := r.u8(); tag {
 	case tagLabeledValue:
 		return vstoto.LabeledValue{L: getLabel(r), A: types.Value(r.str())}
@@ -294,6 +305,15 @@ func decodeFrom(r *reader) any {
 	case tagNewview:
 		return membership.NewviewPkt{V: getView(r)}
 	case tagToken:
+		if depth > 0 {
+			// Tokens carry client payloads, never other tokens; a nested
+			// token tag only appears in crafted or corrupted input, and
+			// rejecting it bounds the decoder's recursion.
+			if r.err == nil {
+				r.err = fmt.Errorf("codec: nested token at depth %d: %w", depth, ErrMalformed)
+			}
+			return nil
+		}
 		tok := &vsimpl.TokenPkt{View: getView(r)}
 		tok.Base = r.i32()
 		nMsgs := int(r.u32())
@@ -304,7 +324,10 @@ func decodeFrom(r *reader) any {
 		tok.Msgs = make([]vsimpl.TokenMsg, 0, nMsgs)
 		for i := 0; i < nMsgs; i++ {
 			tm := vsimpl.TokenMsg{ID: getMsgID(r), From: types.ProcID(r.i32())}
-			tm.Payload = decodeFrom(r)
+			tm.Payload = decodeFrom(r, depth+1)
+			if r.err != nil {
+				return nil
+			}
 			tok.Msgs = append(tok.Msgs, tm)
 		}
 		nDel := int(r.u32())
@@ -324,7 +347,7 @@ func decodeFrom(r *reader) any {
 		return r.str()
 	default:
 		if r.err == nil {
-			r.err = fmt.Errorf("codec: unknown tag %d", tag)
+			r.err = fmt.Errorf("codec: unknown tag %d: %w", tag, ErrMalformed)
 		}
 		return nil
 	}

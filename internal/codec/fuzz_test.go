@@ -3,7 +3,10 @@ package codec
 import (
 	"testing"
 
+	"repro/internal/check"
+	"repro/internal/membership"
 	"repro/internal/types"
+	"repro/internal/vsimpl"
 	"repro/internal/vstoto"
 )
 
@@ -18,6 +21,51 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{0xFF, 0x00, 0x01})
 	sum, _ := Encode(&vstoto.Summary{Con: map[types.Label]types.Value{}, Next: 1})
 	f.Add(sum)
+	// One valid encoding of every wire type, so the fuzzer starts inside
+	// each branch of the decoder rather than having to find the tags.
+	v := types.View{ID: types.ViewID{Epoch: 3, Proc: 1}, Set: types.RangeProcSet(3)}
+	valid := [][]byte{seed, sum}
+	for _, pkt := range []any{
+		membership.CallPkt{ID: v.ID},
+		membership.AcceptPkt{ID: v.ID},
+		membership.NewviewPkt{V: v},
+		vsimpl.ProbePkt{ViewID: v.ID},
+		&vsimpl.TokenPkt{
+			View: v,
+			Base: 2,
+			Msgs: []vsimpl.TokenMsg{{
+				ID:   check.MsgID{Sender: 1, Seq: 3},
+				From: 1,
+				Payload: vstoto.LabeledValue{
+					L: types.Label{ID: v.ID, Seqno: 1, Origin: 1}, A: "tok",
+				},
+			}},
+			Delivered: map[types.ProcID]int{0: 3, 1: 2},
+		},
+		"hello",
+	} {
+		b, err := Encode(pkt)
+		if err != nil {
+			f.Fatalf("seed %T does not encode: %v", pkt, err)
+		}
+		f.Add(b)
+		valid = append(valid, b)
+	}
+	// Near-valid corpus: every strict truncation and a spread of single-bit
+	// flips of each valid encoding — the exact shapes a torn or corrupted
+	// stable-storage tail hands the decoder.
+	for _, b := range valid {
+		for n := 0; n < len(b); n++ {
+			f.Add(b[:n])
+		}
+		for off := 0; off < len(b); off++ {
+			for _, bit := range []uint{0, 3, 7} {
+				mut := append([]byte(nil), b...)
+				mut[off] ^= 1 << bit
+				f.Add(mut)
+			}
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		out, err := Decode(data)
 		if err != nil {

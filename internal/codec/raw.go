@@ -1,0 +1,79 @@
+package codec
+
+import "repro/internal/types"
+
+// Writer exposes the wire format's low-level primitives so other packages
+// (the recovery WAL) can build length-checked encodings from the same
+// building blocks as the network payloads: fixed-width little-endian
+// integers, length-prefixed strings, and the shared types vocabulary.
+type Writer struct{ w writer }
+
+// NewWriter returns an empty Writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// Data returns the bytes written so far. The slice is the Writer's
+// backing buffer; append no more after reading it.
+func (x *Writer) Data() []byte { return x.w.buf }
+
+// U8 writes one byte.
+func (x *Writer) U8(v byte) { x.w.u8(v) }
+
+// U32 writes a fixed-width 32-bit unsigned integer.
+func (x *Writer) U32(v uint32) { x.w.u32(v) }
+
+// I64 writes a fixed-width 64-bit signed integer.
+func (x *Writer) I64(v int64) { x.w.i64(v) }
+
+// I32 writes an int as a fixed-width 32-bit signed integer.
+func (x *Writer) I32(v int) { x.w.i32(v) }
+
+// Str writes a length-prefixed string.
+func (x *Writer) Str(s string) { x.w.str(s) }
+
+// ViewID writes a view identifier.
+func (x *Writer) ViewID(id types.ViewID) { putViewID(&x.w, id) }
+
+// View writes a view (identifier plus membership).
+func (x *Writer) View(v types.View) { putView(&x.w, v) }
+
+// Label writes a VStoTO label.
+func (x *Writer) Label(l types.Label) { putLabel(&x.w, l) }
+
+// Reader decodes buffers produced with Writer. Errors accumulate: after
+// the first failure every further read returns a zero value, and Err
+// reports the failure (wrapping ErrMalformed). Truncated or oversized
+// length fields never panic.
+type Reader struct{ r reader }
+
+// NewReader reads from buf.
+func NewReader(buf []byte) *Reader { return &Reader{r: reader{buf: buf}} }
+
+// Err returns the first decoding failure, or nil.
+func (x *Reader) Err() error { return x.r.err }
+
+// Rest returns the number of unread bytes.
+func (x *Reader) Rest() int { return len(x.r.buf) - x.r.off }
+
+// U8 reads one byte.
+func (x *Reader) U8() byte { return x.r.u8() }
+
+// U32 reads a 32-bit unsigned integer.
+func (x *Reader) U32() uint32 { return x.r.u32() }
+
+// I64 reads a 64-bit signed integer.
+func (x *Reader) I64() int64 { return x.r.i64() }
+
+// I32 reads a 32-bit signed integer as an int.
+func (x *Reader) I32() int { return x.r.i32() }
+
+// Str reads a length-prefixed string.
+func (x *Reader) Str() string { return x.r.str() }
+
+// ViewID reads a view identifier.
+func (x *Reader) ViewID() types.ViewID { return getViewID(&x.r) }
+
+// View reads a view.
+func (x *Reader) View() types.View { return getView(&x.r) }
+
+// Label reads a VStoTO label.
+func (x *Reader) Label() types.Label { return getLabel(&x.r) }

@@ -434,5 +434,5 @@ func E5(seed int64) *Table {
 
 // All runs every experiment in order.
 func All(seed int64) []*Table {
-	return []*Table{E1(seed), E2(seed), E3(seed), E4(seed), E5(seed), E6(seed), E7(seed), E8(seed), E9(seed), E10(seed), E11(seed), E12(seed), E13(seed)}
+	return []*Table{E1(seed), E2(seed), E3(seed), E4(seed), E5(seed), E6(seed), E7(seed), E8(seed), E9(seed), E10(seed), E11(seed), E12(seed), E13(seed), E14(seed)}
 }

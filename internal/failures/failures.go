@@ -25,13 +25,20 @@ import (
 // Status is the good/bad/ugly failure status of a location or channel.
 type Status int
 
-// The three statuses of Figure 4. Good is the zero value, matching the
-// paper's convention that the default status (before any failure event) is
-// good.
+// The three statuses of Figure 4, plus Amnesia. Good is the zero value,
+// matching the paper's convention that the default status (before any
+// failure event) is good.
+//
+// Amnesia extends the paper's model with a crash that loses volatile
+// state: like Bad the processor is stopped, but on the transition back to
+// Good it restarts from stable storage instead of resuming in place (see
+// internal/recovery). Amnesia is a processor status; network layers treat
+// an amnesiac channel endpoint exactly like a bad one.
 const (
 	Good Status = iota
 	Bad
 	Ugly
+	Amnesia
 )
 
 // String renders the status name.
@@ -43,10 +50,18 @@ func (s Status) String() string {
 		return "bad"
 	case Ugly:
 		return "ugly"
+	case Amnesia:
+		return "amnesia"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
 }
+
+// Down reports whether the status means "stopped": a bad or amnesiac
+// processor takes no steps and neither sends nor receives. The two differ
+// only in what survives the transition back to good (Bad preserves
+// volatile state, Amnesia wipes it).
+func (s Status) Down() bool { return s == Bad || s == Amnesia }
 
 // Pair is an ordered pair of processors, identifying a directed channel.
 type Pair struct {

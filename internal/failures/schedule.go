@@ -76,6 +76,8 @@ func ParseStatus(s string) (Status, error) {
 		return Bad, nil
 	case "ugly":
 		return Ugly, nil
+	case "amnesia":
+		return Amnesia, nil
 	default:
 		return Good, fmt.Errorf("failures: unknown status %q", s)
 	}

@@ -44,9 +44,9 @@ func TestScheduleJSONRoundTrip(t *testing.T) {
 
 func TestScheduleJSONRejectsMalformed(t *testing.T) {
 	cases := []string{
-		`{"t_ns":1,"status":"great","proc":0}`,            // unknown status
-		`{"t_ns":1,"status":"bad"}`,                       // proc event without proc
-		`{"t_ns":1,"channel":true,"status":"bad","to":1}`, // channel event without from
+		`{"t_ns":1,"status":"great","proc":0}`,               // unknown status
+		`{"t_ns":1,"status":"bad"}`,                          // proc event without proc
+		`{"t_ns":1,"channel":true,"status":"bad","to":1}`,    // channel event without from
 		`{"t_ns":1,"status":"bad","proc":0,"from":1,"to":2}`, // mixed variant
 	}
 	for _, c := range cases {

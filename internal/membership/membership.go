@@ -61,6 +61,15 @@ type Former struct {
 	HoldOff time.Duration
 	// OnInstall is invoked when a new view is installed at this processor.
 	OnInstall func(types.View)
+	// Gate, when non-nil, interposes on installation: a view that passed
+	// the monotonicity and promise checks is handed to Gate, and takes
+	// effect (updating installed state and firing OnInstall) only when Gate
+	// invokes commit. The stack's recovery layer uses it to make
+	// installation write-ahead — the view is written to stable storage and
+	// commit runs from the write's completion, so an installation is never
+	// observable unless it is durable. Commits arrive in issue order (the
+	// storage queue is FIFO), which preserves install monotonicity.
+	Gate func(v types.View, commit func())
 
 	maxEpoch  int64        // highest epoch observed anywhere
 	promised  types.ViewID // highest identifier replied to or proposed
@@ -70,6 +79,7 @@ type Former struct {
 	formingID  types.ViewID
 	acceptors  map[types.ProcID]bool
 	quietUntil sim.Time
+	dead       bool
 
 	// One-round mode (footnote 7; see oneround.go).
 	oneRound  bool
@@ -109,6 +119,17 @@ func NewFormer(id types.ProcID, universe types.ProcSet, s *sim.Sim, n *net.Netwo
 // Stats returns the activity counters.
 func (f *Former) Stats() Stats { return f.stats }
 
+// Stop permanently deactivates the Former: every later input and every
+// already-scheduled collection callback becomes a no-op. Used when a
+// processor's volatile state is wiped by an amnesia crash — a fresh Former
+// (with the epoch floor restored from stable storage) replaces this one,
+// and nothing from the dead incarnation may act again.
+func (f *Former) Stop() {
+	f.dead = true
+	f.forming = false
+	f.OnInstall = nil
+}
+
 // Installed returns the identifier of the currently installed view (⊥ if
 // none).
 func (f *Former) Installed() types.ViewID { return f.installed }
@@ -129,7 +150,7 @@ func (f *Former) Observe(id types.ViewID) {
 // processors will reply, which is exactly how partitions produce disjoint
 // views.
 func (f *Former) Initiate() {
-	if f.forming {
+	if f.dead || f.forming {
 		return
 	}
 	if f.sim.Now() < f.quietUntil {
@@ -156,7 +177,7 @@ func (f *Former) Initiate() {
 }
 
 func (f *Former) finishCollection(vid types.ViewID) {
-	if !f.forming || f.formingID != vid {
+	if f.dead || !f.forming || f.formingID != vid {
 		return // superseded by a higher call or an installation
 	}
 	f.forming = false
@@ -172,6 +193,9 @@ func (f *Former) finishCollection(vid types.ViewID) {
 
 // HandleCall processes a round-1 call from another processor.
 func (f *Former) HandleCall(from types.ProcID, pkt CallPkt) {
+	if f.dead {
+		return
+	}
 	f.Observe(pkt.ID)
 	if !f.promised.Less(pkt.ID) {
 		return // already promised an equal or higher identifier
@@ -199,6 +223,9 @@ func (f *Former) HandleAccept(from types.ProcID, pkt AcceptPkt) {
 func (f *Former) HandleNewview(pkt NewviewPkt) { f.handleNewview(pkt.V) }
 
 func (f *Former) handleNewview(v types.View) {
+	if f.dead {
+		return
+	}
 	f.Observe(v.ID)
 	if !v.Set.Contains(f.id) {
 		return
@@ -208,12 +235,22 @@ func (f *Former) handleNewview(v types.View) {
 	if !f.installed.Less(v.ID) || v.ID.Less(f.promised) {
 		return
 	}
-	f.installed = v.ID
-	f.stats.Installed++
-	if f.forming && f.formingID.Less(v.ID) {
-		f.forming = false
+	commit := func() {
+		if f.dead || !f.installed.Less(v.ID) {
+			return // superseded while the gate was pending
+		}
+		f.installed = v.ID
+		f.stats.Installed++
+		if f.forming && f.formingID.Less(v.ID) {
+			f.forming = false
+		}
+		if f.OnInstall != nil {
+			f.OnInstall(v)
+		}
 	}
-	if f.OnInstall != nil {
-		f.OnInstall(v)
+	if f.Gate != nil {
+		f.Gate(v, commit)
+		return
 	}
+	commit()
 }

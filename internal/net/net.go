@@ -122,7 +122,7 @@ func (n *Network) Delta() time.Duration { return n.cfg.Delta }
 // to oneself delivers after a zero-delay event (local loopback).
 func (n *Network) Send(from, to types.ProcID, payload any) {
 	n.stats.Sent++
-	if n.oracle.Proc(from) == failures.Bad || n.oracle.Proc(to) == failures.Bad {
+	if n.oracle.Proc(from).Down() || n.oracle.Proc(to).Down() {
 		n.stats.DroppedProc++
 		return
 	}
@@ -169,8 +169,8 @@ func (n *Network) Broadcast(from types.ProcID, dst types.ProcSet, payload any) {
 }
 
 func (n *Network) deliver(pkt Packet) {
-	// A processor that turned bad in flight is stopped: drop.
-	if n.oracle.Proc(pkt.To) == failures.Bad {
+	// A processor that turned bad (or amnesiac) in flight is stopped: drop.
+	if n.oracle.Proc(pkt.To).Down() {
 		n.stats.DroppedProc++
 		return
 	}

@@ -2,6 +2,7 @@ package props
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/sim"
@@ -91,7 +92,25 @@ func MeasureRecovery(log *Log, q types.ProcSet, healT sim.Time, bound time.Durat
 			m.FirstViolation = s
 		}
 	}
-	for k, t0 := range bcastT {
+	// Scan in (bcast time, origin, seq) order: map iteration would make
+	// FirstViolation — and with it shrink traces and replay artifacts —
+	// nondeterministic across identical runs.
+	keys := make([]key, 0, len(bcastT))
+	for k := range bcastT {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if bcastT[a] != bcastT[b] {
+			return bcastT[a] < bcastT[b]
+		}
+		if a.Origin != b.Origin {
+			return a.Origin < b.Origin
+		}
+		return a.Seq < b.Seq
+	})
+	for _, k := range keys {
+		t0 := bcastT[k]
 		deadline := healT
 		if t0 > deadline {
 			deadline = t0

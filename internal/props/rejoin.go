@@ -1,0 +1,126 @@
+package props
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// PersistedDelivery identifies one client delivery as restorable from a
+// processor's stable storage: the origin, the origin's submission index,
+// and the value.
+type PersistedDelivery struct {
+	From  types.ProcID
+	Seq   int
+	Value types.Value
+}
+
+// CrashSnapshot records, at one amnesia crash, the delivery prefix the
+// crashed processor's stable storage will restore (after the device tears
+// its in-flight write). The stack collects one per crash; CheckRejoinSafety
+// compares them against the recorded trace.
+type CrashSnapshot struct {
+	P         types.ProcID
+	T         sim.Time
+	Persisted []PersistedDelivery
+}
+
+// CheckRejoinSafety verifies that amnesia recovery never rewinds or skips
+// a client-visible delivery. For every crash of processor p at time t with
+// persisted prefix D:
+//
+//  1. prefix equality — the deliveries released at p before t are exactly
+//     D, pairwise (origin, submission index, value). Write-ahead delivery
+//     gating promises the durable prefix equals the delivered prefix;
+//     this is the direct check of that promise, in both directions: a
+//     delivery missing from D was released before it was durable, and an
+//     entry of D beyond the released prefix means storage ran ahead of
+//     the client (possible only if a delivery record became durable while
+//     the processor was paused Bad and it then crashed before resuming —
+//     an interleaving the generated campaigns never produce, and one this
+//     check deliberately rejects rather than excuses);
+//
+//  2. no re-delivery — no delivery at p after t (and before p's next
+//     crash, whose own snapshot takes over) repeats an (origin, index)
+//     pair of D: the rejoined processor continues after its persisted
+//     prefix, it does not replay it to the client;
+//
+//  3. continuation — for each origin with entries in D, the first
+//     delivery from that origin at p after t carries the next submission
+//     index after D's highest: the rejoined processor neither rewinds
+//     behind nor skips over the position its persisted prefix ends at.
+//
+// The error reports the first violation found.
+func CheckRejoinSafety(log *Log, crashes []CrashSnapshot) error {
+	if len(crashes) == 0 {
+		return nil
+	}
+	// Deliveries per processor, in trace order (the log is in time order).
+	delivs := make(map[types.ProcID][]Event)
+	for _, e := range log.Events {
+		if e.Kind == TOBrcv {
+			delivs[e.P] = append(delivs[e.P], e)
+		}
+	}
+	byProc := make(map[types.ProcID][]CrashSnapshot)
+	for _, cs := range crashes {
+		byProc[cs.P] = append(byProc[cs.P], cs)
+	}
+	for p, list := range byProc {
+		sort.SliceStable(list, func(i, j int) bool { return list[i].T < list[j].T })
+		seq := delivs[p]
+		for k, cs := range list {
+			// 1. Prefix equality against everything delivered before the crash.
+			pre := 0
+			for pre < len(seq) && seq[pre].T < cs.T {
+				pre++
+			}
+			if pre != len(cs.Persisted) {
+				return fmt.Errorf("props: rejoin safety: crash of %v at %v: %d deliveries released, %d persisted",
+					p, cs.T, pre, len(cs.Persisted))
+			}
+			for i := 0; i < pre; i++ {
+				got, want := seq[i], cs.Persisted[i]
+				if got.From != want.From || got.ValueSeq != want.Seq || got.Value != want.Value {
+					return fmt.Errorf("props: rejoin safety: crash of %v at %v: delivery %d released as (%v,%d,%q) but persisted as (%v,%d,%q)",
+						p, cs.T, i+1, got.From, got.ValueSeq, got.Value, want.From, want.Seq, want.Value)
+				}
+			}
+			// The crash's jurisdiction ends at p's next crash (whose own
+			// snapshot takes over).
+			end := sim.Never
+			if k+1 < len(list) {
+				end = list[k+1].T
+			}
+			persisted := make(map[PersistedDelivery]bool, len(cs.Persisted))
+			maxSeq := make(map[types.ProcID]int)
+			for _, d := range cs.Persisted {
+				persisted[PersistedDelivery{From: d.From, Seq: d.Seq}] = true
+				if d.Seq > maxSeq[d.From] {
+					maxSeq[d.From] = d.Seq
+				}
+			}
+			// 2 and 3 over the post-crash window.
+			firstFrom := make(map[types.ProcID]bool)
+			for _, e := range seq[pre:] {
+				if e.T >= end {
+					break
+				}
+				if persisted[PersistedDelivery{From: e.From, Seq: e.ValueSeq}] {
+					return fmt.Errorf("props: rejoin safety: crash of %v at %v: persisted delivery (%v,%d) re-delivered at %v",
+						p, cs.T, e.From, e.ValueSeq, e.T)
+				}
+				if !firstFrom[e.From] {
+					firstFrom[e.From] = true
+					if want, ok := maxSeq[e.From]; ok && e.ValueSeq != want+1 {
+						return fmt.Errorf("props: rejoin safety: crash of %v at %v: deliveries from %v resume at index %d, want %d",
+							p, cs.T, e.From, e.ValueSeq, want+1)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

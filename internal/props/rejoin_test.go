@@ -1,0 +1,112 @@
+package props
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+func brcvAt(t sim.Time, p, from types.ProcID, seq int, v types.Value) Event {
+	return Event{T: t, Kind: TOBrcv, P: p, From: from, ValueSeq: seq, Value: v}
+}
+
+func pd(from types.ProcID, seq int, v types.Value) PersistedDelivery {
+	return PersistedDelivery{From: from, Seq: seq, Value: v}
+}
+
+func TestCheckRejoinSafety(t *testing.T) {
+	p, q := types.ProcID(1), types.ProcID(0)
+	base := []Event{
+		brcvAt(ms(10), p, q, 1, "a"),
+		brcvAt(ms(20), p, q, 2, "b"),
+		brcvAt(ms(30), p, p, 1, "x"),
+	}
+	crash := CrashSnapshot{P: p, T: ms(40), Persisted: []PersistedDelivery{
+		pd(q, 1, "a"), pd(q, 2, "b"), pd(p, 1, "x"),
+	}}
+
+	mk := func(extra ...Event) *Log {
+		l := &Log{}
+		for _, e := range append(append([]Event(nil), base...), extra...) {
+			l.Append(e)
+		}
+		return l
+	}
+
+	t.Run("no crashes is trivially safe", func(t *testing.T) {
+		if err := CheckRejoinSafety(mk(), nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("correct continuation passes", func(t *testing.T) {
+		log := mk(
+			brcvAt(ms(100), p, q, 3, "c"),
+			brcvAt(ms(110), p, p, 2, "y"),
+			brcvAt(ms(120), p, 2, 1, "z"), // origin with no persisted history
+		)
+		if err := CheckRejoinSafety(log, []CrashSnapshot{crash}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("missing persisted delivery fails", func(t *testing.T) {
+		short := crash
+		short.Persisted = crash.Persisted[:2] // "x" was released but not durable
+		err := CheckRejoinSafety(mk(), []CrashSnapshot{short})
+		if err == nil || !strings.Contains(err.Error(), "3 deliveries released, 2 persisted") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("persisted value mismatch fails", func(t *testing.T) {
+		bad := crash
+		bad.Persisted = []PersistedDelivery{pd(q, 1, "a"), pd(q, 2, "WRONG"), pd(p, 1, "x")}
+		err := CheckRejoinSafety(mk(), []CrashSnapshot{bad})
+		if err == nil || !strings.Contains(err.Error(), "delivery 2") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("re-delivery after rejoin fails", func(t *testing.T) {
+		log := mk(brcvAt(ms(100), p, q, 2, "b"))
+		err := CheckRejoinSafety(log, []CrashSnapshot{crash})
+		if err == nil || !strings.Contains(err.Error(), "re-delivered") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("skip after rejoin fails", func(t *testing.T) {
+		log := mk(brcvAt(ms(100), p, q, 4, "d")) // q's index 3 skipped
+		err := CheckRejoinSafety(log, []CrashSnapshot{crash})
+		if err == nil || !strings.Contains(err.Error(), "resume at index 4, want 3") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("second crash takes over the window", func(t *testing.T) {
+		// Between the crashes p delivers q#3; the second snapshot persists
+		// it, and the post-second-crash deliveries continue from there. A
+		// re-delivery of q#3 after the second crash is the second crash's
+		// violation, not the first's.
+		log := mk(
+			brcvAt(ms(100), p, q, 3, "c"),
+			brcvAt(ms(200), p, q, 4, "d"),
+		)
+		crash2 := CrashSnapshot{P: p, T: ms(150), Persisted: append(
+			append([]PersistedDelivery(nil), crash.Persisted...), pd(q, 3, "c"))}
+		if err := CheckRejoinSafety(log, []CrashSnapshot{crash, crash2}); err != nil {
+			t.Fatal(err)
+		}
+		bad := mk(
+			brcvAt(ms(100), p, q, 3, "c"),
+			brcvAt(ms(200), p, q, 3, "c"),
+		)
+		err := CheckRejoinSafety(bad, []CrashSnapshot{crash, crash2})
+		if err == nil || !strings.Contains(err.Error(), "crash of p1 at 150ms") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("other processors unaffected", func(t *testing.T) {
+		log := mk(brcvAt(ms(5), q, q, 1, "a"), brcvAt(ms(100), q, q, 1, "a"))
+		if err := CheckRejoinSafety(log, []CrashSnapshot{crash}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

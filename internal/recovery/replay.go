@@ -1,0 +1,215 @@
+package recovery
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"repro/internal/codec"
+	"repro/internal/types"
+)
+
+// DeliveredRecord is one persisted client delivery.
+type DeliveredRecord struct {
+	Pos     int // 1-based position in the order
+	Label   types.Label
+	From    types.ProcID
+	FromSeq int // the origin's submission index
+	Value   types.Value
+}
+
+// PendingValue is a submission that was durable but never labeled: it
+// re-enters the delay queue on restart and is labeled afresh in a later
+// view.
+type PendingValue struct {
+	Seq   int
+	Value types.Value
+}
+
+// Snapshot is the consistent state Replay reconstructs from a WAL.
+type Snapshot struct {
+	// HasView reports whether any view was durably installed; View is the
+	// last one. Its ID is the membership floor: the restarted processor
+	// must only install views strictly above it.
+	HasView bool
+	View    types.View
+	// Order, NextConfirm and HighPrimary mirror the VStoTO state of the
+	// same names as of the last durable establishment, extended by durable
+	// order appends.
+	Order       []types.Label
+	NextConfirm int
+	HighPrimary types.ViewID
+	// Content is the label→value relation recoverable from this log.
+	Content map[types.Label]types.Value
+	// Delivered is the persisted delivery prefix, in position order.
+	Delivered []DeliveredRecord
+	// Pending are durable submissions never labeled, in submission order.
+	Pending []PendingValue
+	// BcastSeq is the highest durable submission sequence number.
+	BcastSeq int
+	// Incarnations counts the durable recovery markers: the number of
+	// restarts this log has survived. The next incarnation is
+	// Incarnations+1.
+	Incarnations int
+	// Records counts the records replayed.
+	Records int
+	// Truncated is empty for a clean log; otherwise it describes the first
+	// torn or corrupt record, at byte offset TruncatedAt, where replay
+	// stopped. Everything after that offset is ignored.
+	Truncated   string
+	TruncatedAt int
+}
+
+// Replay folds a durable byte image back into a Snapshot. It never fails:
+// a torn or corrupt tail — short frame header, oversized length, checksum
+// mismatch, undecodable or inconsistent record — truncates the replay at
+// that record, and the fields report what was kept. Malformed input never
+// panics.
+func Replay(disk []byte) *Snapshot {
+	s := &Snapshot{
+		NextConfirm: 1,
+		Content:     make(map[types.Label]types.Value),
+	}
+	pending := make(map[int]types.Value)
+	off := 0
+	truncate := func(reason string) {
+		s.Truncated = reason
+		s.TruncatedAt = off
+	}
+	for off < len(disk) {
+		if len(disk)-off < frameHeader {
+			truncate(fmt.Sprintf("torn frame header: %d trailing bytes", len(disk)-off))
+			break
+		}
+		hdr := codec.NewReader(disk[off : off+frameHeader])
+		length := int(hdr.U32())
+		sum := hdr.U32()
+		if length <= 0 || length > len(disk)-off-frameHeader {
+			truncate(fmt.Sprintf("torn record: length %d with %d bytes left", length, len(disk)-off-frameHeader))
+			break
+		}
+		payload := disk[off+frameHeader : off+frameHeader+length]
+		if crc32.ChecksumIEEE(payload) != sum {
+			truncate("checksum mismatch")
+			break
+		}
+		if reason := s.applyRecord(payload, pending); reason != "" {
+			truncate(reason)
+			break
+		}
+		s.Records++
+		off += frameHeader + length
+	}
+	if s.Truncated == "" {
+		s.TruncatedAt = len(disk)
+	}
+	for seq, a := range pending {
+		s.Pending = append(s.Pending, PendingValue{Seq: seq, Value: a})
+	}
+	sort.Slice(s.Pending, func(i, j int) bool { return s.Pending[i].Seq < s.Pending[j].Seq })
+	if n := len(s.Delivered); n > 0 && s.NextConfirm <= s.Delivered[n-1].Pos {
+		s.NextConfirm = s.Delivered[n-1].Pos + 1
+	}
+	return s
+}
+
+// applyRecord folds one record payload into the snapshot; it returns a
+// truncation reason for undecodable or internally inconsistent records.
+func (s *Snapshot) applyRecord(payload []byte, pending map[int]types.Value) string {
+	r := codec.NewReader(payload)
+	switch tag := r.U8(); tag {
+	case recView:
+		v := r.View()
+		if r.Err() != nil {
+			return "bad view record"
+		}
+		if s.HasView && !s.View.ID.Less(v.ID) {
+			return fmt.Sprintf("non-monotonic view record %v after %v", v.ID, s.View.ID)
+		}
+		s.View = v
+		s.HasView = true
+	case recEstablish:
+		n := int(r.U32())
+		if n < 0 || n > r.Rest() {
+			return "bad establish record: oversized order"
+		}
+		order := make([]types.Label, 0, n)
+		for i := 0; i < n; i++ {
+			order = append(order, r.Label())
+		}
+		next := r.I32()
+		high := r.ViewID()
+		if r.Err() != nil || next < 1 {
+			return "bad establish record"
+		}
+		s.Order = order
+		s.NextConfirm = next
+		s.HighPrimary = high
+	case recOrderAppend:
+		l := r.Label()
+		a := types.Value(r.Str())
+		if r.Err() != nil {
+			return "bad order-append record"
+		}
+		s.Order = append(s.Order, l)
+		s.Content[l] = a
+	case recBcast:
+		seq := r.I32()
+		a := types.Value(r.Str())
+		if r.Err() != nil || seq < 1 {
+			return "bad bcast record"
+		}
+		pending[seq] = a
+		if seq > s.BcastSeq {
+			s.BcastSeq = seq
+		}
+	case recLabel:
+		seq := r.I32()
+		l := r.Label()
+		a := types.Value(r.Str())
+		if r.Err() != nil {
+			return "bad label record"
+		}
+		delete(pending, seq)
+		s.Content[l] = a
+	case recDeliver:
+		pos := r.I32()
+		l := r.Label()
+		from := types.ProcID(r.I32())
+		fromSeq := r.I32()
+		a := types.Value(r.Str())
+		if r.Err() != nil {
+			return "bad deliver record"
+		}
+		if pos != len(s.Delivered)+1 {
+			return fmt.Sprintf("deliver record at position %d, want %d", pos, len(s.Delivered)+1)
+		}
+		if pos > len(s.Order) || s.Order[pos-1] != l {
+			return fmt.Sprintf("deliver record label %v not at order position %d", l, pos)
+		}
+		s.Content[l] = a
+		s.Delivered = append(s.Delivered, DeliveredRecord{Pos: pos, Label: l, From: from, FromSeq: fromSeq, Value: a})
+	case recRecovered:
+		n := r.I32()
+		if r.Err() != nil || n < 1 {
+			return "bad recovery marker"
+		}
+		s.Incarnations++
+	default:
+		return fmt.Sprintf("unknown record tag %d", tag)
+	}
+	if r.Rest() != 0 {
+		return fmt.Sprintf("record tag %d has %d trailing bytes", payload[0], r.Rest())
+	}
+	return ""
+}
+
+// ViewFloor returns the identifier of the last durably installed view, or
+// ⊥ when none: the strict lower bound for every view the restarted
+// processor may install or propose.
+func (s *Snapshot) ViewFloor() types.ViewID {
+	if !s.HasView {
+		return types.Bottom
+	}
+	return s.View.ID
+}

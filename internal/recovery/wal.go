@@ -1,0 +1,177 @@
+// Package recovery gives each processor a write-ahead log over
+// internal/storage so that an amnesia crash (failures.Amnesia — stop plus
+// loss of all volatile state) can be survived: the stack appends a record
+// for every VStoTO-critical state change as the protocol runs, and on
+// restart Replay folds the durable records back into a consistent
+// Snapshot that the stack uses to rebuild the processor before it rejoins
+// through the ordinary membership protocol.
+//
+// What is persisted, and why exactly this set:
+//
+//   - views (View) and establishments (Establish): the membership floor —
+//     a restarted processor must never install or propose a view at or
+//     below one it already installed (the VS checker's local monotonicity).
+//     View records are write-ahead: the stack gates installation on the
+//     record's completion (membership.Former.Gate), so an installation is
+//     never announced unless its record is durable and the restored floor
+//     always covers every announced installation. Establishment records
+//     keep order/nextconfirm/highprimary at the last state exchange, so
+//     representative selection after a whole-group crash cannot regress
+//     the confirmed prefix;
+//   - primary-view order appends (OrderAppend): between establishments the
+//     order grows one label at a time; without these the restored order
+//     could be shorter than a peer's persisted delivered prefix, and a
+//     later establishment from this processor's summary would reorder it;
+//   - client submissions (Bcast) and label assignments (Label): every
+//     value is durable at its origin, so a value that existed only in
+//     wiped volatile state elsewhere still reaches the total order after
+//     the origin restarts;
+//   - deliveries (Deliver): written *before* the client sees the value
+//     (the stack releases a delivery only from the record's completion
+//     callback), so the persisted delivery prefix equals the delivered
+//     prefix exactly — the invariant props.CheckRejoinSafety pins;
+//   - recovery markers (Recovered): written once per restart, before the
+//     rebuilt node takes any step, and waited on for durability. Counting
+//     them yields a strictly increasing incarnation number that partitions
+//     the VS send-sequence space, so MsgIDs never repeat across
+//     incarnations (the VS checker rejects duplicate gpsnd identifiers)
+//     no matter how far the wiped incarnation's volatile counter ran ahead
+//     of stable storage.
+//
+// Records are length-prefixed and CRC-checksummed; Replay truncates at the
+// first torn or corrupt record, which together with write-ahead delivery
+// gating makes a torn tail safe: whatever was lost had not been released
+// to any client at this processor.
+package recovery
+
+import (
+	"hash/crc32"
+
+	"repro/internal/codec"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Record tags.
+const (
+	recView byte = iota + 1
+	recEstablish
+	recOrderAppend
+	recBcast
+	recLabel
+	recDeliver
+	recRecovered
+)
+
+// frameHeader is the per-record overhead: u32 payload length + u32 CRC.
+const frameHeader = 8
+
+// WAL is one processor's write-ahead log on a storage device. All
+// appenders are asynchronous: done (which may be nil) fires when the
+// record is durable, and never fires if the owner crashes first (the
+// storage layer's Drop suppresses pending completions).
+type WAL struct {
+	st *storage.Stable
+}
+
+// New wraps a storage device as a WAL.
+func New(st *storage.Stable) *WAL { return &WAL{st: st} }
+
+// Storage returns the underlying device.
+func (w *WAL) Storage() *storage.Stable { return w.st }
+
+// frame wraps a record payload as [len | crc32(payload) | payload].
+func frame(payload []byte) []byte {
+	out := codec.NewWriter()
+	out.U32(uint32(len(payload)))
+	out.U32(crc32.ChecksumIEEE(payload))
+	return append(out.Data(), payload...)
+}
+
+func (w *WAL) append(payload []byte, done func()) {
+	w.st.Append(frame(payload), done)
+}
+
+// View records an installed view.
+func (w *WAL) View(v types.View, done func()) {
+	x := codec.NewWriter()
+	x.U8(recView)
+	x.View(v)
+	w.append(x.Data(), done)
+}
+
+// Establish records the outcome of a state exchange: the established
+// order, the new nextconfirm, and the new highprimary. It is also written
+// once at WAL creation for processors that start inside the initial view,
+// so the pre-first-view-change state is durable too.
+func (w *WAL) Establish(order []types.Label, next int, high types.ViewID, done func()) {
+	x := codec.NewWriter()
+	x.U8(recEstablish)
+	x.U32(uint32(len(order)))
+	for _, l := range order {
+		x.Label(l)
+	}
+	x.I32(next)
+	x.ViewID(high)
+	w.append(x.Data(), done)
+}
+
+// OrderAppend records one label (with its value) appended to the order in
+// an established primary view.
+func (w *WAL) OrderAppend(l types.Label, a types.Value, done func()) {
+	x := codec.NewWriter()
+	x.U8(recOrderAppend)
+	x.Label(l)
+	x.Str(string(a))
+	w.append(x.Data(), done)
+}
+
+// Bcast records a client submission: the origin-local sequence number and
+// the value.
+func (w *WAL) Bcast(seq int, a types.Value, done func()) {
+	x := codec.NewWriter()
+	x.U8(recBcast)
+	x.I32(seq)
+	x.Str(string(a))
+	w.append(x.Data(), done)
+}
+
+// Label records the label assigned to the submission with the given
+// origin-local sequence number.
+func (w *WAL) Label(seq int, l types.Label, a types.Value, done func()) {
+	x := codec.NewWriter()
+	x.U8(recLabel)
+	x.I32(seq)
+	x.Label(l)
+	x.Str(string(a))
+	w.append(x.Data(), done)
+}
+
+// Deliver records the release of order position pos (1-based) to the
+// client: the label, its origin and the origin's submission index, and the
+// value. The stack must perform the client-visible delivery only from this
+// record's completion callback (write-ahead), so that the durable delivery
+// prefix never lags the delivered one.
+func (w *WAL) Deliver(pos int, l types.Label, from types.ProcID, fromSeq int, a types.Value, done func()) {
+	x := codec.NewWriter()
+	x.U8(recDeliver)
+	x.I32(pos)
+	x.Label(l)
+	x.I32(int(from))
+	x.I32(fromSeq)
+	x.Str(string(a))
+	w.append(x.Data(), done)
+}
+
+// Recovered records the start of incarnation inc after an amnesia crash.
+// The restarting stack writes it first and starts the rebuilt node only
+// from this record's completion callback, so every step the new
+// incarnation takes is preceded by a durable marker — which makes the
+// marker count a reliable incarnation number even across repeated crashes
+// during recovery.
+func (w *WAL) Recovered(inc int, done func()) {
+	x := codec.NewWriter()
+	x.U8(recRecovered)
+	x.I32(inc)
+	w.append(x.Data(), done)
+}

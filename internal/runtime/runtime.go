@@ -36,10 +36,11 @@ type Runtime struct {
 	seen    map[types.ProcID]int
 	subs    []chan Delivery
 
-	speed  float64 // virtual time advanced per wall second, 1.0 = real time
-	tick   time.Duration
-	stop   chan struct{}
-	stopWG sync.WaitGroup
+	speed    float64 // virtual time advanced per wall second, 1.0 = real time
+	tick     time.Duration
+	stop     chan struct{}
+	stopOnce sync.Once
+	stopWG   sync.WaitGroup
 }
 
 // Options configures Start.
@@ -53,7 +54,7 @@ type Options struct {
 }
 
 // Start builds the cluster and launches the pacer goroutine. Call Stop to
-// shut it down; Stop must be called exactly once.
+// shut it down.
 func Start(opts Options) *Runtime {
 	if opts.Speed <= 0 {
 		opts.Speed = 1
@@ -111,9 +112,11 @@ func (r *Runtime) fanOutLocked() {
 	}
 }
 
-// Stop halts the pacer and closes subscriber channels.
+// Stop halts the pacer and closes subscriber channels. It is idempotent
+// and safe to call concurrently: every call blocks until the shutdown is
+// complete.
 func (r *Runtime) Stop() {
-	close(r.stop)
+	r.stopOnce.Do(func() { close(r.stop) })
 	r.stopWG.Wait()
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -123,4 +125,68 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatal("condition not reached before deadline")
+}
+
+// TestStopIsIdempotent calls Stop repeatedly, sequentially and from
+// concurrent goroutines: every call must return (after shutdown completes)
+// without panicking on the already-closed stop channel.
+func TestStopIsIdempotent(t *testing.T) {
+	r := startFast(t, 3)
+	r.Stop()
+	r.Stop() // second sequential call: must be a no-op, not a panic
+
+	r = startFast(t, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Stop()
+		}()
+	}
+	wg.Wait()
+	r.Stop() // and again after the concurrent burst
+}
+
+// TestStopDuringDelivery shuts down while the pacer is actively fanning
+// deliveries out to a subscriber. The subscriber channel must get closed
+// exactly once, and the drain must terminate.
+func TestStopDuringDelivery(t *testing.T) {
+	r := startFast(t, 3)
+	sub := r.Subscribe()
+	for i := 0; i < 20; i++ {
+		r.Bcast(types.ProcID(i%3), types.Value(fmt.Sprintf("v%d", i)))
+	}
+	// Wait until deliveries are in flight, then stop from two goroutines
+	// while a third keeps submitting.
+	waitFor(t, func() bool { return len(r.Deliveries(0)) > 0 })
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			r.Bcast(0, "late")
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Stop()
+		}()
+	}
+	wg.Wait()
+	<-done
+	// The subscriber channel must now drain to a close, not hang.
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-sub:
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("subscriber channel never closed after Stop")
+		}
+	}
 }

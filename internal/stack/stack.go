@@ -3,6 +3,17 @@
 // per processor, each wiring a vstoto.Proc to a vsimpl.Node and running the
 // algorithm's locally controlled actions eagerly — the timed model's "good
 // processors take enabled steps with no time delay".
+//
+// Each endpoint additionally keeps a write-ahead log (internal/recovery)
+// on a simulated stable-storage device, persisting every VStoTO-critical
+// state change as it happens. The paper's Bad status pauses a processor
+// but preserves its state; the extended Amnesia status (failures.Amnesia)
+// wipes volatile state, and on the transition back to Good the endpoint is
+// rebuilt from a replay of its WAL and rejoins through the ordinary
+// membership protocol. Deliveries are write-ahead gated: the client sees a
+// value only once its delivery record is durable, so the persisted
+// delivery prefix always equals the delivered prefix exactly (the
+// invariant props.CheckRejoinSafety pins).
 package stack
 
 import (
@@ -12,11 +23,19 @@ import (
 	"repro/internal/failures"
 	"repro/internal/net"
 	"repro/internal/props"
+	"repro/internal/recovery"
 	"repro/internal/sim"
+	"repro/internal/storage"
 	"repro/internal/types"
 	"repro/internal/vsimpl"
 	"repro/internal/vstoto"
 )
+
+// incarnationSeqSpan partitions the VS send-sequence space by incarnation:
+// incarnation k issues MsgID sequence numbers in (k·2³², (k+1)·2³²], so
+// identifiers never collide across amnesia restarts no matter how far the
+// wiped incarnation's volatile counter had run ahead of stable storage.
+const incarnationSeqSpan = 1 << 32
 
 // Delivery is one totally ordered delivery to the client at a node.
 type Delivery struct {
@@ -30,6 +49,7 @@ type Node struct {
 	id    types.ProcID
 	sim   *sim.Sim
 	orc   *failures.Oracle
+	c     *Cluster
 	proc  *vstoto.Proc
 	vs    *vsimpl.Node
 	log   *props.Log
@@ -37,6 +57,18 @@ type Node struct {
 
 	bcastSeq   int        // per-origin submission counter for the log
 	deliveries []Delivery // everything delivered here, in order
+
+	// Crash-recovery state.
+	wal       *recovery.WAL
+	delaySeqs []int // submission seqs of proc.Delay entries, in lockstep
+	// incarnation guards storage completion callbacks: a callback captured
+	// under an older incarnation must not act on the rebuilt state.
+	incarnation   int
+	brcvPending   bool // a delivery record is being written
+	deliverReady  bool // the record is durable; release on the next drain
+	needsRecovery bool
+	recoveries    int
+	lastReplay    *recovery.Snapshot
 }
 
 // Cluster is a full TO service instance on a simulator: the network, the
@@ -48,7 +80,14 @@ type Cluster struct {
 	Log    *props.Log
 	Procs  types.ProcSet
 	Cfg    vsimpl.Config
-	nodes  map[types.ProcID]*Node
+	// Crashes records, at each amnesia crash, what the wiped processor's
+	// stable storage will restore on restart — the evidence that
+	// props.CheckRejoinSafety compares against the recorded trace.
+	Crashes []props.CrashSnapshot
+
+	qs         types.QuorumSystem
+	skipReplay bool
+	nodes      map[types.ProcID]*Node
 }
 
 // Options configures NewCluster.
@@ -76,6 +115,19 @@ type Options struct {
 	NoTokenCompaction bool
 	// OnDeliver, when non-nil, observes every delivery at every node.
 	OnDeliver func(p types.ProcID, d Delivery)
+	// StorageLatency is the write latency of each processor's stable-
+	// storage device. The default 0 makes records durable on the next
+	// event at the same virtual instant, so the WAL costs no virtual
+	// time; a positive latency opens the window in which an amnesia
+	// crash tears the in-flight record (the torn-write chaos campaign
+	// runs with λ = δ/4). Experiment E14 sweeps it.
+	StorageLatency time.Duration
+	// SkipRecoveryReplay is a test-only hook: a processor recovering from
+	// an amnesia crash is rebuilt from an empty snapshot instead of a
+	// replay of its WAL. It exists so the chaos tests can verify that the
+	// harness catches (and shrinks to) a broken recovery path. Never set
+	// it otherwise.
+	SkipRecoveryReplay bool
 }
 
 // NewCluster builds and starts a TO service instance.
@@ -103,6 +155,10 @@ func NewCluster(opts Options) *Cluster {
 		qs = types.Majorities{Universe: procs}
 	}
 	cfg := vsimpl.DefaultConfig(opts.Delta, opts.N)
+	// View installations are gated on a λ-latency WAL write, so the
+	// patience windows that assume immediate installs must wait λ longer
+	// (see vsimpl.Config.InstallSlack).
+	cfg.InstallSlack = opts.StorageLatency
 	if opts.Pi > 0 {
 		cfg.Pi = opts.Pi
 	}
@@ -116,18 +172,30 @@ func NewCluster(opts Options) *Cluster {
 	cfg.NoTokenCompaction = opts.NoTokenCompaction
 	c := &Cluster{
 		Sim: s, Oracle: oracle, Net: nw,
-		Log:   &props.Log{},
-		Procs: procs,
-		Cfg:   cfg,
-		nodes: make(map[types.ProcID]*Node, opts.N),
+		Log:        &props.Log{},
+		Procs:      procs,
+		Cfg:        cfg,
+		qs:         qs,
+		skipReplay: opts.SkipRecoveryReplay,
+		nodes:      make(map[types.ProcID]*Node, opts.N),
 	}
 	for _, p := range procs.Members() {
 		node := &Node{
 			id:   p,
 			sim:  s,
 			orc:  oracle,
+			c:    c,
 			proc: vstoto.NewProc(p, qs, p0),
 			log:  c.Log,
+			wal:  recovery.New(storage.New(s, opts.StorageLatency)),
+		}
+		if p0.Contains(p) {
+			// The initial view and the empty pre-view-change establishment
+			// are durable from the start, so even a processor that crashes
+			// before its first view change restores a view floor and a
+			// high-primary of g0 rather than ⊥.
+			node.wal.View(types.InitialView(p0), nil)
+			node.wal.Establish(nil, 1, types.G0(), nil)
 		}
 		if opts.OnDeliver != nil {
 			p := p
@@ -139,18 +207,31 @@ func NewCluster(opts Options) *Cluster {
 			Safe:    node.onSafe,
 		})
 		node.vs.Log = c.Log
+		node.vs.SetInstallGate(node.gateInstall)
 		c.nodes[p] = node
 	}
 	for _, p := range procs.Members() {
 		c.nodes[p].vs.Start()
 	}
-	// A processor that recovers (bad → good) immediately resumes its
-	// enabled steps, per the timed model.
+	// An amnesia event wipes the processor's volatile state on the spot; a
+	// processor turning good resumes its enabled steps, rebuilding itself
+	// from stable storage first if the outage was an amnesia crash.
 	oracle.Watch(func(e failures.Event) {
-		if !e.Channel && e.Status == failures.Good {
-			if node, ok := c.nodes[e.Proc]; ok {
-				s.Defer(node.drain)
+		if e.Channel {
+			return
+		}
+		node, ok := c.nodes[e.Proc]
+		if !ok {
+			return
+		}
+		switch e.Status {
+		case failures.Amnesia:
+			node.crash()
+		case failures.Good:
+			if node.needsRecovery {
+				node.recover()
 			}
+			s.Defer(node.drain)
 		}
 	})
 	return c
@@ -202,32 +283,87 @@ func (n *Node) Proc() *vstoto.Proc { return n.proc }
 // VS exposes the underlying VS endpoint.
 func (n *Node) VS() *vsimpl.Node { return n.vs }
 
-// Bcast is the client's bcast(a)_p input.
+// WAL exposes the node's write-ahead log (tests and experiments: log
+// size, fault injection on the underlying device).
+func (n *Node) WAL() *recovery.WAL { return n.wal }
+
+// Recoveries returns how many amnesia restarts this node has performed.
+func (n *Node) Recoveries() int { return n.recoveries }
+
+// LastReplay returns the snapshot the most recent recovery restored from
+// (nil if the node never recovered).
+func (n *Node) LastReplay() *recovery.Snapshot { return n.lastReplay }
+
+// Bcast is the client's bcast(a)_p input. The value becomes durable (a
+// WAL record at the origin) before the submission is logged or enters the
+// delay queue, so every value the trace obliges the system to deliver
+// survives an amnesia crash of its origin. A submission at an already
+// amnesiac processor is dropped: no client lives at a wiped processor.
 func (n *Node) Bcast(a types.Value) {
-	n.bcastSeq++
-	if n.log != nil {
-		n.log.Append(props.Event{
-			T: n.sim.Now(), Kind: props.TOBcast, P: n.id, Value: a, ValueSeq: n.bcastSeq,
-		})
+	if n.orc.Proc(n.id) == failures.Amnesia {
+		return
 	}
-	n.proc.Bcast(a)
-	n.drain()
+	n.bcastSeq++
+	seq := n.bcastSeq
+	inc := n.incarnation
+	n.wal.Bcast(seq, a, func() {
+		if n.incarnation != inc {
+			return
+		}
+		if n.log != nil {
+			n.log.Append(props.Event{
+				T: n.sim.Now(), Kind: props.TOBcast, P: n.id, Value: a, ValueSeq: seq,
+			})
+		}
+		n.delaySeqs = append(n.delaySeqs, seq)
+		n.proc.Bcast(a)
+		n.drain()
+	})
 }
 
 // Deliveries returns everything delivered at this node, in order.
 func (n *Node) Deliveries() []Delivery { return n.deliveries }
 
 func (n *Node) onNewview(v types.View) {
+	// The view record is already durable: installation is write-ahead
+	// gated (see gateInstall), and this handler runs from the commit.
 	n.proc.Newview(v)
 	n.drain()
+}
+
+// gateInstall is the membership layer's installation gate (see
+// membership.Former.Gate): the accepted view's record is written first,
+// and the installation commits only from the record's completion. An
+// amnesia crash in between tears the record and the incarnation guard
+// discards the commit, so an installation is never announced without a
+// durable record — the restored view floor always covers every announced
+// installation, whatever the storage latency.
+func (n *Node) gateInstall(v types.View, commit func()) {
+	inc := n.incarnation
+	n.wal.View(v, func() {
+		if n.incarnation != inc {
+			return
+		}
+		commit()
+	})
 }
 
 func (n *Node) onGprcv(from types.ProcID, payload any) {
 	switch m := payload.(type) {
 	case vstoto.LabeledValue:
+		before := len(n.proc.Order)
 		n.proc.GprcvValue(m)
+		if len(n.proc.Order) > before {
+			n.wal.OrderAppend(m.L, m.A, nil)
+		}
 	case *vstoto.Summary:
+		collecting := n.proc.Status == vstoto.StatusCollect
 		n.proc.GprcvSummary(from, m)
+		if collecting && n.proc.Status == vstoto.StatusNormal {
+			// The state exchange completed: persist the established order,
+			// nextconfirm and highprimary in one record.
+			n.wal.Establish(n.proc.Order, n.proc.NextConfirm, n.proc.HighPrimary, nil)
+		}
 	default:
 		panic("stack: unexpected VS payload")
 	}
@@ -246,19 +382,122 @@ func (n *Node) onSafe(from types.ProcID, payload any) {
 	n.drain()
 }
 
+// crash wipes the node's volatile state (failures.Amnesia): the VS
+// incarnation is stopped for good, the storage device tears its in-flight
+// write and discards its queue, and a snapshot of what a restart will
+// restore is recorded for the rejoin-safety check. The node stays inert
+// until the oracle turns it good again.
+func (n *Node) crash() {
+	n.incarnation++
+	n.brcvPending = false
+	n.deliverReady = false
+	n.delaySeqs = nil
+	n.needsRecovery = true
+	n.vs.Stop()
+	st := n.wal.Storage()
+	st.Drop()
+	snap := recovery.Replay(st.Contents())
+	cs := props.CrashSnapshot{P: n.id, T: n.sim.Now()}
+	for _, d := range snap.Delivered {
+		cs.Persisted = append(cs.Persisted, props.PersistedDelivery{
+			From: d.From, Seq: d.FromSeq, Value: d.Value,
+		})
+	}
+	n.c.Crashes = append(n.c.Crashes, cs)
+}
+
+// recover rebuilds the node from a replay of its WAL: a fresh VStoTO
+// automaton restored to the last durable establishment (extended by
+// durable order appends), the persisted delivery prefix marked reported,
+// durable-but-unlabeled submissions back in the delay queue, and a fresh
+// VS incarnation holding no view but respecting the persisted view and
+// send-sequence floors. Membership pulls it back into a view through the
+// ordinary probe/timeout machinery.
+func (n *Node) recover() {
+	disk := n.wal.Storage().Contents()
+	if n.c.skipReplay {
+		disk = nil // deliberately broken: restart from nothing
+	}
+	snap := recovery.Replay(disk)
+	n.lastReplay = snap
+	n.needsRecovery = false
+	n.recoveries++
+
+	proc := vstoto.NewProc(n.id, n.c.qs, types.ProcSet{})
+	proc.Order = append([]types.Label(nil), snap.Order...)
+	proc.NextConfirm = snap.NextConfirm
+	proc.NextReport = len(snap.Delivered) + 1
+	proc.HighPrimary = snap.HighPrimary
+	for l, a := range snap.Content {
+		proc.Content[l] = a
+	}
+	for _, pv := range snap.Pending {
+		proc.Delay = append(proc.Delay, pv.Value)
+		n.delaySeqs = append(n.delaySeqs, pv.Seq)
+	}
+	n.proc = proc
+	n.bcastSeq = snap.BcastSeq
+
+	// The rebuilt VS incarnation starts only once its recovery marker is
+	// durable: the marker count is then a strictly increasing incarnation
+	// number even across crashes during recovery, and it partitions the
+	// send-sequence space so MsgIDs never repeat. Until the marker's
+	// completion the node is deaf (the wiped incarnation stays registered
+	// but dead); the membership machinery pulls it back in afterwards.
+	inc := snap.Incarnations + 1
+	guard := n.incarnation
+	n.wal.Recovered(inc, func() {
+		if n.incarnation != guard {
+			return
+		}
+		n.startRecovered(snap, inc)
+	})
+}
+
+// startRecovered brings up the rebuilt VS incarnation; it runs from the
+// recovery marker's completion callback.
+func (n *Node) startRecovered(snap *recovery.Snapshot, inc int) {
+	n.vs = vsimpl.NewRecoveredNode(n.id, n.c.Procs, n.sim, n.c.Net, n.orc, n.c.Cfg,
+		vsimpl.Resume{ViewFloor: snap.ViewFloor(), SendSeqFloor: inc * incarnationSeqSpan},
+		vsimpl.Handlers{
+			Newview: n.onNewview,
+			Gprcv:   n.onGprcv,
+			Safe:    n.onSafe,
+		})
+	n.vs.Log = n.c.Log
+	n.vs.SetInstallGate(n.gateInstall)
+	n.vs.Start()
+	n.drain()
+}
+
 // drain runs every enabled locally controlled action to quiescence: label,
 // gpsnd (values and summaries), confirm, and brcv, interleaved in a fixed
-// order. A stopped processor takes no steps; its inputs have already
-// mutated state, which models the paper's assumption that crashes suspend
-// progress but preserve state.
+// order. A stopped processor takes no steps; a paused (bad) processor's
+// inputs have already mutated state, which models the paper's assumption
+// that crashes suspend progress but preserve state; an amnesiac processor
+// was rebuilt from its WAL before this runs again.
+//
+// Deliveries are write-ahead gated: the brcv branch writes the delivery
+// record and releases the value to the client only from the record's
+// completion callback, so the durable delivery prefix never lags the
+// delivered one.
 func (n *Node) drain() {
-	if n.orc.Proc(n.id) == failures.Bad {
+	if n.orc.Proc(n.id).Down() {
 		return
 	}
 	for {
 		progress := false
+		if n.deliverReady {
+			n.deliverReady = false
+			n.brcvPending = false
+			n.performBrcv()
+			progress = true
+		}
 		if _, ok := n.proc.LabelEnabled(); ok {
-			n.proc.Label()
+			seq := n.delaySeqs[0]
+			n.delaySeqs = n.delaySeqs[1:]
+			l := n.proc.Label()
+			n.wal.Label(seq, l, n.proc.Content[l], nil)
 			progress = true
 		}
 		if n.proc.GpsndSummaryEnabled() {
@@ -273,25 +512,43 @@ func (n *Node) drain() {
 			n.proc.Confirm()
 			progress = true
 		}
-		if from, a, ok := n.proc.BrcvEnabled(); ok {
-			reportIdx := n.proc.NextReport // 1-based position about to be consumed
-			n.proc.Brcv()
-			d := Delivery{From: from, Value: a, Time: n.sim.Now()}
-			n.deliveries = append(n.deliveries, d)
-			if n.log != nil {
-				n.log.Append(props.Event{
-					T: n.sim.Now(), Kind: props.TOBrcv, P: n.id, From: from,
-					Value: a, ValueSeq: n.originSeq(reportIdx, from),
-				})
-			}
-			for _, fn := range n.onRcv {
-				fn(d)
-			}
-			progress = true
+		if from, a, ok := n.proc.BrcvEnabled(); ok && !n.brcvPending {
+			pos := n.proc.NextReport
+			l := n.proc.Order[pos-1]
+			inc := n.incarnation
+			n.brcvPending = true
+			n.wal.Deliver(pos, l, from, n.originSeq(pos, from), a, func() {
+				if n.incarnation != inc {
+					return
+				}
+				n.deliverReady = true
+				n.drain()
+			})
 		}
 		if !progress {
 			return
 		}
+	}
+}
+
+// performBrcv releases the delivery whose record just became durable.
+func (n *Node) performBrcv() {
+	from, a, ok := n.proc.BrcvEnabled()
+	if !ok {
+		return
+	}
+	reportIdx := n.proc.NextReport // 1-based position about to be consumed
+	n.proc.Brcv()
+	d := Delivery{From: from, Value: a, Time: n.sim.Now()}
+	n.deliveries = append(n.deliveries, d)
+	if n.log != nil {
+		n.log.Append(props.Event{
+			T: n.sim.Now(), Kind: props.TOBrcv, P: n.id, From: from,
+			Value: a, ValueSeq: n.originSeq(reportIdx, from),
+		})
+	}
+	for _, fn := range n.onRcv {
+		fn(d)
 	}
 }
 

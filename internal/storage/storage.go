@@ -3,7 +3,16 @@
 // of Keidar and Dolev, which "write the message to stable storage before it
 // is ordered or acknowledged", trading latency for crash tolerance; this
 // package provides the latency-bearing log that the baseline protocol
-// writes through, so experiment E5 can expose exactly that trade.
+// writes through (experiment E5) and the append-only byte device that the
+// crash-recovery WAL of internal/recovery persists into.
+//
+// The device models exactly the failure surface a recovery layer must
+// survive: a single write head (one write in flight, the rest queued), an
+// owner crash that tears the in-flight write to a strict prefix and
+// silently discards everything queued behind it (Drop), and injectable
+// bit flips in the durable image (FlipBit). Durable bytes themselves
+// survive every crash — amnesia wipes the owner's volatile state, and the
+// write queue is volatile, but the disk is not.
 package storage
 
 import (
@@ -12,17 +21,31 @@ import (
 	"repro/internal/sim"
 )
 
-// Stable is a simulated stable-storage log. Writes complete after a fixed
-// latency; at most one write is in flight at a time (a single log device),
-// with further writes queuing behind it.
+// Stable is a simulated stable-storage device. Writes complete after a
+// fixed latency; at most one write is in flight at a time (a single log
+// device), with further writes queuing behind it.
 type Stable struct {
 	sim     *sim.Sim
 	latency time.Duration
 
-	busy    bool
-	queue   []func()
-	writes  int
-	maxQLen int
+	busy     bool
+	inFlight []byte // payload of the write under the head (nil for Write)
+	queue    []pending
+	writes   int
+	maxQLen  int
+
+	disk  []byte
+	epoch int // bumped by Drop; stale completion events are discarded
+
+	// TornPrefix, when non-nil, decides how many bytes of an n-byte write
+	// that is in flight at the instant of a Drop have reached the platter.
+	// It must return a value in [0, n). The default keeps half.
+	TornPrefix func(n int) int
+}
+
+type pending struct {
+	data []byte
+	done func()
 }
 
 // New creates a log device with the given write latency.
@@ -39,11 +62,24 @@ func (st *Stable) Writes() int { return st.writes }
 // MaxQueue returns the deepest write queue observed.
 func (st *Stable) MaxQueue() int { return st.maxQLen }
 
-// Write persists an entry and calls done when the write is stable. A zero
-// latency completes on a deferred event (still asynchronous, preserving
-// ordering).
-func (st *Stable) Write(done func()) {
-	st.queue = append(st.queue, done)
+// Size returns the number of durable bytes.
+func (st *Stable) Size() int { return len(st.disk) }
+
+// Contents returns a copy of the durable byte image.
+func (st *Stable) Contents() []byte { return append([]byte(nil), st.disk...) }
+
+// Write persists an entry with no payload bytes and calls done when the
+// write is stable — the latency-only interface the E5 baseline uses. A
+// zero latency completes on a deferred event (still asynchronous,
+// preserving ordering).
+func (st *Stable) Write(done func()) { st.Append(nil, done) }
+
+// Append persists data at the end of the durable image and calls done once
+// the bytes are stable. Appends are serialized through the single write
+// head; a crash (Drop) while this write is in flight leaves only a strict
+// prefix of data durable, and done never fires.
+func (st *Stable) Append(data []byte, done func()) {
+	st.queue = append(st.queue, pending{data: data, done: done})
 	if len(st.queue) > st.maxQLen {
 		st.maxQLen = len(st.queue)
 	}
@@ -55,14 +91,61 @@ func (st *Stable) Write(done func()) {
 func (st *Stable) startNext() {
 	if len(st.queue) == 0 {
 		st.busy = false
+		st.inFlight = nil
 		return
 	}
 	st.busy = true
-	done := st.queue[0]
+	w := st.queue[0]
 	st.queue = st.queue[1:]
+	st.inFlight = w.data
+	epoch := st.epoch
 	st.sim.After(st.latency, func() {
+		if st.epoch != epoch {
+			return // the owner crashed while this write was in flight
+		}
 		st.writes++
-		done()
+		st.disk = append(st.disk, w.data...)
+		st.inFlight = nil
+		if w.done != nil {
+			w.done()
+		}
 		st.startNext()
 	})
+}
+
+// Drop simulates the owner's amnesia crash taking the write path with it:
+// the write in flight is torn to a strict prefix of its bytes (TornPrefix
+// decides how many; default half), every queued write is silently
+// discarded, and no pending done callback ever fires — a wiped processor
+// must not observe completions from before its crash. The durable image
+// itself survives; a subsequent Append starts a fresh write chain.
+func (st *Stable) Drop() {
+	if st.busy && len(st.inFlight) > 0 {
+		n := len(st.inFlight)
+		k := n / 2
+		if st.TornPrefix != nil {
+			k = st.TornPrefix(n)
+			if k < 0 {
+				k = 0
+			}
+			if k >= n {
+				k = n - 1
+			}
+		}
+		st.disk = append(st.disk, st.inFlight[:k]...)
+	}
+	st.epoch++
+	st.busy = false
+	st.inFlight = nil
+	st.queue = nil
+}
+
+// FlipBit flips one bit of the durable image — the injectable silent-
+// corruption fault the recovery layer's checksums must catch. Offsets
+// outside the image are ignored.
+func (st *Stable) FlipBit(off int, bit uint) {
+	if off < 0 || off >= len(st.disk) || bit > 7 {
+		return
+	}
+	st.disk[off] ^= 1 << bit
 }

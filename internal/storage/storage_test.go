@@ -88,3 +88,104 @@ func TestWriteFromCompletionCallback(t *testing.T) {
 		t.Errorf("chained writes finished at %v, want 2ms", s.Now())
 	}
 }
+
+// TestDropMidWrite crashes the owner while one append is in flight and
+// two more are queued: the in-flight write is torn to a strict prefix,
+// the queue vanishes, and no done callback ever fires — a wiped processor
+// must not observe completions from before its crash.
+func TestDropMidWrite(t *testing.T) {
+	s := sim.New(1)
+	st := New(s, 5*time.Millisecond)
+	st.Append([]byte("first!"), nil)
+	if err := s.RunFor(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	fired := 0
+	st.Append([]byte("inflight"), func() { fired++ })
+	st.Append([]byte("queued-1"), func() { fired++ })
+	st.Append([]byte("queued-2"), func() { fired++ })
+	if err := s.RunFor(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	st.Drop()
+	if err := s.RunFor(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatalf("%d done callbacks fired across the crash", fired)
+	}
+	got := string(st.Contents())
+	if got != "first!"+"infl" { // default tear keeps half of the 8 bytes
+		t.Fatalf("disk = %q", got)
+	}
+	if st.Writes() != 1 {
+		t.Errorf("Writes = %d, want only the pre-crash write", st.Writes())
+	}
+
+	// The device must accept a fresh write chain after the crash.
+	ok := false
+	st.Append([]byte("+next"), func() { ok = true })
+	if err := s.RunFor(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !ok || string(st.Contents()) != "first!infl+next" {
+		t.Fatalf("post-crash append: ok=%v disk=%q", ok, st.Contents())
+	}
+}
+
+// TestDropWhenIdleKeepsDisk exercises Drop with nothing in flight.
+func TestDropWhenIdleKeepsDisk(t *testing.T) {
+	s := sim.New(1)
+	st := New(s, time.Millisecond)
+	st.Append([]byte("abc"), nil)
+	if err := s.RunFor(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	st.Drop()
+	if string(st.Contents()) != "abc" {
+		t.Fatalf("disk = %q, durable bytes must survive a crash", st.Contents())
+	}
+}
+
+// TestTornPrefixHook checks the injectable tear policy, including
+// out-of-range returns being clamped to a strict prefix.
+func TestTornPrefixHook(t *testing.T) {
+	for _, tc := range []struct {
+		ret  int
+		want string
+	}{
+		{0, ""}, {3, "abc"}, {-5, ""}, {99, "abcdefg"}, // 99 clamps to n-1
+	} {
+		s := sim.New(1)
+		st := New(s, 5*time.Millisecond)
+		st.TornPrefix = func(n int) int { return tc.ret }
+		st.Append([]byte("abcdefgh"), nil)
+		if err := s.RunFor(time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		st.Drop()
+		if got := string(st.Contents()); got != tc.want {
+			t.Errorf("TornPrefix→%d: disk = %q, want %q", tc.ret, got, tc.want)
+		}
+	}
+}
+
+// TestFlipBitBounds checks the corruption hook flips exactly one bit and
+// ignores out-of-range offsets.
+func TestFlipBitBounds(t *testing.T) {
+	s := sim.New(1)
+	st := New(s, 0)
+	st.Append([]byte{0x00, 0xff}, nil)
+	if err := s.RunFor(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	st.FlipBit(0, 3)
+	st.FlipBit(-1, 0) // all ignored
+	st.FlipBit(2, 0)
+	st.FlipBit(1, 8)
+	got := st.Contents()
+	if got[0] != 0x08 || got[1] != 0xff {
+		t.Fatalf("disk = %x", got)
+	}
+}

@@ -59,6 +59,15 @@ type Config struct {
 	// ReachWindow is the staleness horizon of the one-round reachability
 	// estimate (default 2μ).
 	ReachWindow time.Duration
+	// InstallSlack stretches the patience windows that implicitly assume a
+	// view installation is instantaneous: the token-loss timeout and the
+	// formation hold-off. With write-ahead install gating (internal/
+	// recovery), an accepted view commits only once its WAL record is
+	// durable — a λ-latency storage write — so the leader launches the new
+	// view's first token up to λ late; detectors calibrated for immediate
+	// installs would declare the token lost and re-form forever. The stack
+	// sets this to its storage latency.
+	InstallSlack time.Duration
 }
 
 // DefaultConfig derives π and μ from δ for an n-processor universe:
@@ -69,9 +78,10 @@ func DefaultConfig(delta time.Duration, n int) Config {
 }
 
 // TokenTimeout returns the token-loss detection bound π + (n+3)δ used by
-// the paper's analysis for a view of n members.
+// the paper's analysis for a view of n members, stretched by InstallSlack
+// when installations are gated on stable storage.
 func (c Config) TokenTimeout(n int) time.Duration {
-	return c.Pi + time.Duration(n+3)*c.Delta
+	return c.Pi + time.Duration(n+3)*c.Delta + c.InstallSlack
 }
 
 // AnalyticB returns the paper's stabilization bound
@@ -160,6 +170,7 @@ type Node struct {
 
 	cur     types.View
 	hasView bool
+	dead    bool
 
 	lastHeard map[types.ProcID]sim.Time
 
@@ -223,8 +234,8 @@ func NewNode(id types.ProcID, universe, p0 types.ProcSet, s *sim.Sim, nw *net.Ne
 	}
 	n.former = membership.NewFormer(id, universe, s, nw, collectWait, initial, n.install)
 	// Hold off competing initiations for one full formation (call δ +
-	// collect + newview δ) plus slack.
-	n.former.HoldOff = collectWait + 4*cfg.Delta
+	// collect + newview δ) plus slack, plus the install-gating latency.
+	n.former.HoldOff = collectWait + 4*cfg.Delta + cfg.InstallSlack
 	if cfg.OneRound {
 		window := cfg.ReachWindow
 		if window <= 0 {
@@ -234,6 +245,66 @@ func NewNode(id types.ProcID, universe, p0 types.ProcSet, s *sim.Sim, nw *net.Ne
 	}
 	nw.Register(id, n.receive)
 	return n
+}
+
+// Resume parameterizes a node rebuilt after an amnesia crash, from the
+// floors its predecessor persisted (see internal/recovery).
+type Resume struct {
+	// ViewFloor is the identifier of the last view durably installed
+	// before the crash (⊥ if none): the rebuilt node only installs or
+	// proposes views strictly above it, preserving local monotonicity
+	// across incarnations.
+	ViewFloor types.ViewID
+	// SendSeqFloor is the base of the new incarnation's send-sequence
+	// space: MsgIDs start strictly above it. The stack derives it from the
+	// durable incarnation number, partitioning the sequence space so that
+	// identifiers never repeat across restarts regardless of how far the
+	// wiped incarnation's volatile counter had advanced.
+	SendSeqFloor int
+}
+
+// NewRecoveredNode creates the VS endpoint for a processor restarting
+// after an amnesia crash: it holds no view (membership pulls it back in,
+// respecting the floors) and must replace a predecessor that has been
+// Stopped. Call Start once wired.
+func NewRecoveredNode(id types.ProcID, universe types.ProcSet, s *sim.Sim, nw *net.Network,
+	oracle *failures.Oracle, cfg Config, res Resume, handlers Handlers) *Node {
+	n := NewNode(id, universe, types.ProcSet{}, s, nw, oracle, cfg, handlers)
+	n.sendSeq = res.SendSeqFloor
+	if !res.ViewFloor.IsBottom() {
+		collectWait := cfg.CollectWait
+		if collectWait <= 0 {
+			collectWait = 2*cfg.Delta + cfg.Delta/2
+		}
+		n.former = membership.NewFormer(id, universe, s, nw, collectWait,
+			types.View{ID: res.ViewFloor}, n.install)
+		n.former.HoldOff = collectWait + 4*cfg.Delta + cfg.InstallSlack
+		if cfg.OneRound {
+			window := cfg.ReachWindow
+			if window <= 0 {
+				window = 2 * cfg.Mu
+			}
+			n.former.SetOneRound(func() types.ProcSet { return n.reachableWithin(window) })
+		}
+	}
+	return n
+}
+
+// Stop permanently deactivates the node: timers are cancelled, the
+// membership layer is stopped, and every later packet or input is
+// ignored. An amnesia crash calls this on the wiped incarnation before
+// NewRecoveredNode re-registers a replacement with the network.
+func (n *Node) Stop() {
+	n.dead = true
+	if n.tokenTimer != nil {
+		n.tokenTimer.Cancel()
+		n.tokenTimer = nil
+	}
+	if n.holdTimer != nil {
+		n.holdTimer.Cancel()
+		n.holdTimer = nil
+	}
+	n.former.Stop()
 }
 
 // reachableWithin returns the processors heard from within the window —
@@ -261,6 +332,13 @@ func (n *Node) Stats() Stats { return n.stats }
 // FormerStats returns the membership layer's counters.
 func (n *Node) FormerStats() membership.Stats { return n.former.Stats() }
 
+// SetInstallGate interposes on view installation at the membership layer
+// (see membership.Former.Gate). The stack's recovery layer uses it to make
+// installations write-ahead: the view record is durable before the view
+// takes effect, so a restart can always restore a floor at or above every
+// installation the previous incarnation announced. Set before Start.
+func (n *Node) SetInstallGate(gate func(types.View, func())) { n.former.Gate = gate }
+
 // Start arms the node's timers; in the initial view the leader launches
 // the first token immediately.
 func (n *Node) Start() {
@@ -283,7 +361,7 @@ func (n *Node) Start() {
 // Gpsnd accepts a client message. Sent while the view is ⊥, the message is
 // ignored, exactly as VS-machine specifies.
 func (n *Node) Gpsnd(payload any) {
-	if n.down() {
+	if n.dead || n.down() {
 		return
 	}
 	if !n.hasView {
@@ -298,8 +376,9 @@ func (n *Node) Gpsnd(payload any) {
 	}
 }
 
-// down reports whether this processor is currently stopped.
-func (n *Node) down() bool { return n.oracle.Proc(n.id) == failures.Bad }
+// down reports whether this processor is currently stopped (bad or
+// amnesiac).
+func (n *Node) down() bool { return n.oracle.Proc(n.id).Down() }
 
 func (n *Node) isLeader() bool { return n.hasView && n.cur.Set.Min() == n.id }
 
@@ -339,7 +418,7 @@ func (n *Node) install(v types.View) {
 
 // receive dispatches an incoming packet.
 func (n *Node) receive(pkt net.Packet) {
-	if n.down() {
+	if n.dead || n.down() {
 		return
 	}
 	n.lastHeard[pkt.From] = n.sim.Now()
@@ -542,6 +621,9 @@ func (n *Node) armTokenTimer() {
 }
 
 func (n *Node) onTokenTimeout() {
+	if n.dead {
+		return
+	}
 	if n.down() {
 		// A stopped processor keeps a timer armed so it reintegrates after
 		// recovery, but takes no action now.
@@ -555,6 +637,9 @@ func (n *Node) onTokenTimeout() {
 
 // probeTick sends probes to processors outside the membership and re-arms.
 func (n *Node) probeTick() {
+	if n.dead {
+		return // a stopped incarnation re-arms nothing
+	}
 	defer n.sim.After(n.cfg.Mu, n.probeTick)
 	if n.down() {
 		return

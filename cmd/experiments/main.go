@@ -6,12 +6,15 @@
 //
 // Usage:
 //
-//	go run ./cmd/experiments            # all experiments
-//	go run ./cmd/experiments -exp E4    # one experiment
-//	go run ./cmd/experiments -seed 7    # different randomness
+//	go run ./cmd/experiments                            # all experiments
+//	go run ./cmd/experiments -exp E4                    # one experiment
+//	go run ./cmd/experiments -seed 7                    # different randomness
+//	go run ./cmd/experiments -bench-out BENCH_baseline.json
+//	                                    # machine-readable bench baseline only
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,9 +26,10 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "run a single experiment (E1..E13); default all")
-		seed   = flag.Int64("seed", 1, "seed for all randomized runs")
-		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+		exp      = flag.String("exp", "", "run a single experiment (E1..E14); default all")
+		seed     = flag.Int64("seed", 1, "seed for all randomized runs")
+		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+		benchOut = flag.String("bench-out", "", "write the machine-readable bench baseline (throughput, latency percentiles, per-layer counters) to this JSON file; without -exp, skips the tables")
 	)
 	flag.Parse()
 
@@ -34,7 +38,25 @@ func main() {
 		"E4": experiments.E4, "E5": experiments.E5, "E6": experiments.E6,
 		"E7": experiments.E7, "E8": experiments.E8, "E9": experiments.E9,
 		"E10": experiments.E10, "E11": experiments.E11, "E12": experiments.E12,
-		"E13": experiments.E13,
+		"E13": experiments.E13, "E14": experiments.E14,
+	}
+
+	if *benchOut != "" {
+		report := experiments.BenchBaseline(*seed)
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encode bench baseline: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *benchOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench baseline (%d scenarios) written to %s\n", len(report.Entries), *benchOut)
+		// The bench is its own mode: run the (slow) tables only if asked.
+		if *exp == "" {
+			return
+		}
 	}
 
 	var tables []*experiments.Table
@@ -43,7 +65,7 @@ func main() {
 	} else {
 		run, ok := runners[strings.ToUpper(*exp)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E13)\n", *exp)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E14)\n", *exp)
 			os.Exit(2)
 		}
 		tables = []*experiments.Table{run(*seed)}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/failures"
+	"repro/internal/obs"
 )
 
 // ArtifactVersion is bumped whenever the artifact wire format changes.
@@ -13,8 +14,9 @@ const ArtifactVersion = 1
 
 // Artifact is the serialized form of a (usually minimized) failing run:
 // everything needed to reproduce it byte for byte — the effective config
-// and the exact fault event list. It deliberately stores no derived data
-// beyond the violation text, so a replay cannot drift from the original.
+// and the exact fault event list. The only derived data it stores beyond
+// the violation text are the diagnostic Metrics and Trace dumps; Config()
+// ignores both, so a replay cannot drift from the original.
 type Artifact struct {
 	Version  int          `json:"version"`
 	Campaign CampaignType `json:"campaign"`
@@ -35,6 +37,15 @@ type Artifact struct {
 	Detail string `json:"detail,omitempty"`
 	// Events is the (minimized) fault schedule.
 	Events failures.Schedule `json:"events"`
+	// Metrics is the failing run's per-layer instrument snapshot
+	// (diagnostic only; replays ignore it).
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Trace is the failing run's ring-buffer event trace: the causal tail
+	// of protocol-level incidents (view changes, token timeouts, faults,
+	// crashes) leading up to the violation. TraceDropped counts earlier
+	// events the ring overwrote. Diagnostic only; replays ignore both.
+	Trace        []obs.TraceEvent `json:"trace,omitempty"`
+	TraceDropped int64            `json:"trace_dropped,omitempty"`
 }
 
 // NewArtifact captures a run into an artifact.
@@ -57,6 +68,12 @@ func NewArtifact(r *Result) Artifact {
 	if r.Violation != nil {
 		a.Check = r.Violation.Check
 		a.Detail = r.Violation.Detail
+		// Dump the diagnostics only for failing runs: passing artifacts (if
+		// ever written) stay small, and the trace is failure-scoped by
+		// construction — whatever the ring holds is the causal tail.
+		a.Metrics = r.Obs.Snapshot()
+		a.Trace = r.Obs.Tracer().Events()
+		a.TraceDropped = r.Obs.Tracer().Dropped()
 	}
 	return a
 }

@@ -104,3 +104,66 @@ func TestViolationString(t *testing.T) {
 		t.Errorf("violation = %q", v.String())
 	}
 }
+
+// TestFailingArtifactCarriesDiagnostics: a failing run's artifact dumps the
+// per-layer metric snapshot and the trace ring buffer (the causal tail of
+// protocol incidents), while a passing run's artifact carries neither. The
+// diagnostics must not perturb replay: Config() ignores them.
+func TestFailingArtifactCarriesDiagnostics(t *testing.T) {
+	cfg := Config{Campaign: RollingPartition, Seed: 3, N: 4, Window: 1200 * time.Millisecond}
+	pass := NewArtifact(Run(cfg))
+	if pass.Check != "" {
+		t.Fatalf("expected a passing run, got violation %s: %s", pass.Check, pass.Detail)
+	}
+	if pass.Metrics != nil || pass.Trace != nil {
+		t.Fatal("passing artifact carries diagnostics")
+	}
+
+	cfg.ExtraCheck = func(r *Result) *Violation {
+		return &Violation{Check: "injected", Detail: "forced failure for diagnostics test"}
+	}
+	fail := NewArtifact(Run(cfg))
+	if fail.Check != "injected" {
+		t.Fatalf("violation = %q, want injected", fail.Check)
+	}
+	if fail.Metrics == nil || len(fail.Metrics.Counters) == 0 {
+		t.Fatal("failing artifact has no metric snapshot")
+	}
+	for _, name := range []string{"net.sent", "to.deliveries", "vs.installs", "wal.records"} {
+		if fail.Metrics.Counters[name] <= 0 {
+			t.Errorf("metrics missing layer counter %s: %v", name, fail.Metrics.Counters[name])
+		}
+	}
+	if len(fail.Trace) == 0 {
+		t.Fatal("failing artifact has no trace dump")
+	}
+	sawFault, sawView := false, false
+	for _, e := range fail.Trace {
+		if e.Layer == "fault" {
+			sawFault = true
+		}
+		if e.Layer == "vs" && e.Kind == "newview" {
+			sawView = true
+		}
+	}
+	if !sawFault || !sawView {
+		t.Fatalf("trace lacks fault/view incidents (fault=%v view=%v, %d events)",
+			sawFault, sawView, len(fail.Trace))
+	}
+	// Diagnostics survive the JSON round trip but never reach the replay
+	// config.
+	data, err := fail.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Metrics == nil || len(back.Trace) != len(fail.Trace) {
+		t.Fatal("diagnostics lost in round trip")
+	}
+	if back.Metrics.Counters["net.sent"] != fail.Metrics.Counters["net.sent"] {
+		t.Fatal("metric snapshot corrupted in round trip")
+	}
+}

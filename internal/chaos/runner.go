@@ -8,6 +8,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/failures"
 	"repro/internal/net"
+	"repro/internal/obs"
 	"repro/internal/props"
 	"repro/internal/sim"
 	"repro/internal/stack"
@@ -115,6 +116,9 @@ type Result struct {
 	// Cluster is the finished cluster, for ExtraCheck and tests; nil after
 	// artifact round trips.
 	Cluster *stack.Cluster
+	// Obs is the run's observability registry (per-layer metrics plus the
+	// ring-buffer event trace); a failing run's artifact dumps both.
+	Obs *obs.Registry
 }
 
 // Failed reports whether any check failed.
@@ -140,10 +144,16 @@ func Run(cfg Config) *Result {
 	}
 	res.Schedule = sched
 
+	// Every run is instrumented: the metrics are cheap atomics and the
+	// trace ring holds the causal tail a failing run's artifact dumps.
+	reg := obs.New()
+	reg.EnableTrace(obs.DefaultTraceCapacity)
+	res.Obs = reg
 	c := stack.NewCluster(stack.Options{
 		Seed: cfg.Seed, N: cfg.N, Delta: cfg.Delta, Wire: cfg.Wire,
 		StorageLatency:     cfg.StorageLatency,
 		SkipRecoveryReplay: cfg.SkipRecoveryReplay,
+		Obs:                reg,
 	})
 	res.Cluster = c
 	bound := cfg.RecoveryBound

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/obs"
 	"repro/internal/props"
 	"repro/internal/sim"
 	"repro/internal/stack"
@@ -111,9 +112,10 @@ func ms(d time.Duration) string {
 
 // isolationRun drives one cluster run: isolate component Q at cutAt, send
 // periodic traffic from Q before and after, run until the horizon with a
-// quiet tail, and return the cluster.
-func isolationRun(seed int64, n, qSize int, delta time.Duration) (*stack.Cluster, types.ProcSet, sim.Time) {
-	c := stack.NewCluster(stack.Options{Seed: seed, N: n, Delta: delta})
+// quiet tail, and return the cluster. A non-nil reg instruments every
+// layer (the bench baseline uses this; the tables pass nil).
+func isolationRun(seed int64, n, qSize int, delta time.Duration, reg *obs.Registry) (*stack.Cluster, types.ProcSet, sim.Time) {
+	c := stack.NewCluster(stack.Options{Seed: seed, N: n, Delta: delta, Obs: reg})
 	q := types.NewProcSet(c.Procs.Members()[:qSize]...)
 
 	var cut sim.Time
@@ -151,7 +153,7 @@ func E1(seed int64) *Table {
 	for _, n := range []int{3, 5, 7, 9} {
 		qSize := n/2 + 1
 		delta := time.Millisecond
-		c, q, cut := isolationRun(seed+int64(n), n, qSize, delta)
+		c, q, cut := isolationRun(seed+int64(n), n, qSize, delta, nil)
 		b := c.Cfg.AnalyticB(qSize)
 		dPaper := c.Cfg.AnalyticD(qSize)
 		dImpl := c.Cfg.AnalyticDImpl(qSize)
@@ -241,7 +243,7 @@ func E3(seed int64) *Table {
 	for _, n := range []int{3, 5, 7} {
 		qSize := n/2 + 1
 		delta := time.Millisecond
-		c, q, cut := isolationRun(seed+int64(n), n, qSize, delta)
+		c, q, cut := isolationRun(seed+int64(n), n, qSize, delta, nil)
 		b := c.Cfg.AnalyticB(qSize)
 		d := c.Cfg.AnalyticDImpl(qSize)
 		ph := props.MeasurePhases(c.Log, q, cut)

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/net"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/types"
 )
@@ -86,6 +87,16 @@ type Former struct {
 	reachable func() types.ProcSet
 
 	stats Stats
+
+	// Observability (Instrument): formation counters, the initiate→install
+	// latency histogram, and trace events for initiations and installs.
+	mInitiated   *obs.Counter
+	mFormed      *obs.Counter
+	mInstalled   *obs.Counter
+	mFormLatency *obs.Histogram
+	tracer       *obs.Tracer
+	initiatedAt  sim.Time
+	initiating   bool // initiatedAt holds a pending formation's start
 }
 
 // Stats counts formation activity.
@@ -118,6 +129,16 @@ func NewFormer(id types.ProcID, universe types.ProcSet, s *sim.Sim, n *net.Netwo
 
 // Stats returns the activity counters.
 func (f *Former) Stats() Stats { return f.stats }
+
+// Instrument binds the layer's obs instruments from the registry (nil
+// disables at zero cost). Call before the Former processes any input.
+func (f *Former) Instrument(reg *obs.Registry) {
+	f.mInitiated = reg.Counter("mb.initiated")
+	f.mFormed = reg.Counter("mb.formed")
+	f.mInstalled = reg.Counter("mb.installed")
+	f.mFormLatency = reg.Histogram("mb.formation_latency")
+	f.tracer = reg.Tracer()
+}
 
 // Stop permanently deactivates the Former: every later input and every
 // already-scheduled collection callback becomes a no-op. Used when a
@@ -162,8 +183,12 @@ func (f *Former) Initiate() {
 		return
 	}
 	f.stats.Initiated++
+	f.mInitiated.Inc()
+	f.initiatedAt = f.sim.Now()
+	f.initiating = true
 	f.maxEpoch++
 	vid := types.ViewID{Epoch: f.maxEpoch, Proc: f.id}
+	f.tracer.Emit("mb", "initiate", f.id, obs.NoPeer, f.maxEpoch, "")
 	f.forming = true
 	f.formingID = vid
 	f.acceptors = map[types.ProcID]bool{f.id: true}
@@ -187,6 +212,7 @@ func (f *Former) finishCollection(vid types.ViewID) {
 	}
 	v := types.View{ID: vid, Set: types.NewProcSet(members...)}
 	f.stats.Formed++
+	f.mFormed.Inc()
 	f.net.Broadcast(f.id, v.Set, NewviewPkt{V: v})
 	f.handleNewview(v) // self-delivery
 }
@@ -241,6 +267,14 @@ func (f *Former) handleNewview(v types.View) {
 		}
 		f.installed = v.ID
 		f.stats.Installed++
+		f.mInstalled.Inc()
+		f.tracer.Emit("mb", "install", f.id, obs.NoPeer, v.ID.Epoch, "")
+		if f.initiating {
+			// Initiate→install latency at this processor, whoever's
+			// formation won: the quantity the paper's b bound covers.
+			f.mFormLatency.Record(f.sim.Now().Sub(f.initiatedAt))
+			f.initiating = false
+		}
 		if f.forming && f.formingID.Less(v.ID) {
 			f.forming = false
 		}

@@ -17,9 +17,11 @@ package net
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/failures"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/types"
 )
@@ -49,6 +51,14 @@ type Config struct {
 	// panics: it means a payload type is missing from the wire format,
 	// which is a programming error.
 	Transcode func(any) (any, error)
+	// Obs, when non-nil, receives the layer's metrics (net.* counters and
+	// the net.delay delivery-latency histogram). Nil disables
+	// instrumentation at zero cost.
+	Obs *obs.Registry
+	// PayloadBytes, when non-nil alongside Obs, sizes each sent payload for
+	// the net.bytes counter (the stack wires the wire-codec's encoded size
+	// in wire mode). Left nil, byte accounting is skipped.
+	PayloadBytes func(any) int
 }
 
 // DefaultConfig returns δ = 1ms worst-case delivery with moderately lossy
@@ -80,6 +90,38 @@ func (s Stats) Sub(prev Stats) Stats {
 	}
 }
 
+// counters is the internal, atomically updated form of Stats. The
+// simulation mutates these from its single driver goroutine, but Stats()
+// is part of the public read surface that the real-time runtime driver
+// exposes to application goroutines — a plain struct raced there (caught
+// by go test -race; see TestStatsConcurrentWithSim).
+type counters struct {
+	sent, delivered                          atomic.Int64
+	droppedChannel, droppedProc, droppedUgly atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Sent:           int(c.sent.Load()),
+		Delivered:      int(c.delivered.Load()),
+		DroppedChannel: int(c.droppedChannel.Load()),
+		DroppedProc:    int(c.droppedProc.Load()),
+		DroppedUgly:    int(c.droppedUgly.Load()),
+	}
+}
+
+// metrics holds the obs instrument handles, bound once at construction;
+// with observability disabled every handle is nil and each update is a
+// free no-op.
+type metrics struct {
+	sent, delivered *obs.Counter
+	bytes           *obs.Counter
+	dropChannel     *obs.Counter
+	dropProc        *obs.Counter
+	dropUgly        *obs.Counter
+	delay           *obs.Histogram
+}
+
 // Network is the simulated network. Register a handler per processor, then
 // Send freely; handlers run as simulator events.
 type Network struct {
@@ -87,7 +129,8 @@ type Network struct {
 	oracle   *failures.Oracle
 	cfg      Config
 	handlers map[types.ProcID]func(Packet)
-	stats    Stats
+	ctr      counters
+	m        metrics
 }
 
 // New creates a network over the given simulator and failure oracle.
@@ -100,6 +143,15 @@ func New(s *sim.Sim, oracle *failures.Oracle, cfg Config) *Network {
 		oracle:   oracle,
 		cfg:      cfg,
 		handlers: make(map[types.ProcID]func(Packet)),
+		m: metrics{
+			sent:        cfg.Obs.Counter("net.sent"),
+			delivered:   cfg.Obs.Counter("net.delivered"),
+			bytes:       cfg.Obs.Counter("net.bytes"),
+			dropChannel: cfg.Obs.Counter("net.dropped_channel"),
+			dropProc:    cfg.Obs.Counter("net.dropped_proc"),
+			dropUgly:    cfg.Obs.Counter("net.dropped_ugly"),
+			delay:       cfg.Obs.Histogram("net.delay"),
+		},
 	}
 }
 
@@ -107,13 +159,16 @@ func New(s *sim.Sim, oracle *failures.Oracle, cfg Config) *Network {
 // unregistered processor are dropped.
 func (n *Network) Register(p types.ProcID, h func(Packet)) { n.handlers[p] = h }
 
-// Stats returns a copy of the activity counters.
-func (n *Network) Stats() Stats { return n.stats }
+// Stats returns a consistent snapshot of the activity counters. Safe to
+// call from any goroutine while the simulation runs (the counters are
+// atomics): the real-time runtime driver exposes it to application code
+// concurrently with the pacer goroutine.
+func (n *Network) Stats() Stats { return n.ctr.snapshot() }
 
 // Snapshot returns a copy of the activity counters, for diffing a window
 // of activity with Stats.Sub. (Alias of Stats; named for call sites that
 // capture a baseline to subtract later.)
-func (n *Network) Snapshot() Stats { return n.stats }
+func (n *Network) Snapshot() Stats { return n.ctr.snapshot() }
 
 // Delta returns the configured δ.
 func (n *Network) Delta() time.Duration { return n.cfg.Delta }
@@ -121,9 +176,14 @@ func (n *Network) Delta() time.Duration { return n.cfg.Delta }
 // Send transmits a packet from→to, applying the failure semantics. Sending
 // to oneself delivers after a zero-delay event (local loopback).
 func (n *Network) Send(from, to types.ProcID, payload any) {
-	n.stats.Sent++
+	n.ctr.sent.Add(1)
+	n.m.sent.Inc()
+	if n.cfg.PayloadBytes != nil && n.m.bytes != nil {
+		n.m.bytes.Add(int64(n.cfg.PayloadBytes(payload)))
+	}
 	if n.oracle.Proc(from).Down() || n.oracle.Proc(to).Down() {
-		n.stats.DroppedProc++
+		n.ctr.droppedProc.Add(1)
+		n.m.dropProc.Inc()
 		return
 	}
 	if n.cfg.Transcode != nil {
@@ -135,25 +195,30 @@ func (n *Network) Send(from, to types.ProcID, payload any) {
 	}
 	pkt := Packet{From: from, To: to, Payload: payload}
 	if from == to {
+		n.m.delay.Record(0)
 		n.sim.Defer(func() { n.deliver(pkt) })
 		return
 	}
 	switch n.oracle.Channel(from, to) {
 	case failures.Bad:
-		n.stats.DroppedChannel++
+		n.ctr.droppedChannel.Add(1)
+		n.m.dropChannel.Inc()
 	case failures.Good:
 		d := n.cfg.Delta
 		if n.cfg.Jitter {
 			d = time.Duration(1 + n.sim.Rand().Int63n(int64(n.cfg.Delta)))
 		}
+		n.m.delay.Record(d)
 		n.sim.After(d, func() { n.deliver(pkt) })
 	case failures.Ugly:
 		if n.sim.Rand().Float64() < n.cfg.UglyLossProb {
-			n.stats.DroppedUgly++
+			n.ctr.droppedUgly.Add(1)
+			n.m.dropUgly.Inc()
 			return
 		}
 		max := float64(n.cfg.Delta) * n.cfg.UglyMaxDelayFactor
 		d := time.Duration(1 + n.sim.Rand().Int63n(int64(max)))
+		n.m.delay.Record(d)
 		n.sim.After(d, func() { n.deliver(pkt) })
 	}
 }
@@ -171,13 +236,15 @@ func (n *Network) Broadcast(from types.ProcID, dst types.ProcSet, payload any) {
 func (n *Network) deliver(pkt Packet) {
 	// A processor that turned bad (or amnesiac) in flight is stopped: drop.
 	if n.oracle.Proc(pkt.To).Down() {
-		n.stats.DroppedProc++
+		n.ctr.droppedProc.Add(1)
+		n.m.dropProc.Inc()
 		return
 	}
 	h, ok := n.handlers[pkt.To]
 	if !ok {
 		return
 	}
-	n.stats.Delivered++
+	n.ctr.delivered.Add(1)
+	n.m.delivered.Inc()
 	h(pkt)
 }

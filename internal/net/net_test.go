@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/failures"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/types"
 )
@@ -274,5 +275,61 @@ func TestStatusSampledAtSendTime(t *testing.T) {
 	}
 	if len(f.got[1]) != 1 {
 		t.Fatal("packet sent on a good channel was lost when the channel later went bad")
+	}
+}
+
+// TestStatsConcurrentWithSim is the race regression for Network.Stats():
+// the simulation goroutine mutates the counters while another goroutine
+// reads snapshots — exactly what happens when application code queries
+// stats while the real-time runtime driver paces the simulator. Before the
+// counters became atomics this was a data race (go test -race flagged it).
+func TestStatsConcurrentWithSim(t *testing.T) {
+	f := newFixture(Config{Delta: time.Millisecond}, 3)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = f.net.Stats()
+				_ = f.net.Snapshot()
+			}
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		f.net.Send(types.ProcID(i%3), types.ProcID((i+1)%3), i)
+		if err := f.sim.RunFor(time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	<-done
+	st := f.net.Stats()
+	if st.Sent != 2000 || st.Delivered != 2000 {
+		t.Fatalf("stats = %+v, want 2000 sent and delivered", st)
+	}
+}
+
+// TestObsCounters checks the obs threading: the layer's named counters and
+// the delivery-delay histogram see the same traffic as Stats().
+func TestObsCounters(t *testing.T) {
+	reg := obs.New()
+	f := newFixture(Config{Delta: time.Millisecond, Obs: reg}, 3)
+	f.oracle.SetChannel(0, 2, failures.Bad)
+	f.net.Send(0, 1, "a")
+	f.net.Send(0, 2, "dropped")
+	if err := f.sim.Run(sim.Never); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["net.sent"] != 2 || snap.Counters["net.delivered"] != 1 ||
+		snap.Counters["net.dropped_channel"] != 1 {
+		t.Fatalf("obs counters = %v", snap.Counters)
+	}
+	if h := snap.Histograms["net.delay"]; h.Count != 1 || h.MaxNS != int64(time.Millisecond) {
+		t.Fatalf("net.delay = %+v, want one 1ms sample", h)
 	}
 }

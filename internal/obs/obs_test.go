@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("x") != c {
+		t.Fatal("same name returned a different counter")
+	}
+	g := r.Gauge("y")
+	g.Set(7)
+	g.Max(3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge after Max(3) = %d, want 7", got)
+	}
+	g.Max(11)
+	if got := g.Value(); got != 11 {
+		t.Fatalf("gauge after Max(11) = %d, want 11", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	for _, d := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 100 * time.Millisecond} {
+		h.Record(d)
+	}
+	s := h.Summary()
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	if s.MinNS != int64(time.Millisecond) {
+		t.Fatalf("min = %d, want %d", s.MinNS, int64(time.Millisecond))
+	}
+	if s.MaxNS != int64(100*time.Millisecond) {
+		t.Fatalf("max = %d, want %d", s.MaxNS, int64(100*time.Millisecond))
+	}
+	wantMean := int64(time.Millisecond+2*time.Millisecond+4*time.Millisecond+100*time.Millisecond) / 4
+	if s.MeanNS != wantMean {
+		t.Fatalf("mean = %d, want %d", s.MeanNS, wantMean)
+	}
+	// P50 resolves to a power-of-two bucket boundary covering the sample.
+	if p50 := time.Duration(s.P50NS); p50 < 2*time.Millisecond || p50 > 4*time.Millisecond {
+		t.Fatalf("p50 = %v, want within [2ms, 4ms]", p50)
+	}
+	// The top quantile resolves to the exact max.
+	if got := h.Quantile(1.0); got != 100*time.Millisecond {
+		t.Fatalf("q1.0 = %v, want exact max 100ms", got)
+	}
+}
+
+func TestHistogramQuantileBuckets(t *testing.T) {
+	h := New().Histogram("h")
+	for i := 0; i < 99; i++ {
+		h.Record(time.Microsecond) // bucket boundary 2^10 ns = 1024ns
+	}
+	h.Record(time.Second)
+	if p50 := h.Quantile(0.5); p50 != 1024*time.Nanosecond {
+		t.Fatalf("p50 = %v, want 1.024µs (bucket upper bound)", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 > 1024*time.Nanosecond {
+		t.Fatalf("p99 = %v, want ≤ 1.024µs (99 of 100 samples are 1µs)", p99)
+	}
+}
+
+func TestTracerRing(t *testing.T) {
+	r := New()
+	now := sim.Time(0)
+	r.SetClock(func() sim.Time { return now })
+	tr := r.EnableTrace(4)
+	for i := 0; i < 6; i++ {
+		now = sim.Time(i)
+		tr.Emit("l", "k", 1, NoPeer, int64(i), "")
+	}
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if want := int64(i + 2); e.Arg != want || e.Seq != want {
+			t.Fatalf("event %d = %+v, want arg/seq %d (oldest two overwritten)", i, e, want)
+		}
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+	if r.EnableTrace(16) != tr {
+		t.Fatal("EnableTrace is not idempotent")
+	}
+}
+
+func TestSnapshotJSONStable(t *testing.T) {
+	r := New()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	r.Gauge("g").Set(3)
+	r.Histogram("h").Record(time.Millisecond)
+	s1, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(s1) != string(s2) {
+		t.Fatalf("snapshot encoding unstable:\n%s\n%s", s1, s2)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(s1, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["a"] != 1 || back.Counters["b"] != 2 || back.Histograms["h"].Count != 1 {
+		t.Fatalf("snapshot round trip lost data: %+v", back)
+	}
+}
+
+// TestDisabledInstrumentsZeroAlloc pins the acceptance criterion: with
+// observability disabled (nil registry, hence nil instruments and tracer),
+// the instrumented hot paths allocate nothing.
+func TestDisabledInstrumentsZeroAlloc(t *testing.T) {
+	var r *Registry // disabled
+	c := r.Counter("net.sent")
+	g := r.Gauge("vs.max_token_entries")
+	h := r.Histogram("to.deliver_latency")
+	tr := r.Tracer()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Max(42)
+		h.Record(time.Millisecond)
+		tr.Emit("vs", "token_timeout", 1, NoPeer, 0, "")
+		if r.Snapshot() != nil {
+			t.Fatal("nil registry produced a snapshot")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instrumentation path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkDisabledInstruments is the microbenchmark form of the same
+// criterion; run with -benchmem to see 0 allocs/op.
+func BenchmarkDisabledInstruments(b *testing.B) {
+	var r *Registry
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	tr := r.Tracer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Record(time.Duration(i))
+		tr.Emit("l", "k", 0, NoPeer, int64(i), "")
+	}
+}
+
+// BenchmarkEnabledInstruments bounds the enabled-path cost (atomics only).
+func BenchmarkEnabledInstruments(b *testing.B) {
+	r := New()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Record(time.Duration(i))
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Record(time.Duration(i))
+				_ = c.Value()
+				_ = h.Summary()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: counter=%d hist=%d, want 8000", c.Value(), h.Count())
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// DefaultTraceCapacity is the ring size EnableTrace uses when given a
+// non-positive capacity: large enough to hold the causal tail of a chaos
+// run (view changes, faults, timeouts), small enough that an artifact dump
+// stays reviewable.
+const DefaultTraceCapacity = 8192
+
+// NoPeer marks the Q field of a trace event that concerns a single
+// processor rather than a directed pair.
+const NoPeer types.ProcID = -1
+
+// TraceEvent is one entry of the ring-buffer event trace: a structured,
+// allocation-free record of a protocol-level incident (a view install, a
+// token-loss timeout, a fault, a crash recovery). Seq is a global emission
+// counter, so dumps stay causally ordered even among events at the same
+// virtual instant.
+type TraceEvent struct {
+	Seq   int64        `json:"seq"`
+	T     sim.Time     `json:"t_ns"`
+	Layer string       `json:"layer"`
+	Kind  string       `json:"kind"`
+	P     types.ProcID `json:"p"`
+	Q     types.ProcID `json:"q"`
+	Arg   int64        `json:"arg"`
+	Note  string       `json:"note,omitempty"`
+}
+
+// Tracer is a bounded ring buffer of TraceEvents. Emissions beyond the
+// capacity overwrite the oldest entries — the trace is failure-scoped by
+// construction: whatever is in the ring when a run fails is the causal
+// tail leading up to (and through) the failure. A nil *Tracer drops every
+// emission at zero cost.
+type Tracer struct {
+	mu      sync.Mutex
+	clock   func() sim.Time
+	buf     []TraceEvent
+	next    int // index of the slot the next event lands in
+	seq     int64
+	dropped int64 // events overwritten after the ring wrapped
+}
+
+// Emit appends one event. All arguments are non-allocating at the call
+// site: layer/kind/note are string constants, the rest are scalars. Use
+// NoPeer for q when the event has no directed-pair semantics.
+func (t *Tracer) Emit(layer, kind string, p, q types.ProcID, arg int64, note string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var now sim.Time
+	if t.clock != nil {
+		now = t.clock()
+	}
+	if t.seq >= int64(len(t.buf)) {
+		t.dropped++
+	}
+	t.buf[t.next] = TraceEvent{
+		Seq: t.seq, T: now, Layer: layer, Kind: kind, P: p, Q: q, Arg: arg, Note: note,
+	}
+	t.seq++
+	t.next = (t.next + 1) % len(t.buf)
+}
+
+// Events returns the buffered events in emission order (oldest first).
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.seq
+	if n > int64(len(t.buf)) {
+		n = int64(len(t.buf))
+	}
+	out := make([]TraceEvent, 0, n)
+	start := 0
+	if t.seq > int64(len(t.buf)) {
+		start = t.next // ring wrapped: oldest surviving event sits at next
+	}
+	for i := int64(0); i < n; i++ {
+		out = append(out, t.buf[(start+int(i))%len(t.buf)])
+	}
+	return out
+}
+
+// Dropped returns how many events were overwritten after the ring filled.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

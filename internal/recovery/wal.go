@@ -48,6 +48,7 @@ import (
 	"hash/crc32"
 
 	"repro/internal/codec"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/types"
 )
@@ -72,6 +73,10 @@ const frameHeader = 8
 // storage layer's Drop suppresses pending completions).
 type WAL struct {
 	st *storage.Stable
+
+	// Observability handles (Instrument; nil when disabled).
+	mRecords *obs.Counter
+	mBytes   *obs.Counter
 }
 
 // New wraps a storage device as a WAL.
@@ -79,6 +84,14 @@ func New(st *storage.Stable) *WAL { return &WAL{st: st} }
 
 // Storage returns the underlying device.
 func (w *WAL) Storage() *storage.Stable { return w.st }
+
+// Instrument binds the wal.records / wal.bytes counters from the registry
+// (nil disables at zero cost) and instruments the underlying device.
+func (w *WAL) Instrument(reg *obs.Registry) {
+	w.mRecords = reg.Counter("wal.records")
+	w.mBytes = reg.Counter("wal.bytes")
+	w.st.Instrument(reg)
+}
 
 // frame wraps a record payload as [len | crc32(payload) | payload].
 func frame(payload []byte) []byte {
@@ -89,7 +102,10 @@ func frame(payload []byte) []byte {
 }
 
 func (w *WAL) append(payload []byte, done func()) {
-	w.st.Append(frame(payload), done)
+	framed := frame(payload)
+	w.mRecords.Inc()
+	w.mBytes.Add(int64(len(framed)))
+	w.st.Append(framed, done)
 }
 
 // View records an installed view.

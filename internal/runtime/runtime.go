@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/failures"
+	"repro/internal/net"
 	"repro/internal/props"
 	"repro/internal/sim"
 	"repro/internal/stack"
@@ -202,6 +203,15 @@ func (r *Runtime) Log() *props.Log {
 	out := &props.Log{Initial: r.cluster.Log.Initial}
 	out.Events = append(out.Events, r.cluster.Log.Events...)
 	return out
+}
+
+// NetStats returns a snapshot of the network counters. Unlike the other
+// accessors it deliberately skips r.mu: the counters are atomics (see
+// internal/net), so reading them while the pacer advances the simulator is
+// exactly the concurrent pattern they exist to make safe — the regression
+// test runs this under -race against a live pacer.
+func (r *Runtime) NetStats() net.Stats {
+	return r.cluster.Net.Snapshot()
 }
 
 // Now returns the current virtual time.

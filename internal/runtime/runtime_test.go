@@ -190,3 +190,46 @@ func TestStopDuringDelivery(t *testing.T) {
 		}
 	}
 }
+
+// TestNetStatsRaceUnderDriver is the regression test for the Stats() data
+// race: application goroutines hammer NetStats (lock-free atomic reads)
+// while the pacer goroutine advances the simulator and the network mutates
+// its counters. Before the counters moved to atomics this was a read/write
+// race on plain ints that -race reports immediately.
+func TestNetStatsRaceUnderDriver(t *testing.T) {
+	r := startFast(t, 3)
+	defer r.Stop()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last int
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := r.NetStats()
+				if s.Sent < last {
+					t.Errorf("net.sent went backwards: %d -> %d", last, s.Sent)
+					return
+				}
+				last = s.Sent
+			}
+		}()
+	}
+	// Keep the protocol busy so the counters are actually being written.
+	for i := 0; i < 10; i++ {
+		r.Bcast(types.ProcID(i%3), types.Value(fmt.Sprintf("r%d", i)))
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if s := r.NetStats(); s.Sent == 0 || s.Delivered == 0 {
+		t.Fatalf("no traffic observed: %+v", s)
+	}
+}

@@ -1,0 +1,124 @@
+package stack
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/failures"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// TestObsEndToEnd runs a small cluster through a partition-and-heal cycle
+// with observability enabled and checks that every layer reported: the
+// per-layer counters are live, the latency histograms hold samples, and
+// the tracer captured the fault and view-change incidents.
+func TestObsEndToEnd(t *testing.T) {
+	reg := obs.New()
+	reg.EnableTrace(1024)
+	c := NewCluster(Options{Seed: 11, N: 4, Delta: time.Millisecond, Obs: reg})
+	for i := 0; i < 5; i++ {
+		i := i
+		c.Sim.After(time.Duration(10+i*7)*time.Millisecond, func() {
+			for _, p := range c.Procs.Members() {
+				c.Bcast(p, types.Value(fmt.Sprintf("v%d-%v", i, p)))
+			}
+		})
+	}
+	// One partition/heal so formations, timeouts and fault traces fire.
+	c.Sim.At(sim.Time(60*time.Millisecond), func() {
+		c.Oracle.Partition(c.Procs, types.NewProcSet(0, 1, 2), types.NewProcSet(3))
+	})
+	c.Sim.At(sim.Time(120*time.Millisecond), func() { c.Oracle.Heal(c.Procs) })
+	if err := c.Sim.Run(sim.Time(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"net.sent", "net.delivered",
+		"mb.initiated", "mb.formed", "mb.installed",
+		"vs.token_launches", "vs.token_hops", "vs.installs",
+		"vstoto.labels", "vstoto.confirms", "vstoto.summaries", "vstoto.establishments",
+		"wal.records", "wal.bytes", "storage.writes",
+		"to.bcasts", "to.deliveries",
+	} {
+		if snap.Counters[name] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", name, snap.Counters[name])
+		}
+	}
+	for _, name := range []string{
+		"vs.token_round", "mb.formation_latency",
+		"to.deliver_latency", "vstoto.label_to_confirm", "vstoto.confirm_to_release",
+		"stack.install_gate_wait",
+	} {
+		h := snap.Histograms[name]
+		if h.Count <= 0 {
+			t.Errorf("histogram %s has no samples", name)
+		}
+		if h.MinNS < 0 || h.P50NS > h.MaxNS {
+			t.Errorf("histogram %s inconsistent: %+v", name, h)
+		}
+	}
+	if snap.Counters["to.deliveries"] != int64(c.TotalDeliveries()) {
+		t.Errorf("to.deliveries = %d, want %d", snap.Counters["to.deliveries"], c.TotalDeliveries())
+	}
+	if g := snap.Gauges["vstoto.order_len"]; g <= 0 {
+		t.Errorf("vstoto.order_len gauge = %d, want > 0", g)
+	}
+	events := reg.Tracer().Events()
+	kinds := make(map[string]int)
+	for _, e := range events {
+		kinds[e.Layer+"."+e.Kind]++
+	}
+	for _, k := range []string{"fault.channel", "vs.newview", "mb.initiate", "mb.install"} {
+		if kinds[k] == 0 {
+			t.Errorf("trace has no %s events (got %v)", k, kinds)
+		}
+	}
+}
+
+// TestObsCrashRecoveryCounters pins the crash/recovery instrumentation: an
+// amnesia crash and rejoin bump stack.crashes/recoveries, the replay
+// counters, and leave crash/recover events in the trace.
+func TestObsCrashRecoveryCounters(t *testing.T) {
+	reg := obs.New()
+	reg.EnableTrace(0)
+	c := NewCluster(Options{Seed: 7, N: 3, Delta: time.Millisecond,
+		StorageLatency: time.Millisecond / 4, Obs: reg})
+	for i := 0; i < 4; i++ {
+		i := i
+		c.Sim.After(time.Duration(5+i*5)*time.Millisecond, func() {
+			c.Bcast(0, types.Value(fmt.Sprintf("v%d", i)))
+		})
+	}
+	c.Sim.At(sim.Time(50*time.Millisecond), func() { c.Oracle.SetProc(2, failures.Amnesia) })
+	c.Sim.At(sim.Time(100*time.Millisecond), func() { c.Oracle.SetProc(2, failures.Good) })
+	if err := c.Sim.Run(sim.Time(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["stack.crashes"] != 1 || snap.Counters["stack.recoveries"] != 1 {
+		t.Fatalf("crashes=%d recoveries=%d, want 1/1",
+			snap.Counters["stack.crashes"], snap.Counters["stack.recoveries"])
+	}
+	if snap.Counters["recovery.replay_records"] <= 0 || snap.Counters["recovery.replay_bytes"] <= 0 {
+		t.Fatalf("replay counters empty: %v", snap.Counters)
+	}
+	if snap.Counters["storage.drops"] != 1 {
+		t.Errorf("storage.drops = %d, want 1", snap.Counters["storage.drops"])
+	}
+	var sawCrash, sawRecover bool
+	for _, e := range reg.Tracer().Events() {
+		if e.Layer == "stack" && e.Kind == "crash" && e.P == 2 {
+			sawCrash = true
+		}
+		if e.Layer == "stack" && e.Kind == "recover" && e.P == 2 {
+			sawRecover = true
+		}
+	}
+	if !sawCrash || !sawRecover {
+		t.Fatalf("trace missing crash/recover events (crash=%v recover=%v)", sawCrash, sawRecover)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/failures"
 	"repro/internal/net"
+	"repro/internal/obs"
 	"repro/internal/props"
 	"repro/internal/recovery"
 	"repro/internal/sim"
@@ -69,6 +70,11 @@ type Node struct {
 	needsRecovery bool
 	recoveries    int
 	lastReplay    *recovery.Snapshot
+
+	// Per-label timestamps for the vstoto latency histograms (allocated
+	// only when the cluster's obs registry is enabled; nil otherwise).
+	labelAt   map[types.Label]sim.Time
+	confirmAt map[types.Label]sim.Time
 }
 
 // Cluster is a full TO service instance on a simulator: the network, the
@@ -84,10 +90,37 @@ type Cluster struct {
 	// stable storage will restore on restart — the evidence that
 	// props.CheckRejoinSafety compares against the recorded trace.
 	Crashes []props.CrashSnapshot
+	// Obs is the cluster's observability registry (nil when disabled).
+	Obs *obs.Registry
 
 	qs         types.QuorumSystem
 	skipReplay bool
 	nodes      map[types.ProcID]*Node
+	m          clusterMetrics
+	// submitted maps each client submission to its bcast instant, for the
+	// end-to-end to.deliver_latency histogram (nil when obs is disabled).
+	submitted map[submitKey]sim.Time
+}
+
+// submitKey identifies one client submission across the cluster.
+type submitKey struct {
+	origin types.ProcID
+	seq    int
+}
+
+// clusterMetrics holds the stack-level obs handles (all nil when disabled).
+type clusterMetrics struct {
+	bcasts           *obs.Counter
+	deliveries       *obs.Counter
+	crashes          *obs.Counter
+	recoveries       *obs.Counter
+	replayRecords    *obs.Counter
+	replayBytes      *obs.Counter
+	deliverLatency   *obs.Histogram // bcast → brcv, per delivering node
+	labelToConfirm   *obs.Histogram // label → confirm at the origin
+	confirmToRelease *obs.Histogram // confirm → brcv at the origin
+	installGateWait  *obs.Histogram // gate entry → durable commit
+	tracer           *obs.Tracer
 }
 
 // Options configures NewCluster.
@@ -128,6 +161,10 @@ type Options struct {
 	// harness catches (and shrinks to) a broken recovery path. Never set
 	// it otherwise.
 	SkipRecoveryReplay bool
+	// Obs, when non-nil, receives metrics and trace events from every
+	// layer of the stack (the registry's clock is bound to the cluster's
+	// simulated clock). Nil disables all instrumentation at zero cost.
+	Obs *obs.Registry
 }
 
 // NewCluster builds and starts a TO service instance.
@@ -142,10 +179,22 @@ func NewCluster(opts Options) *Cluster {
 		opts.P0Size = opts.N
 	}
 	s := sim.New(opts.Seed)
+	opts.Obs.SetClock(s.Now)
 	oracle := failures.NewOracle(s.Now)
-	netCfg := net.Config{Delta: opts.Delta, Jitter: opts.Jitter, UglyLossProb: 0.5, UglyMaxDelayFactor: 10}
+	netCfg := net.Config{Delta: opts.Delta, Jitter: opts.Jitter, UglyLossProb: 0.5, UglyMaxDelayFactor: 10, Obs: opts.Obs}
 	if opts.Wire {
 		netCfg.Transcode = codec.Roundtrip
+		if opts.Obs != nil {
+			// In wire mode every payload is encodable, so the net.bytes
+			// counter can account real encoded sizes.
+			netCfg.PayloadBytes = func(p any) int {
+				b, err := codec.Encode(p)
+				if err != nil {
+					return 0
+				}
+				return len(b)
+			}
+		}
 	}
 	nw := net.New(s, oracle, netCfg)
 	procs := types.RangeProcSet(opts.N)
@@ -170,14 +219,32 @@ func NewCluster(opts Options) *Cluster {
 	}
 	cfg.OneRound = opts.OneRound
 	cfg.NoTokenCompaction = opts.NoTokenCompaction
+	cfg.Obs = opts.Obs
 	c := &Cluster{
 		Sim: s, Oracle: oracle, Net: nw,
 		Log:        &props.Log{},
 		Procs:      procs,
 		Cfg:        cfg,
+		Obs:        opts.Obs,
 		qs:         qs,
 		skipReplay: opts.SkipRecoveryReplay,
 		nodes:      make(map[types.ProcID]*Node, opts.N),
+	}
+	if opts.Obs != nil {
+		c.submitted = make(map[submitKey]sim.Time)
+		c.m = clusterMetrics{
+			bcasts:           opts.Obs.Counter("to.bcasts"),
+			deliveries:       opts.Obs.Counter("to.deliveries"),
+			crashes:          opts.Obs.Counter("stack.crashes"),
+			recoveries:       opts.Obs.Counter("stack.recoveries"),
+			replayRecords:    opts.Obs.Counter("recovery.replay_records"),
+			replayBytes:      opts.Obs.Counter("recovery.replay_bytes"),
+			deliverLatency:   opts.Obs.Histogram("to.deliver_latency"),
+			labelToConfirm:   opts.Obs.Histogram("vstoto.label_to_confirm"),
+			confirmToRelease: opts.Obs.Histogram("vstoto.confirm_to_release"),
+			installGateWait:  opts.Obs.Histogram("stack.install_gate_wait"),
+			tracer:           opts.Obs.Tracer(),
+		}
 	}
 	for _, p := range procs.Members() {
 		node := &Node{
@@ -188,6 +255,12 @@ func NewCluster(opts Options) *Cluster {
 			proc: vstoto.NewProc(p, qs, p0),
 			log:  c.Log,
 			wal:  recovery.New(storage.New(s, opts.StorageLatency)),
+		}
+		node.proc.SetObs(opts.Obs)
+		node.wal.Instrument(opts.Obs)
+		if opts.Obs != nil {
+			node.labelAt = make(map[types.Label]sim.Time)
+			node.confirmAt = make(map[types.Label]sim.Time)
 		}
 		if p0.Contains(p) {
 			// The initial view and the empty pre-view-change establishment
@@ -217,6 +290,13 @@ func NewCluster(opts Options) *Cluster {
 	// processor turning good resumes its enabled steps, rebuilding itself
 	// from stable storage first if the outage was an amnesia crash.
 	oracle.Watch(func(e failures.Event) {
+		if c.m.tracer != nil {
+			if e.Channel {
+				c.m.tracer.Emit("fault", "channel", e.Pair.From, e.Pair.To, int64(e.Status), e.Status.String())
+			} else {
+				c.m.tracer.Emit("fault", "proc", e.Proc, obs.NoPeer, int64(e.Status), e.Status.String())
+			}
+		}
 		if e.Channel {
 			return
 		}
@@ -305,6 +385,13 @@ func (n *Node) Bcast(a types.Value) {
 	}
 	n.bcastSeq++
 	seq := n.bcastSeq
+	n.c.m.bcasts.Inc()
+	if n.c.submitted != nil {
+		// Submission instant, for the end-to-end delivery latency. Keyed by
+		// origin and bcast sequence; recovery restores bcastSeq from the WAL,
+		// so keys stay unique across incarnations.
+		n.c.submitted[submitKey{origin: n.id, seq: seq}] = n.sim.Now()
+	}
 	inc := n.incarnation
 	n.wal.Bcast(seq, a, func() {
 		if n.incarnation != inc {
@@ -340,10 +427,12 @@ func (n *Node) onNewview(v types.View) {
 // installation, whatever the storage latency.
 func (n *Node) gateInstall(v types.View, commit func()) {
 	inc := n.incarnation
+	entered := n.sim.Now()
 	n.wal.View(v, func() {
 		if n.incarnation != inc {
 			return
 		}
+		n.c.m.installGateWait.Record(n.sim.Now().Sub(entered))
 		commit()
 	})
 }
@@ -388,6 +477,8 @@ func (n *Node) onSafe(from types.ProcID, payload any) {
 // restore is recorded for the rejoin-safety check. The node stays inert
 // until the oracle turns it good again.
 func (n *Node) crash() {
+	n.c.m.crashes.Inc()
+	n.c.m.tracer.Emit("stack", "crash", n.id, obs.NoPeer, int64(n.incarnation+1), "")
 	n.incarnation++
 	n.brcvPending = false
 	n.deliverReady = false
@@ -422,6 +513,10 @@ func (n *Node) recover() {
 	n.lastReplay = snap
 	n.needsRecovery = false
 	n.recoveries++
+	n.c.m.recoveries.Inc()
+	n.c.m.replayRecords.Add(int64(snap.Records))
+	n.c.m.replayBytes.Add(int64(len(disk)))
+	n.c.m.tracer.Emit("stack", "recover", n.id, obs.NoPeer, int64(snap.Records), snap.Truncated)
 
 	proc := vstoto.NewProc(n.id, n.c.qs, types.ProcSet{})
 	proc.Order = append([]types.Label(nil), snap.Order...)
@@ -497,6 +592,9 @@ func (n *Node) drain() {
 			seq := n.delaySeqs[0]
 			n.delaySeqs = n.delaySeqs[1:]
 			l := n.proc.Label()
+			if n.labelAt != nil {
+				n.labelAt[l] = n.sim.Now()
+			}
 			n.wal.Label(seq, l, n.proc.Content[l], nil)
 			progress = true
 		}
@@ -509,6 +607,16 @@ func (n *Node) drain() {
 			progress = true
 		}
 		if n.proc.ConfirmEnabled() {
+			if n.confirmAt != nil {
+				l := n.proc.Order[n.proc.NextConfirm-1]
+				n.confirmAt[l] = n.sim.Now()
+				if at, ok := n.labelAt[l]; ok {
+					// Only the origin holds a labelAt entry, so this samples
+					// the origin-side label→confirm latency once per label.
+					n.c.m.labelToConfirm.Record(n.sim.Now().Sub(at))
+					delete(n.labelAt, l)
+				}
+			}
 			n.proc.Confirm()
 			progress = true
 		}
@@ -541,6 +649,17 @@ func (n *Node) performBrcv() {
 	n.proc.Brcv()
 	d := Delivery{From: from, Value: a, Time: n.sim.Now()}
 	n.deliveries = append(n.deliveries, d)
+	n.c.m.deliveries.Inc()
+	if n.c.submitted != nil {
+		l := n.proc.Order[reportIdx-1]
+		if at, ok := n.confirmAt[l]; ok {
+			n.c.m.confirmToRelease.Record(n.sim.Now().Sub(at))
+			delete(n.confirmAt, l)
+		}
+		if at, ok := n.c.submitted[submitKey{origin: from, seq: n.originSeq(reportIdx, from)}]; ok {
+			n.c.m.deliverLatency.Record(n.sim.Now().Sub(at))
+		}
+	}
 	if n.log != nil {
 		n.log.Append(props.Event{
 			T: n.sim.Now(), Kind: props.TOBrcv, P: n.id, From: from,

@@ -18,6 +18,7 @@ package storage
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -41,11 +42,20 @@ type Stable struct {
 	// that is in flight at the instant of a Drop have reached the platter.
 	// It must return a value in [0, n). The default keeps half.
 	TornPrefix func(n int) int
+
+	// Observability handles (Instrument; all nil when disabled).
+	mWrites    *obs.Counter
+	mBytes     *obs.Counter
+	mDrops     *obs.Counter
+	mTornBytes *obs.Counter
+	mLatency   *obs.Histogram // enqueue → durable, queueing included
+	gMaxQueue  *obs.Gauge
 }
 
 type pending struct {
 	data []byte
 	done func()
+	at   sim.Time // enqueue instant, for the write-latency histogram
 }
 
 // New creates a log device with the given write latency.
@@ -55,6 +65,20 @@ func New(s *sim.Sim, latency time.Duration) *Stable {
 
 // Latency returns the configured write latency.
 func (st *Stable) Latency() time.Duration { return st.latency }
+
+// Instrument binds the device's obs instruments from the registry (nil
+// disables at zero cost): storage.* counters, the enqueue→durable
+// storage.write_latency histogram, and the storage.max_queue high-water
+// gauge. The instruments are shared across all devices bound to the same
+// registry (per-cluster totals).
+func (st *Stable) Instrument(reg *obs.Registry) {
+	st.mWrites = reg.Counter("storage.writes")
+	st.mBytes = reg.Counter("storage.bytes")
+	st.mDrops = reg.Counter("storage.drops")
+	st.mTornBytes = reg.Counter("storage.torn_bytes")
+	st.mLatency = reg.Histogram("storage.write_latency")
+	st.gMaxQueue = reg.Gauge("storage.max_queue")
+}
 
 // Writes returns the number of completed writes.
 func (st *Stable) Writes() int { return st.writes }
@@ -79,10 +103,11 @@ func (st *Stable) Write(done func()) { st.Append(nil, done) }
 // head; a crash (Drop) while this write is in flight leaves only a strict
 // prefix of data durable, and done never fires.
 func (st *Stable) Append(data []byte, done func()) {
-	st.queue = append(st.queue, pending{data: data, done: done})
+	st.queue = append(st.queue, pending{data: data, done: done, at: st.sim.Now()})
 	if len(st.queue) > st.maxQLen {
 		st.maxQLen = len(st.queue)
 	}
+	st.gMaxQueue.Max(int64(len(st.queue)))
 	if !st.busy {
 		st.startNext()
 	}
@@ -104,6 +129,9 @@ func (st *Stable) startNext() {
 			return // the owner crashed while this write was in flight
 		}
 		st.writes++
+		st.mWrites.Inc()
+		st.mBytes.Add(int64(len(w.data)))
+		st.mLatency.Record(st.sim.Now().Sub(w.at))
 		st.disk = append(st.disk, w.data...)
 		st.inFlight = nil
 		if w.done != nil {
@@ -120,6 +148,7 @@ func (st *Stable) startNext() {
 // must not observe completions from before its crash. The durable image
 // itself survives; a subsequent Append starts a fresh write chain.
 func (st *Stable) Drop() {
+	st.mDrops.Inc()
 	if st.busy && len(st.inFlight) > 0 {
 		n := len(st.inFlight)
 		k := n / 2
@@ -132,6 +161,7 @@ func (st *Stable) Drop() {
 				k = n - 1
 			}
 		}
+		st.mTornBytes.Add(int64(k))
 		st.disk = append(st.disk, st.inFlight[:k]...)
 	}
 	st.epoch++

@@ -28,6 +28,7 @@ import (
 	"repro/internal/failures"
 	"repro/internal/membership"
 	"repro/internal/net"
+	"repro/internal/obs"
 	"repro/internal/props"
 	"repro/internal/sim"
 	"repro/internal/types"
@@ -68,6 +69,10 @@ type Config struct {
 	// installs would declare the token lost and re-form forever. The stack
 	// sets this to its storage latency.
 	InstallSlack time.Duration
+	// Obs, when non-nil, receives the layer's metrics (vs.* instruments,
+	// mb.* via the membership Former) and trace events. Nil disables
+	// instrumentation at zero cost.
+	Obs *obs.Registry
 }
 
 // DefaultConfig derives π and μ from δ for an n-processor universe:
@@ -187,6 +192,16 @@ type Node struct {
 	holdTimer  *sim.Event
 
 	stats Stats
+
+	// Observability handles (bound from cfg.Obs; all nil when disabled).
+	mTokenLaunches  *obs.Counter
+	mTokenHops      *obs.Counter
+	mTokenTimeouts  *obs.Counter
+	mProbes         *obs.Counter
+	mInstalls       *obs.Counter
+	mTokenRound     *obs.Histogram
+	mMaxTokenEntries *obs.Gauge
+	tracer          *obs.Tracer
 }
 
 // Stats counts node activity for the experiment reports.
@@ -233,9 +248,18 @@ func NewNode(id types.ProcID, universe, p0 types.ProcSet, s *sim.Sim, nw *net.Ne
 		collectWait = 2*cfg.Delta + cfg.Delta/2
 	}
 	n.former = membership.NewFormer(id, universe, s, nw, collectWait, initial, n.install)
+	n.former.Instrument(cfg.Obs)
 	// Hold off competing initiations for one full formation (call δ +
 	// collect + newview δ) plus slack, plus the install-gating latency.
 	n.former.HoldOff = collectWait + 4*cfg.Delta + cfg.InstallSlack
+	n.mTokenLaunches = cfg.Obs.Counter("vs.token_launches")
+	n.mTokenHops = cfg.Obs.Counter("vs.token_hops")
+	n.mTokenTimeouts = cfg.Obs.Counter("vs.token_timeouts")
+	n.mProbes = cfg.Obs.Counter("vs.probes")
+	n.mInstalls = cfg.Obs.Counter("vs.installs")
+	n.mTokenRound = cfg.Obs.Histogram("vs.token_round")
+	n.mMaxTokenEntries = cfg.Obs.Gauge("vs.max_token_entries")
+	n.tracer = cfg.Obs.Tracer()
 	if cfg.OneRound {
 		window := cfg.ReachWindow
 		if window <= 0 {
@@ -278,6 +302,7 @@ func NewRecoveredNode(id types.ProcID, universe types.ProcSet, s *sim.Sim, nw *n
 		}
 		n.former = membership.NewFormer(id, universe, s, nw, collectWait,
 			types.View{ID: res.ViewFloor}, n.install)
+		n.former.Instrument(cfg.Obs)
 		n.former.HoldOff = collectWait + 4*cfg.Delta + cfg.InstallSlack
 		if cfg.OneRound {
 			window := cfg.ReachWindow
@@ -384,6 +409,8 @@ func (n *Node) isLeader() bool { return n.hasView && n.cur.Set.Min() == n.id }
 
 // install is the membership layer's callback: a new view takes effect.
 func (n *Node) install(v types.View) {
+	n.mInstalls.Inc()
+	n.tracer.Emit("vs", "newview", n.id, obs.NoPeer, v.ID.Epoch, "")
 	n.cur = v
 	n.hasView = true
 	n.seq = nil
@@ -454,6 +481,7 @@ func (n *Node) launchToken() {
 		return
 	}
 	n.launchNo++
+	n.mTokenLaunches.Inc()
 	n.lastLaunch = n.sim.Now()
 	tok := &TokenPkt{
 		View:      n.cur,
@@ -483,11 +511,14 @@ func (n *Node) handleToken(tok *TokenPkt) {
 		return // stale token from a view we have left (or never joined)
 	}
 	n.stats.TokenHops++
+	n.mTokenHops.Inc()
 	n.armTokenTimer()
 	n.mergeToken(tok)
 	if n.isLeader() {
-		// The token is home: hold it and relaunch π after the previous
-		// launch (the paper's "spacing of token creation").
+		// The token is home: one full ring rotation has completed.
+		n.mTokenRound.Record(n.sim.Now().Sub(n.lastLaunch))
+		// Hold it and relaunch π after the previous launch (the paper's
+		// "spacing of token creation").
 		next := n.lastLaunch.Add(n.cfg.Pi)
 		if n.holdTimer != nil {
 			n.holdTimer.Cancel()
@@ -519,6 +550,7 @@ func (n *Node) mergeToken(tok *TokenPkt) {
 	if len(tok.Msgs) > n.stats.MaxTokenEntries {
 		n.stats.MaxTokenEntries = len(tok.Msgs)
 	}
+	n.mMaxTokenEntries.Max(int64(len(tok.Msgs)))
 	// Deliver the sequence suffix we have not delivered yet. Compaction
 	// guarantees Base ≤ every member's count ≤ len(n.seq), so the suffix
 	// beyond our count is always present in the token.
@@ -631,6 +663,8 @@ func (n *Node) onTokenTimeout() {
 		return
 	}
 	n.stats.Timeouts++
+	n.mTokenTimeouts.Inc()
+	n.tracer.Emit("vs", "token_timeout", n.id, obs.NoPeer, 0, "")
 	n.former.Initiate()
 	n.armTokenTimer()
 }
@@ -658,6 +692,7 @@ func (n *Node) probeTick() {
 			continue
 		}
 		n.stats.ProbesSent++
+		n.mProbes.Inc()
 		n.net.Send(n.id, p, ProbePkt{ViewID: vid})
 	}
 }

@@ -31,6 +31,11 @@ func (p *Proc) Clone() *Proc {
 		LiteralFigure10Label: p.LiteralFigure10Label,
 		Established:          make(map[types.ViewID]bool, len(p.Established)),
 		BuildOrder:           make(map[types.ViewID][]types.Label, len(p.BuildOrder)),
+		mLabels:              p.mLabels,
+		mConfirms:            p.mConfirms,
+		mSummaries:           p.mSummaries,
+		mEstablished:         p.mEstablished,
+		gOrderLen:            p.gOrderLen,
 	}
 	for k, v := range p.Content {
 		out.Content[k] = v

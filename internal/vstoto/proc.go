@@ -3,6 +3,7 @@ package vstoto
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -86,6 +87,13 @@ type Proc struct {
 	// BuildOrder[g] is the paper's buildorder[p, g]: the last value of
 	// Order while p was in view g.
 	BuildOrder map[types.ViewID][]types.Label
+
+	// Observability handles (SetObs; all nil when disabled).
+	mLabels      *obs.Counter
+	mConfirms    *obs.Counter
+	mSummaries   *obs.Counter
+	mEstablished *obs.Counter
+	gOrderLen    *obs.Gauge
 }
 
 // NewProc creates VStoTO_p. Processors in p0 start in the initial view
@@ -115,6 +123,17 @@ func NewProc(id types.ProcID, qs types.QuorumSystem, p0 types.ProcSet) *Proc {
 // ID returns the processor identifier.
 func (p *Proc) ID() types.ProcID { return p.id }
 
+// SetObs binds the layer's obs instruments from the registry (nil disables
+// at zero cost): vstoto.labels/confirms/summaries/establishments counters
+// and the vstoto.order_len high-water gauge.
+func (p *Proc) SetObs(reg *obs.Registry) {
+	p.mLabels = reg.Counter("vstoto.labels")
+	p.mConfirms = reg.Counter("vstoto.confirms")
+	p.mSummaries = reg.Counter("vstoto.summaries")
+	p.mEstablished = reg.Counter("vstoto.establishments")
+	p.gOrderLen = reg.Gauge("vstoto.order_len")
+}
+
 // Primary is the derived variable of Figure 9: current ≠ ⊥ and current.set
 // contains a quorum.
 func (p *Proc) Primary() bool {
@@ -123,7 +142,14 @@ func (p *Proc) Primary() bool {
 
 func (p *Proc) recordOrder() {
 	if p.TrackHistory && !p.Current.ID.IsBottom() {
-		p.BuildOrder[p.Current.ID] = append([]types.Label(nil), p.Order...)
+		// Share the order's backing array instead of copying: Order is
+		// append-only within a view, and the three-index expression caps the
+		// stored slice at its current length, so a later append reallocates
+		// rather than writing through the shared prefix. The eager copy made
+		// every primary-view gprcv O(|Order|), i.e. O(n²) per view
+		// (BenchmarkRecordOrderHistory pins the asymptotic difference,
+		// TestBuildOrderImmutable the aliasing safety).
+		p.BuildOrder[p.Current.ID] = p.Order[:len(p.Order):len(p.Order)]
 	}
 }
 
@@ -148,6 +174,7 @@ func (p *Proc) GprcvValue(lv LabeledValue) {
 	p.Content[lv.L] = lv.A
 	if p.Primary() {
 		p.Order = append(p.Order, lv.L)
+		p.gOrderLen.Max(int64(len(p.Order)))
 		p.recordOrder()
 	}
 }
@@ -162,13 +189,20 @@ func (p *Proc) GprcvSummary(q types.ProcID, x *Summary) {
 	if p.GotState.domainEquals(p.Current.Set) && p.Status == StatusCollect {
 		p.NextConfirm = p.GotState.MaxNextConfirm()
 		if p.Primary() {
-			p.Order = append([]types.Label(nil), p.GotState.FullOrder()...)
+			// FullOrder already returns a fresh slice; no defensive copy.
+			p.Order = p.GotState.FullOrder()
 			p.HighPrimary = p.Current.ID
 		} else {
-			p.Order = append([]types.Label(nil), p.GotState.ShortOrder()...)
+			// ShortOrder aliases the chosen representative's summary; cap the
+			// slice at its length so appends in a later primary view
+			// reallocate instead of mutating the (immutable) summary.
+			short := p.GotState.ShortOrder()
+			p.Order = short[:len(short):len(short)]
 			p.HighPrimary = p.GotState.MaxPrimary()
 		}
 		p.Status = StatusNormal
+		p.mEstablished.Inc()
+		p.gOrderLen.Max(int64(len(p.Order)))
 		if p.TrackHistory {
 			p.Established[p.Current.ID] = true
 		}
@@ -236,6 +270,7 @@ func (p *Proc) Label() types.Label {
 		panic("vstoto: Label performed while disabled")
 	}
 	l := types.Label{ID: p.Current.ID, Seqno: p.NextSeqno, Origin: p.id}
+	p.mLabels.Inc()
 	p.Content[l] = a
 	p.Buffer = append(p.Buffer, l)
 	p.NextSeqno++
@@ -274,7 +309,12 @@ func (p *Proc) GpsndSummaryEnabled() bool { return p.Status == StatusSend }
 
 // SummaryMessage builds (without any state change) the summary
 // x = ⟨content, order, nextconfirm, highprimary⟩ that the state-exchange
-// gpsnd would carry. The summary is an immutable snapshot.
+// gpsnd would carry. The summary is an immutable snapshot: Ord shares the
+// order's backing array with its capacity clipped (Order is append-only, so
+// any later growth reallocates away from the shared prefix — O(1) instead
+// of an O(|Order|) copy per send; TestSummaryImmutable pins it). Con must
+// still be copied: Content is a map, mutated in place by later labels and
+// deliveries, and maps have no copy-on-write prefix to share.
 func (p *Proc) SummaryMessage() *Summary {
 	con := make(map[types.Label]types.Value, len(p.Content))
 	for l, a := range p.Content {
@@ -282,7 +322,7 @@ func (p *Proc) SummaryMessage() *Summary {
 	}
 	return &Summary{
 		Con:  con,
-		Ord:  append([]types.Label(nil), p.Order...),
+		Ord:  p.Order[:len(p.Order):len(p.Order)],
 		Next: p.NextConfirm,
 		High: p.HighPrimary,
 	}
@@ -294,6 +334,7 @@ func (p *Proc) CommitSummarySend() {
 	if !p.GpsndSummaryEnabled() {
 		panic("vstoto: CommitSummarySend while not in send status")
 	}
+	p.mSummaries.Inc()
 	p.Status = StatusCollect
 }
 
@@ -304,7 +345,7 @@ func (p *Proc) GpsndSummary() *Summary {
 		panic("vstoto: GpsndSummary performed while disabled")
 	}
 	x := p.SummaryMessage()
-	p.Status = StatusCollect
+	p.CommitSummarySend()
 	return x
 }
 
@@ -321,6 +362,7 @@ func (p *Proc) Confirm() {
 	if !p.ConfirmEnabled() {
 		panic("vstoto: Confirm performed while disabled")
 	}
+	p.mConfirms.Inc()
 	p.NextConfirm++
 }
 

@@ -11,7 +11,13 @@
 //	go run ./cmd/chaos -campaign all -runs 3
 //	go run ./cmd/chaos -campaign leader-crash -seed 42 -n 6 -window 8s -v
 //	go run ./cmd/chaos -campaign mixed -runs 5 -out artifacts/
+//	go run ./cmd/chaos -campaign all -runs 8 -workers 1   # serial sweep
 //	go run ./cmd/chaos -replay artifacts/mixed-seed3.json
+//
+// The campaign sweep fans the independent runs across -workers cores (and
+// delta-debugging evaluates shrink candidates in parallel waves); every
+// run is a pure function of its config, so -workers changes only
+// wall-clock time — output and artifacts are identical at any setting.
 package main
 
 import (
@@ -19,9 +25,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -36,9 +44,12 @@ func main() {
 		wire     = flag.Bool("wire", false, "transcode every payload through the wire codec")
 		outDir   = flag.String("out", "", "directory for counterexample artifacts (default: current dir)")
 		maxRuns  = flag.Int("shrink-runs", 600, "delta-debugging budget (candidate runs)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "parallel runs (1 = serial; output is identical either way)")
 		replay   = flag.String("replay", "", "replay a counterexample artifact instead of running campaigns")
 		list     = flag.Bool("list", false, "list campaign types and exit")
 		verbose  = flag.Bool("v", false, "per-run detail")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -48,8 +59,20 @@ func main() {
 		}
 		return
 	}
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
+	exit := func(code int) {
+		stopProf()
+		os.Exit(code)
+	}
+
 	if *replay != "" {
-		os.Exit(replayArtifact(*replay, *verbose))
+		exit(replayArtifact(*replay, *verbose))
 	}
 
 	var campaigns []chaos.CampaignType
@@ -59,50 +82,55 @@ func main() {
 		ct, err := chaos.ParseCampaign(*campaign)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			exit(2)
 		}
 		campaigns = []chaos.CampaignType{ct}
 	}
 
-	failures := 0
+	var cfgs []chaos.Config
 	for _, ct := range campaigns {
 		for s := *seed; s < *seed+int64(*runs); s++ {
-			cfg := chaos.Config{
+			cfgs = append(cfgs, chaos.Config{
 				Campaign: ct, Seed: s, N: *n, Delta: *delta,
 				Window: *window, RecoveryBound: *bound, Wire: *wire,
-			}
-			r := chaos.Run(cfg)
-			if r.Failed() && r.Violation.Check == "config" {
-				// A bad config is a usage error, not a counterexample: it
-				// would fail identically for every seed and its artifact
-				// could never be replayed.
-				fmt.Fprintln(os.Stderr, r.Violation.Detail)
-				os.Exit(2)
-			}
-			if !r.Failed() {
-				if *verbose {
-					fmt.Printf("PASS %-18s seed=%-3d events=%-4d msgs=%-4d deliveries=%-5d maxlag=%v (bound %v)\n",
-						ct, s, len(r.Schedule), r.Msgs, r.Deliveries, r.Recovery.MaxLag, r.Bound)
-				} else {
-					fmt.Printf("PASS %-18s seed=%d\n", ct, s)
-				}
-				continue
-			}
-			failures++
-			fmt.Printf("FAIL %-18s seed=%d: %v\n", ct, s, r.Violation)
-			min, st := chaos.ShrinkResult(r, *maxRuns)
-			fmt.Printf("     shrunk %d → %d fault events in %d runs\n", st.From, st.To, st.Runs)
-			path, err := writeArtifact(*outDir, min)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "     artifact: %v\n", err)
-				continue
-			}
-			fmt.Printf("     counterexample: %s (replay with -replay %s)\n", path, path)
+			})
 		}
+	}
+	results := chaos.Sweep(cfgs, *workers)
+
+	failures := 0
+	for _, r := range results {
+		ct, s := r.Config.Campaign, r.Config.Seed
+		if r.Failed() && r.Violation.Check == "config" {
+			// A bad config is a usage error, not a counterexample: it
+			// would fail identically for every seed and its artifact
+			// could never be replayed.
+			fmt.Fprintln(os.Stderr, r.Violation.Detail)
+			exit(2)
+		}
+		if !r.Failed() {
+			if *verbose {
+				fmt.Printf("PASS %-18s seed=%-3d events=%-4d msgs=%-4d deliveries=%-5d maxlag=%v (bound %v)\n",
+					ct, s, len(r.Schedule), r.Msgs, r.Deliveries, r.Recovery.MaxLag, r.Bound)
+			} else {
+				fmt.Printf("PASS %-18s seed=%d\n", ct, s)
+			}
+			continue
+		}
+		failures++
+		fmt.Printf("FAIL %-18s seed=%d: %v\n", ct, s, r.Violation)
+		min, st := chaos.ShrinkResultN(r, *maxRuns, *workers)
+		fmt.Printf("     shrunk %d → %d fault events in %d runs\n", st.From, st.To, st.Runs)
+		path, err := writeArtifact(*outDir, min)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "     artifact: %v\n", err)
+			continue
+		}
+		fmt.Printf("     counterexample: %s (replay with -replay %s)\n", path, path)
 	}
 	if failures > 0 {
 		fmt.Printf("%d failing run(s)\n", failures)
-		os.Exit(1)
+		exit(1)
 	}
 }
 

@@ -9,8 +9,16 @@
 //	go run ./cmd/experiments                            # all experiments
 //	go run ./cmd/experiments -exp E4                    # one experiment
 //	go run ./cmd/experiments -seed 7                    # different randomness
+//	go run ./cmd/experiments -workers 1                 # serial run
 //	go run ./cmd/experiments -bench-out BENCH_baseline.json
 //	                                    # machine-readable bench baseline only
+//	go run ./cmd/experiments -sweep-out BENCH_sweep.json
+//	                                    # serial-vs-parallel sweep benchmark
+//	go run ./cmd/experiments -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Runs are deterministic in the seed: -workers changes only wall-clock
+// time, never a table cell (the sweep engine aggregates results in
+// submission order).
 package main
 
 import (
@@ -19,38 +27,72 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/prof"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "run a single experiment (E1..E14); default all")
-		seed     = flag.Int64("seed", 1, "seed for all randomized runs")
-		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
-		benchOut = flag.String("bench-out", "", "write the machine-readable bench baseline (throughput, latency percentiles, per-layer counters) to this JSON file; without -exp, skips the tables")
+		exp        = flag.String("exp", "", "run a single experiment (E1..E14); default all")
+		seed       = flag.Int64("seed", 1, "seed for all randomized runs")
+		workers    = flag.Int("workers", runtime.NumCPU(), "parallel runs (1 = serial; output is identical either way)")
+		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
+		benchOut   = flag.String("bench-out", "", "write the machine-readable bench baseline (throughput, latency percentiles, per-layer counters) to this JSON file; without -exp, skips the tables")
+		sweepOut   = flag.String("sweep-out", "", "run the serial-vs-parallel sweep benchmark and write its report to this JSON file")
+		minSpeedup = flag.Float64("min-speedup", 0, "with -sweep-out: fail unless the parallel sweep is at least this many times faster than serial (checked only on multi-core hosts with -workers > 1)")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
 
-	runners := map[string]func(int64) *experiments.Table{
-		"E1": experiments.E1, "E2": experiments.E2, "E3": experiments.E3,
-		"E4": experiments.E4, "E5": experiments.E5, "E6": experiments.E6,
-		"E7": experiments.E7, "E8": experiments.E8, "E9": experiments.E9,
-		"E10": experiments.E10, "E11": experiments.E11, "E12": experiments.E12,
-		"E13": experiments.E13, "E14": experiments.E14,
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
+	exit := func(code int) {
+		stopProf()
+		os.Exit(code)
+	}
+
+	if *sweepOut != "" {
+		report := experiments.SweepBench(*seed, *workers)
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encode sweep bench: %v\n", err)
+			exit(1)
+		}
+		if err := os.WriteFile(*sweepOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *sweepOut, err)
+			exit(1)
+		}
+		fmt.Printf("sweep bench (cores=%d workers=%d speedup=%.2fx identical=%v) written to %s\n",
+			report.Cores, report.Workers, report.Speedup, report.Identical, *sweepOut)
+		if !report.Identical {
+			fmt.Fprintln(os.Stderr, "FAIL: parallel sweep output diverged from serial")
+			exit(1)
+		}
+		if *minSpeedup > 0 && report.Cores >= 2 && report.Workers > 1 && report.Speedup < *minSpeedup {
+			fmt.Fprintf(os.Stderr, "FAIL: speedup %.2fx below required %.2fx\n", report.Speedup, *minSpeedup)
+			exit(1)
+		}
+		return
 	}
 
 	if *benchOut != "" {
-		report := experiments.BenchBaseline(*seed)
+		report := experiments.BenchBaselineWorkers(*seed, *workers)
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "encode bench baseline: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "write %s: %v\n", *benchOut, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Printf("bench baseline (%d scenarios) written to %s\n", len(report.Entries), *benchOut)
 		// The bench is its own mode: run the (slow) tables only if asked.
@@ -61,14 +103,14 @@ func main() {
 
 	var tables []*experiments.Table
 	if *exp == "" {
-		tables = experiments.All(*seed)
+		tables = experiments.AllWorkers(*seed, *workers)
 	} else {
-		run, ok := runners[strings.ToUpper(*exp)]
+		run, ok := experiments.Runner(*exp)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E14)\n", *exp)
-			os.Exit(2)
+			exit(2)
 		}
-		tables = []*experiments.Table{run(*seed)}
+		tables = []*experiments.Table{run(*seed, *workers)}
 	}
 
 	failed := 0
@@ -81,12 +123,12 @@ func main() {
 			path := filepath.Join(*csvDir, strings.ToLower(t.ID)+".csv")
 			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
-				os.Exit(1)
+				exit(1)
 			}
 		}
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) failed validation\n", failed)
-		os.Exit(1)
+		exit(1)
 	}
 }

@@ -2,11 +2,14 @@ package chaos
 
 import (
 	"repro/internal/failures"
+	"repro/internal/sweep"
 )
 
 // ShrinkStats reports what a shrink did.
 type ShrinkStats struct {
-	// Runs is the number of candidate schedules evaluated.
+	// Runs is the number of candidate schedules evaluated. With workers > 1
+	// whole waves are evaluated at once, so Runs may exceed what a serial
+	// shrink would have spent to find the same candidate.
 	Runs int
 	// From and To are the event counts before and after minimization.
 	From, To int
@@ -24,11 +27,25 @@ type ShrinkStats struct {
 // was — if the predicate is not reproducible even on the unmodified input,
 // the input is returned unchanged.
 func Shrink(sched failures.Schedule, fails func(failures.Schedule) bool, maxRuns int) (failures.Schedule, ShrinkStats) {
+	return ShrinkN(sched, fails, maxRuns, 1)
+}
+
+// ShrinkN is Shrink with the candidate evaluations of each ddmin round
+// fanned across workers: every round's candidates are evaluated in waves
+// of up to workers concurrent runs, and the lowest-index failing candidate
+// wins the round — exactly the candidate a serial shrink would have
+// chosen, so the minimized schedule is independent of the worker count
+// whenever the run budget does not bite (a full wave is spent even when an
+// early candidate in it fails, so a tight maxRuns can cut a parallel
+// shrink short at a different point than a serial one). workers == 1 is
+// byte-for-byte the serial algorithm, budget accounting included.
+func ShrinkN(sched failures.Schedule, fails func(failures.Schedule) bool, maxRuns, workers int) (failures.Schedule, ShrinkStats) {
 	if maxRuns <= 0 {
 		maxRuns = 2000
 	}
+	workers = sweep.Workers(workers)
 	st := ShrinkStats{From: len(sched)}
-	try := func(cand failures.Schedule) bool {
+	tryOne := func(cand failures.Schedule) bool {
 		if st.Runs >= maxRuns {
 			return false
 		}
@@ -36,41 +53,72 @@ func Shrink(sched failures.Schedule, fails func(failures.Schedule) bool, maxRuns
 		return fails(cand)
 	}
 
-	if !try(sched) {
+	if !tryOne(sched) {
 		// Not reproducible: refuse to "minimize" noise.
 		st.To = len(sched)
 		return sched, st
 	}
 	// An empty schedule failing means the bug is independent of the
 	// adversary — the minimal counterexample is "no faults at all".
-	if try(failures.Schedule{}) {
+	if tryOne(failures.Schedule{}) {
 		st.To = 0
 		return failures.Schedule{}, st
+	}
+
+	// without returns cur with the chunk [starts[k], starts[k]+chunk) cut
+	// out (clamped to len(cur)).
+	without := func(cur failures.Schedule, start, chunk int) failures.Schedule {
+		end := start + chunk
+		if end > len(cur) {
+			end = len(cur)
+		}
+		cand := make(failures.Schedule, 0, len(cur)-(end-start))
+		cand = append(cand, cur[:start]...)
+		cand = append(cand, cur[end:]...)
+		return cand
+	}
+	// firstFailing evaluates the round's candidates (complement of each
+	// chunk) in submission-order waves and returns the index of the first
+	// failing one, or -1. Each wave burns its full width from the budget.
+	firstFailing := func(cur failures.Schedule, chunk int) int {
+		var starts []int
+		for s := 0; s < len(cur); s += chunk {
+			starts = append(starts, s)
+		}
+		for lo := 0; lo < len(starts); lo += workers {
+			wave := len(starts) - lo
+			if wave > workers {
+				wave = workers
+			}
+			if left := maxRuns - st.Runs; wave > left {
+				wave = left
+			}
+			if wave == 0 {
+				return -1
+			}
+			st.Runs += wave
+			verdicts := sweep.Run(workers, wave, func(j int) bool {
+				return fails(without(cur, starts[lo+j], chunk))
+			})
+			for j, failed := range verdicts {
+				if failed {
+					return starts[lo+j]
+				}
+			}
+		}
+		return -1
 	}
 
 	cur := sched
 	n := 2
 	for len(cur) >= 2 {
-		reduced := false
 		chunk := (len(cur) + n - 1) / n
-		for start := 0; start < len(cur); start += chunk {
-			end := start + chunk
-			if end > len(cur) {
-				end = len(cur)
+		if start := firstFailing(cur, chunk); start >= 0 {
+			cur = without(cur, start, chunk)
+			if n > 2 {
+				n--
 			}
-			cand := make(failures.Schedule, 0, len(cur)-(end-start))
-			cand = append(cand, cur[:start]...)
-			cand = append(cand, cur[end:]...)
-			if try(cand) {
-				cur = cand
-				if n > 2 {
-					n--
-				}
-				reduced = true
-				break
-			}
-		}
-		if !reduced {
+		} else {
 			if n >= len(cur) {
 				break // 1-minimal: no single event is removable
 			}
@@ -91,6 +139,12 @@ func Shrink(sched failures.Schedule, fails func(failures.Schedule) bool, maxRuns
 // it still yields a violation of the same check, and returns the minimized
 // run. If the result did not fail, it is returned as is.
 func ShrinkResult(r *Result, maxRuns int) (*Result, ShrinkStats) {
+	return ShrinkResultN(r, maxRuns, 1)
+}
+
+// ShrinkResultN is ShrinkResult with candidate evaluations fanned across
+// workers (see ShrinkN).
+func ShrinkResultN(r *Result, maxRuns, workers int) (*Result, ShrinkStats) {
 	if !r.Failed() {
 		return r, ShrinkStats{From: len(r.Schedule), To: len(r.Schedule)}
 	}
@@ -100,9 +154,9 @@ func ShrinkResult(r *Result, maxRuns int) (*Result, ShrinkStats) {
 		cfg.Schedule = s
 		return Run(cfg)
 	}
-	min, st := Shrink(r.Schedule, func(s failures.Schedule) bool {
+	min, st := ShrinkN(r.Schedule, func(s failures.Schedule) bool {
 		rr := rerun(s)
 		return rr.Failed() && rr.Violation.Check == wanted
-	}, maxRuns)
+	}, maxRuns, workers)
 	return rerun(min), st
 }

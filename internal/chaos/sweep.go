@@ -1,0 +1,32 @@
+package chaos
+
+import (
+	"repro/internal/obs"
+	"repro/internal/sweep"
+)
+
+// Sweep executes every config as an independent chaos run, fanned across
+// the given number of workers by the sweep engine. Run is a pure function
+// of its config (own simulator, own cluster, own registry), so the results
+// land in submission order and are identical to running the configs
+// serially — workers only changes wall-clock time.
+func Sweep(cfgs []Config, workers int) []*Result {
+	return sweep.Run(workers, len(cfgs), func(i int) *Result {
+		return Run(cfgs[i])
+	})
+}
+
+// MergedSnapshot folds the per-run observability registries of a sweep's
+// results into one aggregate snapshot: counters add, gauges take the
+// maximum, histograms combine bucket-wise. Every merge operation is
+// commutative and associative, so the aggregate is independent of both the
+// worker count and the completion order of the runs.
+func MergedSnapshot(results []*Result) *obs.Snapshot {
+	agg := obs.New()
+	for _, r := range results {
+		if r != nil {
+			agg.Merge(r.Obs)
+		}
+	}
+	return agg.Snapshot()
+}

@@ -1,0 +1,71 @@
+package codec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/types"
+	"repro/internal/vsimpl"
+	"repro/internal/vstoto"
+)
+
+// benchToken builds a token like the ones circulating in a busy n=5 view:
+// a handful of labeled values in flight plus the delivered map.
+func benchToken() *vsimpl.TokenPkt {
+	tok := &vsimpl.TokenPkt{
+		View:      types.View{ID: types.G0(), Set: types.RangeProcSet(5)},
+		Base:      17,
+		Delivered: map[types.ProcID]int{0: 17, 1: 16, 2: 17, 3: 15, 4: 17},
+	}
+	for i := 0; i < 6; i++ {
+		tok.Msgs = append(tok.Msgs, vsimpl.TokenMsg{
+			ID:   check.MsgID{Sender: types.ProcID(i % 5), Seq: 100 + i},
+			From: types.ProcID(i % 5),
+			Payload: vstoto.LabeledValue{
+				L: types.Label{ID: types.G0(), Seqno: 40 + i, Origin: types.ProcID(i % 5)},
+				A: types.Value(fmt.Sprintf("payload-value-%d", i)),
+			},
+		})
+	}
+	return tok
+}
+
+// BenchmarkCodecRoundTrip measures the wire transcode hook — the per-hop
+// cost every payload pays in -wire mode. The pooled encode buffer keeps the
+// encode side allocation-free; remaining allocations are the decoded copy
+// (which must be fresh memory by design: no pointer survives a hop).
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	lv := vstoto.LabeledValue{
+		L: types.Label{ID: types.G0(), Seqno: 42, Origin: 3},
+		A: "a moderately sized payload value for the benchmark",
+	}
+	tok := benchToken()
+	b.Run("labeled-value", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Roundtrip(lv); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("token", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Roundtrip(tok); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encode-labeled-value", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			var err error
+			buf, err = AppendEncode(buf[:0], lv)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

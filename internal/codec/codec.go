@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/check"
 	"repro/internal/membership"
@@ -216,11 +217,20 @@ func getSummary(r *reader) *vstoto.Summary {
 // --- top-level encode/decode ----------------------------------------------
 
 // Encode serializes a wire payload. It returns an error for types the wire
-// format does not know.
+// format does not know. The returned slice is freshly allocated and owned
+// by the caller; hot paths that can reuse a buffer should prefer
+// AppendEncode or Roundtrip (which encodes through a pooled scratch).
 func Encode(payload any) ([]byte, error) {
-	w := &writer{}
-	if err := encodeInto(w, payload); err != nil {
-		return nil, err
+	return AppendEncode(nil, payload)
+}
+
+// AppendEncode serializes a wire payload appending to dst (which may be
+// nil) and returns the extended buffer, allowing encode buffers to be
+// reused across calls on a hot path.
+func AppendEncode(dst []byte, payload any) ([]byte, error) {
+	w := writer{buf: dst}
+	if err := encodeInto(&w, payload); err != nil {
+		return dst, err
 	}
 	return w.buf, nil
 }
@@ -353,12 +363,24 @@ func decodeFrom(r *reader, depth int) any {
 	}
 }
 
+// encodePool recycles Roundtrip's scratch buffers. Safe across concurrent
+// simulations (the sweep engine runs many at once); each Roundtrip holds a
+// buffer only for the duration of the call.
+var encodePool = sync.Pool{
+	New: func() any { return &writer{buf: make([]byte, 0, 512)} },
+}
+
 // Roundtrip encodes then decodes, returning a deep copy that shares no
-// memory with the input — the transcode hook for net.Config.
+// memory with the input — the transcode hook for net.Config. The encode
+// side runs through a pooled scratch buffer: Decode never aliases its
+// input (every decoded string and value is copied out), so the buffer can
+// be recycled as soon as the call returns.
 func Roundtrip(payload any) (any, error) {
-	b, err := Encode(payload)
-	if err != nil {
+	w := encodePool.Get().(*writer)
+	w.buf = w.buf[:0]
+	defer encodePool.Put(w)
+	if err := encodeInto(w, payload); err != nil {
 		return nil, err
 	}
-	return Decode(b)
+	return Decode(w.buf)
 }

@@ -1,7 +1,9 @@
 package codec
 
 import (
+	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -168,4 +170,59 @@ func TestLabeledValueQuickRoundTrip(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
 	}
+}
+
+// TestRoundtripDoesNotAliasScratch pins the pooled-buffer contract: no
+// decoded structure may reference the (recycled) encode scratch. Two
+// interleaved roundtrips reusing the same pooled buffer must leave the
+// first result intact.
+func TestRoundtripDoesNotAliasScratch(t *testing.T) {
+	first := vstoto.LabeledValue{
+		L: types.Label{ID: types.G0(), Seqno: 1, Origin: 0},
+		A: "first-payload-value-AAAAAAAAAAAAAAAA",
+	}
+	got1, err := Roundtrip(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second roundtrip reuses (and overwrites) the pooled scratch.
+	if _, err := Roundtrip(vstoto.LabeledValue{
+		L: types.Label{ID: types.G0(), Seqno: 2, Origin: 1},
+		A: "second-payload-value-BBBBBBBBBBBBBBB",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if lv := got1.(vstoto.LabeledValue); lv.A != first.A || lv.L != first.L {
+		t.Fatalf("first decode mutated by second roundtrip: %+v", lv)
+	}
+}
+
+// TestRoundtripConcurrent exercises the encode pool from many goroutines
+// (the sweep engine's access pattern); run under -race this pins pool
+// safety across concurrent simulations.
+func TestRoundtripConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				in := vstoto.LabeledValue{
+					L: types.Label{ID: types.G0(), Seqno: i, Origin: types.ProcID(g)},
+					A: types.Value(fmt.Sprintf("g%d-v%d", g, i)),
+				}
+				out, err := Roundtrip(in)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if lv := out.(vstoto.LabeledValue); lv != in {
+					t.Errorf("roundtrip mismatch: %+v != %+v", lv, in)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -15,6 +15,11 @@ func NewWriter() *Writer { return &Writer{} }
 // backing buffer; append no more after reading it.
 func (x *Writer) Data() []byte { return x.w.buf }
 
+// Reset empties the Writer, keeping its backing buffer for reuse — the
+// allocation-free path for encoders that frame many records (the WAL).
+// The caller must be done with every slice previously returned by Data.
+func (x *Writer) Reset() { x.w.buf = x.w.buf[:0] }
+
 // U8 writes one byte.
 func (x *Writer) U8(v byte) { x.w.u8(v) }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stack"
+	"repro/internal/sweep"
 	"repro/internal/types"
 )
 
@@ -66,21 +67,35 @@ func benchEntry(id, scenario string, c *stack.Cluster, reg *obs.Registry) BenchE
 // workload — each on a freshly instrumented cluster, and returns the
 // machine-readable report. Deterministic for a given seed: every number is
 // in virtual time.
-func BenchBaseline(seed int64) *BenchReport {
-	r := &BenchReport{Seed: seed}
+func BenchBaseline(seed int64) *BenchReport { return BenchBaselineWorkers(seed, 1) }
 
-	// E1: majority isolation with pre- and post-cut traffic.
-	{
+// BenchBaselineWorkers is BenchBaseline with the independent scenarios
+// fanned across workers through the sweep engine. Each scenario runs on its
+// own cluster, simulator, and registry, and the entries land in submission
+// order, so the report is identical to the serial one for any worker count.
+func BenchBaselineWorkers(seed int64, workers int) *BenchReport {
+	scenarios := []func() BenchEntry{benchE1(seed), benchE2(seed), benchE14(seed)}
+	return &BenchReport{
+		Seed:    seed,
+		Entries: sweep.Run(workers, len(scenarios), func(i int) BenchEntry { return scenarios[i]() }),
+	}
+}
+
+// benchE1: majority isolation with pre- and post-cut traffic.
+func benchE1(seed int64) func() BenchEntry {
+	return func() BenchEntry {
 		reg := obs.New()
 		c, _, _ := isolationRun(seed, 5, 3, time.Millisecond, reg)
-		r.Entries = append(r.Entries, benchEntry("E1",
-			"n=5 majority isolation, 11 values through the cut", c, reg))
+		return benchEntry("E1",
+			"n=5 majority isolation, 11 values through the cut", c, reg)
 	}
+}
 
-	// E2: partition with a quorum side, traffic on both sides. The split is
-	// 4/2 (not the table's symmetric 3/3): TO deliveries only happen in a
-	// primary component, and the bench needs a live delivery stream.
-	{
+// benchE2: partition with a quorum side, traffic on both sides. The split is
+// 4/2 (not the table's symmetric 3/3): TO deliveries only happen in a
+// primary component, and the bench needs a live delivery stream.
+func benchE2(seed int64) func() BenchEntry {
+	return func() BenchEntry {
 		reg := obs.New()
 		n := 6
 		delta := time.Millisecond
@@ -98,12 +113,14 @@ func BenchBaseline(seed int64) *BenchReport {
 		if err := c.Sim.Run(sim.Time(5 * time.Second)); err != nil {
 			panic(err)
 		}
-		r.Entries = append(r.Entries, benchEntry("E2",
-			"n=6 partition into 4/2, 6 values per side", c, reg))
+		return benchEntry("E2",
+			"n=6 partition into 4/2, 6 values per side", c, reg)
 	}
+}
 
-	// E14 (compact): amnesia crash + WAL replay rejoin under λ = δ.
-	{
+// benchE14 (compact): amnesia crash + WAL replay rejoin under λ = δ.
+func benchE14(seed int64) func() BenchEntry {
+	return func() BenchEntry {
 		reg := obs.New()
 		const n = 3
 		delta := time.Millisecond
@@ -128,9 +145,7 @@ func BenchBaseline(seed int64) *BenchReport {
 		if err := c.Sim.Run(sim.Time(2 * time.Second)); err != nil {
 			panic(err)
 		}
-		r.Entries = append(r.Entries, benchEntry("E14",
-			"n=3 amnesia crash + WAL-replay rejoin, λ=δ", c, reg))
+		return benchEntry("E14",
+			"n=3 amnesia crash + WAL-replay rejoin, λ=δ", c, reg)
 	}
-
-	return r
 }

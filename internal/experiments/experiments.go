@@ -143,14 +143,19 @@ func isolationRun(seed int64, n, qSize int, delta time.Duration, reg *obs.Regist
 // system sizes: after a component stabilizes, every value — including
 // values sent before the partition — reaches every member of Q within the
 // analytic bounds.
-func E1(seed int64) *Table {
+func E1(seed int64) *Table { return e1(seed, 1) }
+
+func e1(seed int64, workers int) *Table {
 	t := &Table{
 		ID:      "E1",
 		Title:   "TO service stabilization and delivery bounds",
 		Claim:   "Theorem 7.2: the stack satisfies TO(b+d, d, Q) with b = 9δ+max{π+(n+3)δ, μ}, d = 2π+nδ",
 		Columns: []string{"n", "|Q|", "δ", "l' meas", "b+d_impl", "send lag", "relay lag", "d paper", "d_impl", "values", "ok"},
 	}
-	for _, n := range []int{3, 5, 7, 9} {
+	ns := []int{3, 5, 7, 9}
+	appendTrials(t, workers, len(ns), func(i int) trial {
+		n := ns[i]
+		var tr trial
 		qSize := n/2 + 1
 		delta := time.Millisecond
 		c, q, cut := isolationRun(seed+int64(n), n, qSize, delta, nil)
@@ -162,15 +167,16 @@ func E1(seed int64) *Table {
 		ok := "yes"
 		if err := props.CheckTOProperty(c.Log, q, cut, b+dImpl, dImpl); err != nil {
 			ok = "NO"
-			t.Failures = append(t.Failures, fmt.Sprintf("n=%d: %v", n, err))
+			tr.failures = append(tr.failures, fmt.Sprintf("n=%d: %v", n, err))
 		}
-		t.Rows = append(t.Rows, []string{
+		tr.rows = append(tr.rows, []string{
 			fmt.Sprint(n), fmt.Sprint(qSize), ms(delta),
 			ms(vs.LPrime), ms(b + dImpl),
 			ms(to.MaxSendLag), ms(to.MaxRelayLag), ms(dPaper), ms(dImpl),
 			fmt.Sprint(to.ValuesMeasured), ok,
 		})
-	}
+		return tr
+	})
 	t.Notes = append(t.Notes,
 		"l' measured as the last newview at a member of Q after the cut; lags measured against max(send, l+l').",
 		"d_impl = 3(π+nδ) is this token discipline's worst case; the paper quotes d = 2π+nδ for the protocol of [19] — same linear shape, smaller constant.")
@@ -179,14 +185,19 @@ func E1(seed int64) *Table {
 
 // E2 validates VS-property(b, d, Q) (Figure 7): view convergence within b
 // and safe indications within d, for both sides of a partition.
-func E2(seed int64) *Table {
+func E2(seed int64) *Table { return e2(seed, 1) }
+
+func e2(seed int64, workers int) *Table {
 	t := &Table{
 		ID:      "E2",
 		Title:   "VS service view convergence and safe latency",
 		Claim:   "VS-property(b, d, Q): views converge to exactly Q within b; messages sent in the final view are safe everywhere within d",
 		Columns: []string{"n", "component", "l' meas", "b bound", "safe lag", "d paper", "d_impl", "msgs", "ok"},
 	}
-	for _, n := range []int{4, 6, 8} {
+	ns := []int{4, 6, 8}
+	appendTrials(t, workers, len(ns), func(i int) trial {
+		n := ns[i]
+		var tr trial
 		delta := time.Millisecond
 		c := stack.NewCluster(stack.Options{Seed: seed + int64(n), N: n, Delta: delta})
 		left := types.NewProcSet(c.Procs.Members()[:n/2]...)
@@ -218,15 +229,16 @@ func E2(seed int64) *Table {
 			ok := "yes"
 			if err := props.CheckVSProperty(c.Log, q, cut, b, dImpl); err != nil {
 				ok = "NO"
-				t.Failures = append(t.Failures, fmt.Sprintf("n=%d %s: %v", n, side.name, err))
+				tr.failures = append(tr.failures, fmt.Sprintf("n=%d %s: %v", n, side.name, err))
 			}
-			t.Rows = append(t.Rows, []string{
+			tr.rows = append(tr.rows, []string{
 				fmt.Sprint(n), fmt.Sprintf("%s %v", side.name, q),
 				ms(m.LPrime), ms(b), ms(m.MaxSafeLag), ms(dPaper), ms(dImpl),
 				fmt.Sprint(m.MsgsMeasured), ok,
 			})
 		}
-	}
+		return tr
+	})
 	return t
 }
 
@@ -273,15 +285,29 @@ func E3(seed int64) *Table {
 
 // E4 sweeps n and δ and compares measured stabilization and safe latency
 // against the Section 8 analytic formulas.
-func E4(seed int64) *Table {
+func E4(seed int64) *Table { return e4(seed, 1) }
+
+func e4(seed int64, workers int) *Table {
 	t := &Table{
 		ID:      "E4",
 		Title:   "Section 8 analytic bounds vs measured (token-ring VS)",
 		Claim:   "b = 9δ + max{π+(n+3)δ, μ} and d = 2π + nδ bound measured stabilization and safe latency; both grow linearly in n and δ",
 		Columns: []string{"n", "δ", "π", "merge l'", "b bound", "safe lag", "d paper", "d_impl", "ok"},
 	}
+	type cfg struct {
+		n     int
+		delta time.Duration
+	}
+	var cfgs []cfg
 	for _, n := range []int{3, 4, 5, 6, 8} {
 		for _, delta := range []time.Duration{500 * time.Microsecond, time.Millisecond, 2 * time.Millisecond} {
+			cfgs = append(cfgs, cfg{n, delta})
+		}
+	}
+	appendTrials(t, workers, len(cfgs), func(i int) trial {
+		n, delta := cfgs[i].n, cfgs[i].delta
+		var tr trial
+		{
 			c := stack.NewCluster(stack.Options{Seed: seed + int64(n*1000) + int64(delta), N: n, Delta: delta})
 			left := types.NewProcSet(c.Procs.Members()[:n/2]...)
 			right := types.NewProcSet(c.Procs.Members()[n/2:]...)
@@ -310,23 +336,24 @@ func E4(seed int64) *Table {
 			switch {
 			case !m.Converged:
 				ok = "NO"
-				t.Failures = append(t.Failures, fmt.Sprintf("n=%d δ=%v: no convergence after heal", n, delta))
+				tr.failures = append(tr.failures, fmt.Sprintf("n=%d δ=%v: no convergence after heal", n, delta))
 			case m.LPrime > b:
 				ok = "NO"
-				t.Failures = append(t.Failures, fmt.Sprintf("n=%d δ=%v: merge %v > b %v", n, delta, m.LPrime, b))
+				tr.failures = append(tr.failures, fmt.Sprintf("n=%d δ=%v: merge %v > b %v", n, delta, m.LPrime, b))
 			case m.IncompleteSafe > 0:
 				ok = "NO"
-				t.Failures = append(t.Failures, fmt.Sprintf("n=%d δ=%v: %d incomplete safe", n, delta, m.IncompleteSafe))
+				tr.failures = append(tr.failures, fmt.Sprintf("n=%d δ=%v: %d incomplete safe", n, delta, m.IncompleteSafe))
 			case m.MaxSafeLag > dImpl:
 				ok = "NO"
-				t.Failures = append(t.Failures, fmt.Sprintf("n=%d δ=%v: safe lag %v > d_impl %v", n, delta, m.MaxSafeLag, dImpl))
+				tr.failures = append(tr.failures, fmt.Sprintf("n=%d δ=%v: safe lag %v > d_impl %v", n, delta, m.MaxSafeLag, dImpl))
 			}
-			t.Rows = append(t.Rows, []string{
+			tr.rows = append(tr.rows, []string{
 				fmt.Sprint(n), ms(delta), ms(c.Cfg.Pi),
 				ms(m.LPrime), ms(b), ms(m.MaxSafeLag), ms(dPaper), ms(dImpl), ok,
 			})
 		}
-	}
+		return tr
+	})
 	return t
 }
 
@@ -434,7 +461,5 @@ func E5(seed int64) *Table {
 	return t
 }
 
-// All runs every experiment in order.
-func All(seed int64) []*Table {
-	return []*Table{E1(seed), E2(seed), E3(seed), E4(seed), E5(seed), E6(seed), E7(seed), E8(seed), E9(seed), E10(seed), E11(seed), E12(seed), E13(seed), E14(seed)}
-}
+// All runs every experiment in order (serially; AllWorkers fans them out).
+func All(seed int64) []*Table { return AllWorkers(seed, 1) }

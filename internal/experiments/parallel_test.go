@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// TestSuiteParallelMatchesSerial is the experiment-suite half of the
+// parallel-determinism gate: the suite sweep and the bench baseline at
+// workers=1 and workers=NumCPU must serialize identically — same tables,
+// same rows, same metric snapshots in the bench entries. Run under -race
+// in CI.
+//
+// E6 is excluded from the two sweep passes: it alone is ~10x the rest of
+// the suite combined (8000 spec-level steps with every invariant and the
+// forward simulation checked per step), which blows the package's -race
+// budget when run twice on top of TestAllExperimentsValidate. Its
+// determinism root cause (sorted enabled-action enumeration) is pinned
+// directly by TestEnabledEnumerationStable in spec/vsmachine, and the
+// engine-level property this test checks is runner-agnostic.
+func TestSuiteParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs most of the suite twice; skipped in -short mode")
+	}
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 4 // still exercises the concurrent path on one core
+	}
+	const seed = 1
+
+	var gate []runner
+	for _, r := range runnerList {
+		if r.id != "E6" {
+			gate = append(gate, r)
+		}
+	}
+	suite := func(workers int) []*Table {
+		return sweep.Run(workers, len(gate), func(i int) *Table {
+			return gate[i].fn(seed, 1)
+		})
+	}
+
+	serial, err := json.Marshal(suite(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := json.Marshal(suite(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("experiment suite diverges between workers=1 and workers=%d", workers)
+	}
+
+	sb, err := json.Marshal(BenchBaselineWorkers(seed, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := json.Marshal(BenchBaselineWorkers(seed, workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sb, pb) {
+		t.Fatalf("bench baseline diverges between workers=1 and workers=%d:\nserial:  %s\nparallel: %s",
+			workers, sb, pb)
+	}
+}
+
+// TestParallelTrialLoopsMatchSerial pins the per-experiment fan-out (the
+// E1/E2/E4 trial loops) at several worker counts against the serial
+// rendering — cheaper than the full-suite gate, so it runs even in -short.
+func TestParallelTrialLoopsMatchSerial(t *testing.T) {
+	for _, f := range []struct {
+		id string
+		fn func(int64, int) *Table
+	}{{"E1", e1}, {"E2", e2}, {"E4", e4}} {
+		want := f.fn(3, 1).Format()
+		for _, workers := range []int{2, 5} {
+			if got := f.fn(3, workers).Format(); got != want {
+				t.Fatalf("%s diverges at workers=%d:\n%s\nvs serial:\n%s", f.id, workers, got, want)
+			}
+		}
+	}
+}

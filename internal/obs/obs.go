@@ -379,6 +379,84 @@ func (r *Registry) Snapshot() *Snapshot {
 	return s
 }
 
+// merge folds src's samples into h. Buckets, count, and sum add; min and
+// max combine — every operation is commutative and associative, so a
+// multi-way merge yields the same histogram in any order.
+func (h *Histogram) merge(src *Histogram) {
+	if h == nil || src == nil {
+		return
+	}
+	for i := 0; i < histBuckets; i++ {
+		if n := src.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	if n := src.count.Load(); n != 0 {
+		h.count.Add(n)
+		h.sum.Add(src.sum.Load())
+	}
+	if sp1 := src.minP1.Load(); sp1 != 0 {
+		for {
+			cur := h.minP1.Load()
+			if cur != 0 && cur <= sp1 {
+				break
+			}
+			if h.minP1.CompareAndSwap(cur, sp1) {
+				break
+			}
+		}
+	}
+	sm := src.max.Load()
+	for {
+		cur := h.max.Load()
+		if cur >= sm || h.max.CompareAndSwap(cur, sm) {
+			break
+		}
+	}
+}
+
+// Merge folds every instrument of src into r, creating instruments that r
+// lacks: counters add, gauges take the maximum, histograms combine
+// bucket-wise. All three operations are commutative and associative, so
+// merging a set of per-run registries produces the same aggregate in any
+// order — which is what lets the sweep engine merge per-run metrics from
+// parallel workers deterministically. Tracers are not merged (a trace is a
+// per-run artifact). Merging from or into a nil registry is a no-op.
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil {
+		return
+	}
+	// Collect instrument pointers under src's lock, then merge through the
+	// atomics without holding it: no lock-order coupling between registries.
+	type named[T any] struct {
+		name string
+		v    T
+	}
+	src.mu.Lock()
+	counters := make([]named[*Counter], 0, len(src.counters))
+	for name, c := range src.counters {
+		counters = append(counters, named[*Counter]{name, c})
+	}
+	gauges := make([]named[*Gauge], 0, len(src.gauges))
+	for name, g := range src.gauges {
+		gauges = append(gauges, named[*Gauge]{name, g})
+	}
+	hists := make([]named[*Histogram], 0, len(src.hists))
+	for name, h := range src.hists {
+		hists = append(hists, named[*Histogram]{name, h})
+	}
+	src.mu.Unlock()
+	for _, c := range counters {
+		r.Counter(c.name).Add(c.v.Value())
+	}
+	for _, g := range gauges {
+		r.Gauge(g.name).Max(g.v.Value())
+	}
+	for _, h := range hists {
+		r.Histogram(h.name).merge(h.v)
+	}
+}
+
 // CounterNames returns the sorted names of all counters (tests, reports).
 func (r *Registry) CounterNames() []string {
 	if r == nil {

@@ -201,3 +201,78 @@ func TestConcurrentInstruments(t *testing.T) {
 		t.Fatalf("lost updates: counter=%d hist=%d, want 8000", c.Value(), h.Count())
 	}
 }
+
+// TestMergeOrderIndependent pins the property the sweep engine relies on:
+// merging a set of per-run registries yields the same snapshot whatever
+// order the merges happen in.
+func TestMergeOrderIndependent(t *testing.T) {
+	mk := func(i int) *Registry {
+		r := New()
+		r.Counter("runs").Inc()
+		r.Counter("msgs").Add(int64(10 * (i + 1)))
+		r.Gauge("peak").Max(int64(100 - i))
+		h := r.Histogram("lat")
+		for k := 0; k <= i; k++ {
+			h.Record(time.Duration(1+i*7+k*3) * time.Millisecond)
+		}
+		return r
+	}
+	n := 5
+	forward, reverse := New(), New()
+	for i := 0; i < n; i++ {
+		forward.Merge(mk(i))
+	}
+	for i := n - 1; i >= 0; i-- {
+		reverse.Merge(mk(i))
+	}
+	fj, err := json.Marshal(forward.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj, err := json.Marshal(reverse.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fj) != string(rj) {
+		t.Fatalf("merge is order-dependent:\nforward: %s\nreverse: %s", fj, rj)
+	}
+	snap := forward.Snapshot()
+	if got := snap.Counters["runs"]; got != int64(n) {
+		t.Fatalf("runs counter = %d, want %d", got, n)
+	}
+	if got := snap.Counters["msgs"]; got != 10+20+30+40+50 {
+		t.Fatalf("msgs counter = %d, want 150", got)
+	}
+	if got := snap.Gauges["peak"]; got != 100 {
+		t.Fatalf("peak gauge = %d, want 100", got)
+	}
+	var wantCount int64
+	for i := 0; i < n; i++ {
+		wantCount += int64(i + 1)
+	}
+	if got := snap.Histograms["lat"].Count; got != wantCount {
+		t.Fatalf("lat count = %d, want %d", got, wantCount)
+	}
+}
+
+// TestMergeCreatesMissingAndNilSafe checks Merge materialises instruments
+// the destination lacks and tolerates nil endpoints.
+func TestMergeCreatesMissingAndNilSafe(t *testing.T) {
+	src := New()
+	src.Counter("only.in.src").Add(7)
+	src.Histogram("h").Record(3 * time.Millisecond)
+	dst := New()
+	dst.Merge(src)
+	if got := dst.Snapshot().Counters["only.in.src"]; got != 7 {
+		t.Fatalf("missing counter not created: got %d", got)
+	}
+	if got := dst.Snapshot().Histograms["h"].Count; got != 1 {
+		t.Fatalf("missing histogram not created: got count %d", got)
+	}
+	var nilReg *Registry
+	nilReg.Merge(src) // must not panic
+	dst.Merge(nil)    // must not panic
+	if got := dst.Snapshot().Counters["only.in.src"]; got != 7 {
+		t.Fatalf("nil merge perturbed dst: got %d", got)
+	}
+}

@@ -88,7 +88,7 @@ func TestReplayRoundTrip(t *testing.T) {
 func rec(parts func(x *codec.Writer)) []byte {
 	x := codec.NewWriter()
 	parts(x)
-	return frame(x.Data())
+	return frame(nil, x.Data())
 }
 
 func viewRec(v types.View) []byte {

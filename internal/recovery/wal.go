@@ -45,6 +45,7 @@
 package recovery
 
 import (
+	"encoding/binary"
 	"hash/crc32"
 
 	"repro/internal/codec"
@@ -74,6 +75,17 @@ const frameHeader = 8
 type WAL struct {
 	st *storage.Stable
 
+	// enc is the reusable record-payload scratch: frame copies the payload
+	// into the outgoing frame buffer synchronously, so the scratch is free
+	// again by the time an appender returns.
+	enc codec.Writer
+	// frames recycles completed frame buffers. A frame buffer is owned by
+	// the storage layer until the record is durable (the device copies it
+	// into the disk image at completion), so recycling happens in the
+	// completion wrapper; buffers lost to a crash (Drop suppresses
+	// completions) are simply abandoned to the GC.
+	frames [][]byte
+
 	// Observability handles (Instrument; nil when disabled).
 	mRecords *obs.Counter
 	mBytes   *obs.Counter
@@ -93,24 +105,45 @@ func (w *WAL) Instrument(reg *obs.Registry) {
 	w.st.Instrument(reg)
 }
 
-// frame wraps a record payload as [len | crc32(payload) | payload].
-func frame(payload []byte) []byte {
-	out := codec.NewWriter()
-	out.U32(uint32(len(payload)))
-	out.U32(crc32.ChecksumIEEE(payload))
-	return append(out.Data(), payload...)
+// record resets and returns the reusable payload scratch. Every appender
+// builds its payload here; append then copies it into a frame buffer
+// before returning, so one scratch per WAL suffices.
+func (w *WAL) record() *codec.Writer {
+	w.enc.Reset()
+	return &w.enc
+}
+
+// frame wraps a record payload as [len | crc32(payload) | payload],
+// appending into buf.
+func frame(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
 }
 
 func (w *WAL) append(payload []byte, done func()) {
-	framed := frame(payload)
+	var buf []byte
+	if k := len(w.frames); k > 0 {
+		buf = w.frames[k-1][:0]
+		w.frames[k-1] = nil
+		w.frames = w.frames[:k-1]
+	}
+	framed := frame(buf, payload)
 	w.mRecords.Inc()
 	w.mBytes.Add(int64(len(framed)))
-	w.st.Append(framed, done)
+	w.st.Append(framed, func() {
+		// Durable: the device has copied the bytes into its disk image,
+		// so the frame buffer is free to be reused by a later record.
+		w.frames = append(w.frames, framed)
+		if done != nil {
+			done()
+		}
+	})
 }
 
 // View records an installed view.
 func (w *WAL) View(v types.View, done func()) {
-	x := codec.NewWriter()
+	x := w.record()
 	x.U8(recView)
 	x.View(v)
 	w.append(x.Data(), done)
@@ -121,7 +154,7 @@ func (w *WAL) View(v types.View, done func()) {
 // once at WAL creation for processors that start inside the initial view,
 // so the pre-first-view-change state is durable too.
 func (w *WAL) Establish(order []types.Label, next int, high types.ViewID, done func()) {
-	x := codec.NewWriter()
+	x := w.record()
 	x.U8(recEstablish)
 	x.U32(uint32(len(order)))
 	for _, l := range order {
@@ -135,7 +168,7 @@ func (w *WAL) Establish(order []types.Label, next int, high types.ViewID, done f
 // OrderAppend records one label (with its value) appended to the order in
 // an established primary view.
 func (w *WAL) OrderAppend(l types.Label, a types.Value, done func()) {
-	x := codec.NewWriter()
+	x := w.record()
 	x.U8(recOrderAppend)
 	x.Label(l)
 	x.Str(string(a))
@@ -145,7 +178,7 @@ func (w *WAL) OrderAppend(l types.Label, a types.Value, done func()) {
 // Bcast records a client submission: the origin-local sequence number and
 // the value.
 func (w *WAL) Bcast(seq int, a types.Value, done func()) {
-	x := codec.NewWriter()
+	x := w.record()
 	x.U8(recBcast)
 	x.I32(seq)
 	x.Str(string(a))
@@ -155,7 +188,7 @@ func (w *WAL) Bcast(seq int, a types.Value, done func()) {
 // Label records the label assigned to the submission with the given
 // origin-local sequence number.
 func (w *WAL) Label(seq int, l types.Label, a types.Value, done func()) {
-	x := codec.NewWriter()
+	x := w.record()
 	x.U8(recLabel)
 	x.I32(seq)
 	x.Label(l)
@@ -169,7 +202,7 @@ func (w *WAL) Label(seq int, l types.Label, a types.Value, done func()) {
 // record's completion callback (write-ahead), so that the durable delivery
 // prefix never lags the delivered one.
 func (w *WAL) Deliver(pos int, l types.Label, from types.ProcID, fromSeq int, a types.Value, done func()) {
-	x := codec.NewWriter()
+	x := w.record()
 	x.U8(recDeliver)
 	x.I32(pos)
 	x.Label(l)
@@ -186,7 +219,7 @@ func (w *WAL) Deliver(pos int, l types.Label, from types.ProcID, fromSeq int, a 
 // marker count a reliable incarnation number even across repeated crashes
 // during recovery.
 func (w *WAL) Recovered(inc int, done func()) {
-	x := codec.NewWriter()
+	x := w.record()
 	x.U8(recRecovered)
 	x.I32(inc)
 	w.append(x.Data(), done)

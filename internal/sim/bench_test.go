@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSimScheduleFire measures the schedule→fire cycle, the innermost
+// hot path of every simulated run: one event scheduled and processed per
+// iteration. With the event free list this is allocation-free in steady
+// state.
+func BenchmarkSimScheduleFire(b *testing.B) {
+	fn := func() {}
+	b.Run("fire", func(b *testing.B) {
+		s := New(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.After(time.Microsecond, fn)
+			if err := s.Run(Never); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Schedule-then-cancel: the timer-rearm pattern (vsimpl cancels and
+	// re-arms its token-loss timer on every token hop).
+	b.Run("cancel", func(b *testing.B) {
+		s := New(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t := s.After(time.Microsecond, fn)
+			t.Cancel()
+		}
+		if err := s.Run(Never); err != nil {
+			b.Fatal(err)
+		}
+	})
+	// A deeper queue: 64 pending events per fire, closer to a busy cluster.
+	b.Run("fire-depth64", func(b *testing.B) {
+		s := New(1)
+		for i := 0; i < 64; i++ {
+			s.After(time.Duration(i+1)*time.Hour, fn)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.After(time.Microsecond, fn)
+			if err := s.RunFor(time.Microsecond); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

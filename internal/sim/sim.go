@@ -3,6 +3,12 @@
 // timed experiment in this repository runs on it, so all measured times are
 // exact functions of the scenario parameters and the seed — which is what
 // lets the experiment harness check the paper's analytic bounds precisely.
+//
+// The scheduling hot path is allocation-free in steady state: fired and
+// cancelled events return to a per-simulator free list and are reused by
+// later Schedule calls. Timer handles carry a generation number so a stale
+// handle (held across its event's firing) can never cancel the recycled
+// event now occupying the same slot.
 package sim
 
 import (
@@ -31,29 +37,51 @@ func (t Time) String() string { return time.Duration(t).String() }
 // Never is a sentinel far-future time, useful for disabled deadlines.
 const Never = Time(1<<63 - 1)
 
-// Event is a scheduled callback. It is returned by Schedule-family methods
-// and can be cancelled.
-type Event struct {
-	when     Time
-	seq      uint64 // FIFO tie-break among simultaneous events
-	fn       func()
-	index    int // heap index, -1 when not queued
-	canceled bool
+// event is one queued callback. Events are pooled: when an event fires or
+// is cancelled it returns to the simulator's free list with its generation
+// bumped, invalidating every outstanding Timer that pointed at it.
+type event struct {
+	when  Time
+	seq   uint64 // FIFO tie-break among simultaneous events
+	fn    func()
+	index int    // heap index, -1 when not queued
+	gen   uint64 // bumped on recycle; Timer handles must match
 }
 
-// When returns the virtual time at which the event fires (or was scheduled
-// to fire).
-func (e *Event) When() Time { return e.when }
+// Timer is a cancelable handle on a scheduled callback, returned by the
+// Schedule-family methods. The zero Timer is valid and inert. Timer is a
+// value type: copies are equivalent, and a handle outliving its event is
+// harmless — the generation check makes Cancel on a fired, cancelled, or
+// recycled event a no-op.
+type Timer struct {
+	s    *Sim
+	e    *event
+	gen  uint64
+	when Time
+}
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.canceled = true
+// When returns the virtual time at which the event fires (or fired, or
+// would have fired had it not been cancelled).
+func (t Timer) When() Time { return t.when }
+
+// Pending reports whether the event is still queued to fire.
+func (t Timer) Pending() bool {
+	return t.e != nil && t.e.gen == t.gen && t.e.index >= 0
+}
+
+// Cancel prevents the event from firing and removes it from the queue
+// immediately, so mass cancellation cannot grow the heap (cancelled
+// events used to linger until their fire time). Cancelling an
+// already-fired, already-cancelled, or zero Timer is a no-op.
+func (t Timer) Cancel() {
+	if !t.Pending() {
+		return
 	}
+	heap.Remove(&t.s.queue, t.e.index)
+	t.s.release(t.e)
 }
 
-type eventQueue []*Event
+type eventQueue []*event
 
 func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
@@ -68,7 +96,7 @@ func (q eventQueue) Swap(i, j int) {
 	q[j].index = j
 }
 func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
+	e := x.(*event)
 	e.index = len(*q)
 	*q = append(*q, e)
 }
@@ -84,14 +112,16 @@ func (q *eventQueue) Pop() any {
 
 // Sim is the simulator: clock, event queue, and seeded randomness.
 // It is not safe for concurrent use; the whole simulation is single-threaded
-// by design (determinism).
+// by design (determinism). Independent simulations are fully isolated and
+// may run concurrently with each other (the sweep engine does).
 type Sim struct {
 	now    Time
 	queue  eventQueue
 	seq    uint64
 	rng    *rand.Rand
 	steps  uint64
-	budget uint64 // max events to process, 0 = unlimited
+	budget uint64   // max events to process, 0 = unlimited
+	free   []*event // recycled events for allocation-free scheduling
 }
 
 // New creates a simulator with the given seed.
@@ -117,20 +147,38 @@ func (s *Sim) SetBudget(n uint64) { s.budget = n }
 // a correct scenario indicates a livelock (e.g. endless view churn).
 var ErrBudget = fmt.Errorf("sim: event budget exhausted")
 
+// release returns a dead event to the free list. Bumping the generation
+// first invalidates every outstanding Timer on it; dropping fn releases
+// the callback's captures to the GC even while the event sits pooled.
+func (s *Sim) release(e *event) {
+	e.gen++
+	e.fn = nil
+	e.index = -1
+	s.free = append(s.free, e)
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: that is always a logic error in a discrete-event model.
-func (s *Sim) At(t Time, fn func()) *Event {
+func (s *Sim) At(t Time, fn func()) Timer {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
 	}
-	e := &Event{when: t, seq: s.seq, fn: fn, index: -1}
+	var e *event
+	if k := len(s.free); k > 0 {
+		e = s.free[k-1]
+		s.free[k-1] = nil
+		s.free = s.free[:k-1]
+	} else {
+		e = &event{}
+	}
+	e.when, e.seq, e.fn, e.index = t, s.seq, fn, -1
 	s.seq++
 	heap.Push(&s.queue, e)
-	return e
+	return Timer{s: s, e: e, gen: e.gen, when: t}
 }
 
 // After schedules fn to run d after the current time.
-func (s *Sim) After(d time.Duration, fn func()) *Event {
+func (s *Sim) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
@@ -139,7 +187,7 @@ func (s *Sim) After(d time.Duration, fn func()) *Event {
 
 // Defer schedules fn to run at the current time, after all callbacks already
 // scheduled for the current time. It models a zero-delay local step.
-func (s *Sim) Defer(fn func()) *Event { return s.After(0, fn) }
+func (s *Sim) Defer(fn func()) Timer { return s.After(0, fn) }
 
 // Run processes events in time order until the queue is empty, the deadline
 // passes, or the budget is exhausted. The deadline is an absolute virtual
@@ -153,15 +201,17 @@ func (s *Sim) Run(deadline Time) error {
 			return nil
 		}
 		heap.Pop(&s.queue)
-		if next.canceled {
-			continue
-		}
 		if s.budget != 0 && s.steps >= s.budget {
 			return ErrBudget
 		}
 		s.steps++
 		s.now = next.when
-		next.fn()
+		// Recycle before calling: fn may itself schedule (reusing this
+		// slot) or hold a stale Timer on it — the generation bump makes
+		// both safe.
+		fn := next.fn
+		s.release(next)
+		fn()
 	}
 	if deadline != Never && deadline > s.now {
 		s.now = deadline
@@ -172,6 +222,6 @@ func (s *Sim) Run(deadline Time) error {
 // RunFor processes events for the next d of virtual time.
 func (s *Sim) RunFor(d time.Duration) error { return s.Run(s.now.Add(d)) }
 
-// Pending returns the number of events currently queued (including
-// cancelled events not yet discarded).
+// Pending returns the number of events currently queued. Cancelled events
+// are removed eagerly, so they never count.
 func (s *Sim) Pending() int { return len(s.queue) }

@@ -55,10 +55,94 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	// Cancelling nil and double-cancelling are no-ops.
-	var nilEvent *Event
-	nilEvent.Cancel()
+	// Cancelling a zero Timer and double-cancelling are no-ops.
+	var zero Timer
+	zero.Cancel()
 	e.Cancel()
+}
+
+// TestCancelRemovesEagerly pins the queue-growth fix: cancelled events
+// leave the heap immediately instead of lingering until their fire time,
+// so mass cancellation keeps the queue bounded.
+func TestCancelRemovesEagerly(t *testing.T) {
+	s := New(1)
+	const rounds, batch = 200, 50
+	for r := 0; r < rounds; r++ {
+		timers := make([]Timer, batch)
+		for i := range timers {
+			// Far-future events: under lazy deletion these would pile up
+			// for the whole test.
+			timers[i] = s.After(time.Hour, func() { t.Fatal("cancelled event fired") })
+		}
+		if s.Pending() != batch {
+			t.Fatalf("round %d: Pending = %d, want %d", r, s.Pending(), batch)
+		}
+		for _, tm := range timers {
+			tm.Cancel()
+		}
+		if s.Pending() != 0 {
+			t.Fatalf("round %d: Pending = %d after mass cancel, want 0", r, s.Pending())
+		}
+	}
+	if err := s.Run(Never); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStaleTimerCannotCancelRecycledEvent pins the generation check: a
+// handle held across its event's firing must not cancel the pooled event
+// object's next occupant.
+func TestStaleTimerCannotCancelRecycledEvent(t *testing.T) {
+	s := New(1)
+	stale := s.After(time.Millisecond, func() {})
+	if err := s.Run(Never); err != nil {
+		t.Fatal(err) // stale's event fired and was recycled
+	}
+	fired := false
+	fresh := s.After(time.Millisecond, func() { fired = true })
+	stale.Cancel() // must be a no-op even if fresh reuses stale's slot
+	if !fresh.Pending() {
+		t.Fatal("stale Cancel knocked out the recycled event")
+	}
+	if err := s.Run(Never); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+	if stale.Pending() || fresh.Pending() {
+		t.Fatal("fired timers still pending")
+	}
+}
+
+// TestScheduleFireAllocFree pins the free-list pool: steady-state
+// schedule→fire cycles do not allocate.
+func TestScheduleFireAllocFree(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	// Warm the pool and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		s.After(time.Microsecond, fn)
+	}
+	if err := s.Run(Never); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.After(time.Microsecond, fn)
+		if err := s.Run(Never); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule→fire allocates %v/op, want 0", allocs)
+	}
+	// Schedule→cancel is allocation-free too.
+	allocs = testing.AllocsPerRun(1000, func() {
+		s.After(time.Hour, fn).Cancel()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule→cancel allocates %v/op, want 0", allocs)
+	}
 }
 
 func TestDeferRunsAtCurrentTimeAfterQueued(t *testing.T) {

@@ -3,6 +3,7 @@ package vsmachine
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/ioa"
 	"repro/internal/types"
@@ -63,7 +64,12 @@ func (a *Auto) Enabled(buf []ioa.Action) []ioa.Action {
 			}
 		}
 	}
-	for _, v := range m.Created {
+	// Iterate both maps in sorted key order: the executor resolves its
+	// nondeterminism by drawing a random index into this slice, so the
+	// enumeration order must be a pure function of the state — Go's
+	// randomized map order would otherwise leak into seeded runs.
+	for _, id := range m.CreatedViewIDs() {
+		v := m.Created[id]
 		for _, p := range v.Set.Members() {
 			cur := m.CurrentViewID[p]
 			if cur.IsBottom() || cur.Less(v.ID) {
@@ -71,8 +77,18 @@ func (a *Auto) Enabled(buf []ioa.Action) []ioa.Action {
 			}
 		}
 	}
-	for k, pend := range m.pending {
-		if len(pend) > 0 {
+	keys := make([]pg, 0, len(m.pending))
+	for k := range m.pending {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].P != keys[j].P {
+			return keys[i].P < keys[j].P
+		}
+		return keys[i].G.Less(keys[j].G)
+	})
+	for _, k := range keys {
+		if pend := m.pending[k]; len(pend) > 0 {
 			buf = append(buf, VSOrder{M: pend[0], P: k.P, G: k.G})
 		}
 	}

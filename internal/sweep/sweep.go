@@ -1,0 +1,203 @@
+// Package sweep is the parallel execution engine for independent
+// deterministic runs: experiment trials, chaos campaign instances, ddmin
+// probe evaluations, and seed sweeps. It fans a job set across a pool of
+// workers with contiguous-range work stealing and aggregates results in
+// submission order, so the output of a parallel sweep is byte-for-byte
+// identical to the serial one — which is what keeps every run a checkable
+// execution (the harness can diff artifacts across worker counts, and a
+// CI failure reproduces identically with -workers 1).
+//
+// Two facts make this sound:
+//
+//   - every job is a pure function of its index (a simulation owns its
+//     Sim, rng, network, and obs Registry; nothing is shared), so
+//     execution order cannot change any job's result;
+//   - results land in a pre-allocated slot per index, so aggregation
+//     order is the submission order no matter which worker ran the job.
+//
+// Scheduling is work stealing over contiguous index ranges: each worker
+// starts with an equal span of the index space and takes from its span's
+// front; a worker whose span drains steals the back half of the largest
+// remaining span. Contiguous ranges keep neighboring jobs (which tend to
+// share parameter shapes, e.g. an n-sweep) on one worker, and stealing
+// halves keeps the tail balanced even when job costs are wildly uneven
+// (a ddmin round mixes near-empty and near-full schedules).
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a worker-count request: n <= 0 means GOMAXPROCS
+// (the CLI flags' "default NumCPU" behavior).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// span is one worker's contiguous slice [lo, hi) of the index space.
+type span struct {
+	mu     sync.Mutex
+	lo, hi int
+}
+
+// take removes and returns the span's first index.
+func (s *span) take() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lo >= s.hi {
+		return 0, false
+	}
+	i := s.lo
+	s.lo++
+	return i, true
+}
+
+// size returns the remaining length (racy snapshot; used only as a
+// stealing heuristic).
+func (s *span) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hi - s.lo
+}
+
+// carve splits off the back half of the span (a single remaining index is
+// taken whole) and returns it, or ok=false if the span is empty.
+func (s *span) carve() (lo, hi int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.hi - s.lo
+	if n <= 0 {
+		return 0, 0, false
+	}
+	mid := s.lo + n/2
+	lo, hi = mid, s.hi
+	s.hi = mid
+	return lo, hi, true
+}
+
+// install replaces the span's range (only ever called by the owner on its
+// own drained span).
+func (s *span) install(lo, hi int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lo, s.hi = lo, hi
+}
+
+// Run evaluates fn(i) for every i in [0, n) across the given number of
+// workers (normalized by Workers) and returns the results indexed by i —
+// submission order, regardless of which worker ran what when. fn must be
+// safe for concurrent invocation on distinct indices and should not share
+// mutable state between indices; determinism of the aggregate is then
+// inherited from determinism of each fn(i).
+//
+// A panic in any job is re-raised in the caller once all workers have
+// stopped; when several jobs panic, the lowest index wins (deterministic).
+// workers == 1 degenerates to a plain serial loop on the calling
+// goroutine.
+func Run[T any](workers, n int, fn func(int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panic(fmt.Sprintf("sweep: job %d panicked: %v", i, r))
+					}
+				}()
+				out[i] = fn(i)
+			}()
+		}
+		return out
+	}
+
+	spans := make([]*span, workers)
+	for w := 0; w < workers; w++ {
+		spans[w] = &span{lo: w * n / workers, hi: (w + 1) * n / workers}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicIdx = -1
+		panicVal any
+		panicked bool
+	)
+	record := func(i int, v any) {
+		panicMu.Lock()
+		defer panicMu.Unlock()
+		if !panicked || i < panicIdx {
+			panicked, panicIdx, panicVal = true, i, v
+		}
+	}
+	runOne := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				record(i, r)
+			}
+		}()
+		out[i] = fn(i)
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			mine := spans[self]
+			for {
+				if i, ok := mine.take(); ok {
+					runOne(i)
+					continue
+				}
+				// Own span drained: steal the back half of the largest
+				// remaining span. No victim means every other span is
+				// empty too — any index not yet run is in some owner's
+				// span (owners only exit with an empty span), so exiting
+				// strands nothing.
+				victim := -1
+				best := 0
+				for v, s := range spans {
+					if v == self {
+						continue
+					}
+					if sz := s.size(); sz > best {
+						best, victim = sz, v
+					}
+				}
+				if victim < 0 {
+					return
+				}
+				if lo, hi, ok := spans[victim].carve(); ok {
+					mine.install(lo, hi)
+				}
+				// A failed carve means the victim drained between the size
+				// probe and the carve; rescan.
+			}
+		}(w)
+	}
+	wg.Wait()
+	if panicked {
+		panic(fmt.Sprintf("sweep: job %d panicked: %v", panicIdx, panicVal))
+	}
+	return out
+}
+
+// Do is Run for jobs whose results are side effects on their own slot
+// (e.g. filling a caller-owned row slice).
+func Do(workers, n int, fn func(int)) {
+	Run(workers, n, func(i int) struct{} {
+		fn(i)
+		return struct{}{}
+	})
+}

@@ -1,0 +1,143 @@
+package sweep
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunMatchesSerial pins the engine's contract: for a pure fn, the
+// result slice is identical at every worker count, including order.
+func TestRunMatchesSerial(t *testing.T) {
+	fn := func(i int) string { return fmt.Sprintf("job-%d-%d", i, i*i) }
+	const n = 257
+	want := Run(1, n, fn)
+	for _, w := range []int{2, 3, 4, 8, runtime.GOMAXPROCS(0), n + 5} {
+		got := Run(w, n, fn)
+		if len(got) != n {
+			t.Fatalf("workers=%d: %d results, want %d", w, len(got), n)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result %d = %q, want %q", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunEachIndexOnce checks no index is dropped or run twice, under
+// uneven job durations that force stealing.
+func TestRunEachIndexOnce(t *testing.T) {
+	const n = 500
+	var counts [n]atomic.Int32
+	rng := rand.New(rand.NewSource(7))
+	cost := make([]int, n)
+	for i := range cost {
+		cost[i] = rng.Intn(2000)
+	}
+	Run(8, n, func(i int) int {
+		counts[i].Add(1)
+		// Uneven spin so early spans drain at very different rates.
+		x := 0
+		for k := 0; k < cost[i]; k++ {
+			x += k
+		}
+		return x
+	})
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestRunStealsTail: one pathological span (a single slow prefix job)
+// must not serialize the rest — the other workers steal the tail. The
+// assertion is on wall-clock shape, so keep it loose: with 4 workers and
+// one job 50× the others, total time must be far below the serial sum.
+func TestRunStealsTail(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs 2+ procs for a timing assertion")
+	}
+	const n = 64
+	unit := 2 * time.Millisecond
+	start := time.Now()
+	Run(4, n, func(i int) int {
+		d := unit
+		if i == 0 {
+			d = 20 * unit
+		}
+		time.Sleep(d)
+		return i
+	})
+	elapsed := time.Since(start)
+	serial := time.Duration(n-1)*unit + 20*unit
+	if elapsed > serial*3/4 {
+		t.Fatalf("no speedup: parallel %v vs serial %v", elapsed, serial)
+	}
+}
+
+// TestRunPanicPropagates: a job panic surfaces in the caller, naming the
+// lowest panicking index deterministically.
+func TestRunPanicPropagates(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: no panic", w)
+				}
+				msg := fmt.Sprint(r)
+				if !strings.Contains(msg, "job 3 panicked") || !strings.Contains(msg, "boom") {
+					t.Fatalf("workers=%d: panic %q does not name lowest index 3", w, msg)
+				}
+			}()
+			Run(w, 10, func(i int) int {
+				if i >= 3 {
+					panic("boom")
+				}
+				return i
+			})
+		}()
+	}
+}
+
+// TestWorkersNormalization: n <= 0 means GOMAXPROCS.
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+// TestRunEmptyAndTiny covers the edges: n = 0 returns nil, n < workers
+// clamps cleanly.
+func TestRunEmptyAndTiny(t *testing.T) {
+	if got := Run(8, 0, func(i int) int { return i }); got != nil {
+		t.Fatalf("n=0: got %v", got)
+	}
+	got := Run(8, 2, func(i int) int { return i * 10 })
+	if len(got) != 2 || got[0] != 0 || got[1] != 10 {
+		t.Fatalf("n=2: got %v", got)
+	}
+}
+
+// TestDo covers the side-effect variant.
+func TestDo(t *testing.T) {
+	out := make([]int, 100)
+	Do(4, 100, func(i int) { out[i] = i + 1 })
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+}

@@ -188,20 +188,20 @@ type Node struct {
 	counts     map[types.ProcID]int
 	lastLaunch sim.Time
 	launchNo   int
-	tokenTimer *sim.Event
-	holdTimer  *sim.Event
+	tokenTimer sim.Timer
+	holdTimer  sim.Timer
 
 	stats Stats
 
 	// Observability handles (bound from cfg.Obs; all nil when disabled).
-	mTokenLaunches  *obs.Counter
-	mTokenHops      *obs.Counter
-	mTokenTimeouts  *obs.Counter
-	mProbes         *obs.Counter
-	mInstalls       *obs.Counter
-	mTokenRound     *obs.Histogram
+	mTokenLaunches   *obs.Counter
+	mTokenHops       *obs.Counter
+	mTokenTimeouts   *obs.Counter
+	mProbes          *obs.Counter
+	mInstalls        *obs.Counter
+	mTokenRound      *obs.Histogram
 	mMaxTokenEntries *obs.Gauge
-	tracer          *obs.Tracer
+	tracer           *obs.Tracer
 }
 
 // Stats counts node activity for the experiment reports.
@@ -321,14 +321,10 @@ func NewRecoveredNode(id types.ProcID, universe types.ProcSet, s *sim.Sim, nw *n
 // NewRecoveredNode re-registers a replacement with the network.
 func (n *Node) Stop() {
 	n.dead = true
-	if n.tokenTimer != nil {
-		n.tokenTimer.Cancel()
-		n.tokenTimer = nil
-	}
-	if n.holdTimer != nil {
-		n.holdTimer.Cancel()
-		n.holdTimer = nil
-	}
+	n.tokenTimer.Cancel()
+	n.tokenTimer = sim.Timer{}
+	n.holdTimer.Cancel()
+	n.holdTimer = sim.Timer{}
 	n.former.Stop()
 }
 
@@ -427,10 +423,8 @@ func (n *Node) install(v types.View) {
 		}
 	}
 	n.buffer = kept
-	if n.holdTimer != nil {
-		n.holdTimer.Cancel()
-		n.holdTimer = nil
-	}
+	n.holdTimer.Cancel()
+	n.holdTimer = sim.Timer{}
 	if n.Log != nil {
 		n.Log.Append(props.Event{T: n.sim.Now(), Kind: props.VSNewview, P: n.id, View: v})
 	}
@@ -520,9 +514,7 @@ func (n *Node) handleToken(tok *TokenPkt) {
 		// Hold it and relaunch π after the previous launch (the paper's
 		// "spacing of token creation").
 		next := n.lastLaunch.Add(n.cfg.Pi)
-		if n.holdTimer != nil {
-			n.holdTimer.Cancel()
-		}
+		n.holdTimer.Cancel()
 		if next <= n.sim.Now() {
 			n.launchToken()
 		} else {
@@ -619,9 +611,7 @@ func (n *Node) forwardToken(tok *TokenPkt) {
 		// Singleton view: the token never travels, so the homecoming path
 		// in handleToken never runs. Schedule the relaunch here, or the
 		// node would starve its own messages and churn on token timeouts.
-		if n.holdTimer != nil {
-			n.holdTimer.Cancel()
-		}
+		n.holdTimer.Cancel()
 		launch := n.launchNo
 		n.holdTimer = n.sim.At(n.lastLaunch.Add(n.cfg.Pi), func() {
 			if n.launchNo == launch {
@@ -642,9 +632,7 @@ func (n *Node) forwardToken(tok *TokenPkt) {
 
 // armTokenTimer (re)arms token-loss detection.
 func (n *Node) armTokenTimer() {
-	if n.tokenTimer != nil {
-		n.tokenTimer.Cancel()
-	}
+	n.tokenTimer.Cancel()
 	size := n.universe.Size()
 	if n.hasView {
 		size = n.cur.Set.Size()

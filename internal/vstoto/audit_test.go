@@ -220,9 +220,9 @@ func TestSummaryStringNoCollisions(t *testing.T) {
 	distinct := []*Summary{
 		{Con: map[types.Label]types.Value{}, Next: 1},
 		{Con: map[types.Label]types.Value{la: "a"}, Next: 1},
-		{Con: map[types.Label]types.Value{la: "b"}, Next: 1},                        // same label, different value
-		{Con: map[types.Label]types.Value{lb: "a"}, Next: 1},                        // different label, same value
-		{Con: map[types.Label]types.Value{la: "a", lb: "b"}, Next: 1},               // two entries
+		{Con: map[types.Label]types.Value{la: "b"}, Next: 1},          // same label, different value
+		{Con: map[types.Label]types.Value{lb: "a"}, Next: 1},          // different label, same value
+		{Con: map[types.Label]types.Value{la: "a", lb: "b"}, Next: 1}, // two entries
 		{Con: map[types.Label]types.Value{la: "a"}, Ord: []types.Label{la}, Next: 1},
 		{Con: map[types.Label]types.Value{la: "a"}, Ord: []types.Label{la, lb}, Next: 1},
 		{Con: map[types.Label]types.Value{la: "a"}, Ord: []types.Label{lb, la}, Next: 1}, // order matters

@@ -1,0 +1,70 @@
+// Command liverun orchestrates the full live-cluster pipeline the CI
+// live job runs: boot N pgcsd daemons on localhost, drive them with the
+// load generator, SIGKILL and restart one node mid-run, then merge every
+// node's delivery logs and fail unless the TO conformance checker
+// accepts the merged trace.
+//
+//	liverun -pgcsd ./bin/pgcsd -n 5 -rate 200 -duration 30s -kill 2 -dir ./liverun-out
+//
+// Everything the run produces (configs, WALs, per-incarnation traces,
+// daemon logs, metric snapshots, report.json) lands in -dir, which CI
+// uploads as an artifact on failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/live"
+)
+
+func main() {
+	var (
+		pgcsd    = flag.String("pgcsd", "", "path to the compiled pgcsd binary (required)")
+		dir      = flag.String("dir", "liverun-out", "run directory for all artifacts")
+		n        = flag.Int("n", 5, "cluster size")
+		deltaMS  = flag.Int("delta-ms", 5, "the paper's delta, in milliseconds")
+		seed     = flag.Int64("seed", 1, "per-node simulator seed base")
+		basePort = flag.Int("base-port", 42600, "first of 2N consecutive localhost ports")
+		rate     = flag.Int("rate", 200, "target submissions per second")
+		duration = flag.Duration("duration", 30*time.Second, "load window")
+		kill     = flag.Int("kill", -1, "node to SIGKILL and restart mid-run (-1 disables, 'auto' = n/2 via -kill-auto)")
+		killAuto = flag.Bool("kill-auto", false, "kill node n/2 mid-run")
+	)
+	flag.Parse()
+	if *pgcsd == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	killNode := *kill
+	if *killAuto {
+		killNode = *n / 2
+	}
+
+	res, err := live.Run(live.RunOptions{
+		Dir:       *dir,
+		PgcsdPath: *pgcsd,
+		N:         *n,
+		Delta:     time.Duration(*deltaMS) * time.Millisecond,
+		Seed:      *seed,
+		BasePort:  *basePort,
+		Rate:      *rate,
+		Duration:  *duration,
+		KillNode:  killNode,
+		Logf:      log.Printf,
+	})
+	if res != nil {
+		lat := res.Entry.DeliveryLatency
+		fmt.Printf("throughput: %.1f deliveries/sec (%d bcasts, %d deliveries)\n",
+			res.Entry.DeliveriesPerSec, res.Entry.Bcasts, res.Entry.Deliveries)
+		fmt.Printf("delivery latency: p50 %v  p99 %v  max %v  (%d samples)\n",
+			time.Duration(lat.P50NS), time.Duration(lat.P99NS), time.Duration(lat.MaxNS), lat.Count)
+		fmt.Printf("merged TO order: %d values; conformance ok: %v\n", res.OrderLen, res.CheckOK)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}

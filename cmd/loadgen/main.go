@@ -1,0 +1,85 @@
+// Command loadgen drives a live pgcsd cluster with a closed-loop
+// broadcast workload and reports throughput and delivery-latency
+// percentiles in the benchmark baseline's JSON shape.
+//
+//	loadgen -config cluster.json -rate 200 -duration 30s -out report.json
+//
+// Submissions round-robin across every node's client address at the
+// target rate, with per-connection backpressure. Delivery latency is
+// measured submit → delivery at the submitting node. A node that dies
+// mid-run is redialed until it returns, so a kill/restart fault shows up
+// in the latency tail, not as a generator failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/live"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "cluster config JSON (required)")
+		rate       = flag.Int("rate", 100, "target submissions per second across the cluster")
+		duration   = flag.Duration("duration", 30*time.Second, "submission window")
+		drain      = flag.Duration("drain", 10*time.Second, "post-window wait for outstanding deliveries")
+		runID      = flag.String("run-id", fmt.Sprintf("r%d", os.Getpid()), "value-uniquifying run id")
+		out        = flag.String("out", "", "write the report JSON here (default stdout only)")
+		quiet      = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+	if *configPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg, err := live.LoadConfig(*configPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	addrs := make([]string, len(cfg.Nodes))
+	for i, n := range cfg.Nodes {
+		addrs[i] = n.ClientAddr
+	}
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	entry, err := live.RunLoad(live.LoadOptions{
+		Addrs:    addrs,
+		Rate:     *rate,
+		Duration: *duration,
+		Drain:    *drain,
+		RunID:    *runID,
+		Logf:     logf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := experiments.BenchReport{Seed: cfg.Seed, Entries: []experiments.BenchEntry{entry}}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	lat := entry.DeliveryLatency
+	fmt.Printf("throughput: %.1f deliveries/sec (%d bcasts, %d deliveries in %v)\n",
+		entry.DeliveriesPerSec, entry.Bcasts, entry.Deliveries,
+		time.Duration(entry.VirtualNS))
+	fmt.Printf("delivery latency: p50 %v  p99 %v  max %v  (%d samples)\n",
+		time.Duration(lat.P50NS), time.Duration(lat.P99NS), time.Duration(lat.MaxNS), lat.Count)
+	if *out == "" {
+		os.Stdout.Write(append(b, '\n'))
+	}
+}

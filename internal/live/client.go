@@ -1,0 +1,165 @@
+package live
+
+import (
+	"bufio"
+	"fmt"
+	stdnet "net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/types"
+)
+
+// DeliveryLine is one delivery streamed by a daemon to a client.
+type DeliveryLine struct {
+	From  types.ProcID
+	Value string
+}
+
+// Client speaks the daemon's client/control line protocol. Submissions
+// and control commands go out on one connection; a background reader
+// splits the inbound stream into delivery lines and command replies.
+type Client struct {
+	conn stdnet.Conn
+
+	wmu sync.Mutex // serializes writes
+
+	deliveries chan DeliveryLine
+	replies    chan string // PONG / OK / ERR ... / M ...
+
+	closeOnce sync.Once
+}
+
+// DialClient connects to a daemon's client address, retrying until the
+// timeout elapses (daemons come up asynchronously).
+func DialClient(addr string, timeout time.Duration) (*Client, error) {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		conn, err := stdnet.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			c := &Client{
+				conn:       conn,
+				deliveries: make(chan DeliveryLine, 1<<16),
+				replies:    make(chan string, 16),
+			}
+			go c.readLoop()
+			return c, nil
+		}
+		lastErr = err
+		time.Sleep(50 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("live: dial %s: %w", addr, lastErr)
+}
+
+func (c *Client) readLoop() {
+	sc := bufio.NewScanner(c.conn)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "D "); ok {
+			fromStr, value, _ := strings.Cut(rest, " ")
+			from, err := strconv.Atoi(fromStr)
+			if err != nil {
+				continue
+			}
+			select {
+			case c.deliveries <- DeliveryLine{From: types.ProcID(from), Value: value}:
+			default: // consumer far behind: shed rather than stall the reader
+			}
+			continue
+		}
+		select {
+		case c.replies <- line:
+		default:
+		}
+	}
+	close(c.deliveries)
+}
+
+func (c *Client) send(line string) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_, err := fmt.Fprintf(c.conn, "%s\n", line)
+	return err
+}
+
+// reply waits for the next command reply.
+func (c *Client) reply(timeout time.Duration) (string, error) {
+	select {
+	case r := <-c.replies:
+		return r, nil
+	case <-time.After(timeout):
+		return "", fmt.Errorf("live: reply timeout")
+	}
+}
+
+// Submit broadcasts a value at the daemon's node. Fire-and-forget: the
+// delivery stream is the acknowledgement.
+func (c *Client) Submit(value string) error { return c.send("S " + value) }
+
+// Deliveries returns the channel of streamed deliveries. Closed when the
+// connection drops.
+func (c *Client) Deliveries() <-chan DeliveryLine { return c.deliveries }
+
+// Ping round-trips a PING, confirming the daemon's event loop is live.
+func (c *Client) Ping(timeout time.Duration) error {
+	if err := c.send("PING"); err != nil {
+		return err
+	}
+	r, err := c.reply(timeout)
+	if err != nil {
+		return err
+	}
+	if r != "PONG" {
+		return fmt.Errorf("live: ping reply %q", r)
+	}
+	return nil
+}
+
+// PauseListener severs the daemon's inbound peer links (channel fault).
+func (c *Client) PauseListener() error { return c.command("LPAUSE") }
+
+// ResumeListener restores the daemon's peer listener.
+func (c *Client) ResumeListener() error { return c.command("LRESUME") }
+
+// Metrics fetches a JSON metrics snapshot from the daemon.
+func (c *Client) Metrics(timeout time.Duration) (string, error) {
+	if err := c.send("METRICS"); err != nil {
+		return "", err
+	}
+	r, err := c.reply(timeout)
+	if err != nil {
+		return "", err
+	}
+	if rest, ok := strings.CutPrefix(r, "M "); ok {
+		return rest, nil
+	}
+	return "", fmt.Errorf("live: metrics reply %q", r)
+}
+
+// Stop asks the daemon to shut down gracefully.
+func (c *Client) Stop() error { return c.send("STOP") }
+
+func (c *Client) command(cmd string) error {
+	if err := c.send(cmd); err != nil {
+		return err
+	}
+	r, err := c.reply(5 * time.Second)
+	if err != nil {
+		return err
+	}
+	if r != "OK" {
+		return fmt.Errorf("live: %s reply %q", cmd, r)
+	}
+	return nil
+}
+
+// Close drops the connection.
+func (c *Client) Close() error {
+	var err error
+	c.closeOnce.Do(func() { err = c.conn.Close() })
+	return err
+}

@@ -1,0 +1,64 @@
+package live
+
+import (
+	"fmt"
+	"os/exec"
+	"syscall"
+
+	"repro/internal/failures"
+	"repro/internal/types"
+)
+
+// Proc is a handle on one spawned daemon process, exposing the failures
+// vocabulary (Figure 4) as real process faults:
+//
+//	Bad     → SIGSTOP  (the processor stops taking steps, state intact)
+//	Good    → SIGCONT  (resumes exactly where it stopped)
+//	Amnesia → SIGKILL  (volatile state gone; the WAL file survives, and
+//	                    the next boot runs the recovery path)
+//
+// Channel faults map to the daemon's listener controls (LPAUSE/LRESUME
+// over the control connection; see Client), not to signals.
+type Proc struct {
+	ID  types.ProcID
+	Cmd *exec.Cmd
+}
+
+// Apply maps a processor status onto the live process. Good after a
+// SIGSTOP resumes; reviving a SIGKILLed process needs a restart, which
+// only the orchestrator can do (it owns the spawn parameters) — Apply
+// reports that case as an error so callers route it there.
+func (p *Proc) Apply(status failures.Status) error {
+	switch status {
+	case failures.Bad:
+		return p.signal(syscall.SIGSTOP)
+	case failures.Good:
+		return p.signal(syscall.SIGCONT)
+	case failures.Amnesia:
+		return p.signal(syscall.SIGKILL)
+	default:
+		return fmt.Errorf("live: no process realization for status %v", status)
+	}
+}
+
+// Pause delivers SIGSTOP (failures.Bad).
+func (p *Proc) Pause() error { return p.signal(syscall.SIGSTOP) }
+
+// Resume delivers SIGCONT (failures.Good after Bad).
+func (p *Proc) Resume() error { return p.signal(syscall.SIGCONT) }
+
+// Kill delivers SIGKILL (failures.Amnesia) and reaps the process.
+func (p *Proc) Kill() error {
+	if err := p.signal(syscall.SIGKILL); err != nil {
+		return err
+	}
+	p.Cmd.Wait() // reap; exit status is necessarily "killed"
+	return nil
+}
+
+func (p *Proc) signal(sig syscall.Signal) error {
+	if p.Cmd.Process == nil {
+		return fmt.Errorf("live: node %v: process not started", p.ID)
+	}
+	return p.Cmd.Process.Signal(sig)
+}

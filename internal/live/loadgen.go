@@ -1,0 +1,223 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+)
+
+// LoadOptions configures a load-generation run against a live cluster.
+type LoadOptions struct {
+	// Addrs are the client addresses of every node; submissions round-robin
+	// across them and each connection's delivery stream is consumed.
+	Addrs []string
+	// Rate is the target submission rate across the cluster, per second.
+	Rate int
+	// Duration is the submission window; deliveries are consumed for up to
+	// Drain longer (default 10s) while outstanding values land.
+	Duration time.Duration
+	Drain    time.Duration
+	// RunID uniquifies values across runs (checker integrity relies on
+	// value uniqueness).
+	RunID string
+	// MaxOutstanding caps submitted-but-undelivered values per connection
+	// (closed-loop backpressure; default 256). When a connection is at its
+	// cap the generator skips its turn rather than queueing unboundedly
+	// into a partitioned or killed node.
+	MaxOutstanding int
+	Logf           func(string, ...any)
+}
+
+// connSlot is one node's client connection; reconnects replace c.
+type connSlot struct {
+	addr string
+	mu   sync.Mutex
+	c    *Client
+
+	outstanding atomic.Int64
+	submitted   atomic.Int64
+}
+
+func (s *connSlot) client() *Client {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c
+}
+
+// RunLoad drives the cluster at the target rate and reports throughput
+// and delivery latency in the benchmark baseline's entry shape. Delivery
+// latency is measured closed-loop at the submitting connection: value
+// submitted at node i, timestamp taken; first sighting of that value in
+// node i's delivery stream closes the sample. A killed node's connection
+// is redialed until the run ends, so a mid-run restart shows up as a
+// latency tail rather than a generator failure.
+func RunLoad(opts LoadOptions) (experiments.BenchEntry, error) {
+	if opts.Rate <= 0 {
+		opts.Rate = 100
+	}
+	if opts.Drain <= 0 {
+		opts.Drain = 10 * time.Second
+	}
+	if opts.MaxOutstanding <= 0 {
+		opts.MaxOutstanding = 256
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	var (
+		submitTimes sync.Map // value → time.Time
+		latency     = obs.New().Histogram("loadgen.delivery_latency")
+		delivered   atomic.Int64 // delivery lines observed, all connections
+		samples     atomic.Int64
+		skips       atomic.Int64 // backpressure + dead-connection skips
+		stop        = make(chan struct{})
+		wg          sync.WaitGroup
+	)
+
+	slots := make([]*connSlot, len(opts.Addrs))
+	for i, addr := range opts.Addrs {
+		c, err := DialClient(addr, 30*time.Second)
+		if err != nil {
+			close(stop)
+			return experiments.BenchEntry{}, err
+		}
+		if err := c.Ping(10 * time.Second); err != nil {
+			close(stop)
+			return experiments.BenchEntry{}, fmt.Errorf("node %d not ready: %w", i, err)
+		}
+		slots[i] = &connSlot{addr: addr, c: c}
+	}
+
+	// One consumer per node: counts every delivery, closes the latency
+	// sample for values this generator submitted on the same connection,
+	// and redials when the daemon dies mid-run.
+	for i, s := range slots {
+		wg.Add(1)
+		go func(i int, s *connSlot) {
+			defer wg.Done()
+			// Only values this generator submitted on this same connection
+			// close a sample here: the value's g<i>- prefix names its origin,
+			// so the latency measured is submit → delivery at the origin.
+			mine := fmt.Sprintf("g%d-", i)
+			for {
+				c := s.client()
+				for d := range c.Deliveries() {
+					delivered.Add(1)
+					if len(d.Value) >= len(mine) && d.Value[:len(mine)] == mine {
+						if at, ok := submitTimes.LoadAndDelete(d.Value); ok {
+							latency.Record(time.Since(at.(time.Time)))
+							samples.Add(1)
+							s.outstanding.Add(-1)
+						}
+					}
+				}
+				// Stream closed: daemon gone. Redial until it returns or
+				// the run ends. Outstanding values at the dead node may
+				// have been lost pre-durability; reset the cap so the
+				// restarted node gets traffic again.
+				s.outstanding.Store(0)
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				logf("connection to %s lost; redialing", s.addr)
+				c.Close()
+				nc, err := DialClient(s.addr, 60*time.Second)
+				if err != nil {
+					logf("redial %s failed: %v", s.addr, err)
+					return
+				}
+				s.mu.Lock()
+				s.c = nc
+				s.mu.Unlock()
+				logf("reconnected to %s", s.addr)
+			}
+		}(i, s)
+	}
+
+	// Submission loop: fixed-rate round-robin with per-connection
+	// backpressure.
+	interval := time.Second / time.Duration(opts.Rate)
+	start := time.Now()
+	deadline := start.Add(opts.Duration)
+	seq := 0
+	for time.Now().Before(deadline) {
+		s := slots[seq%len(slots)]
+		if s.outstanding.Load() >= int64(opts.MaxOutstanding) {
+			skips.Add(1)
+		} else {
+			value := fmt.Sprintf("g%d-%d-%s", seq%len(slots), seq, opts.RunID)
+			submitTimes.Store(value, time.Now())
+			s.outstanding.Add(1)
+			if err := s.client().Submit(value); err != nil {
+				submitTimes.Delete(value)
+				s.outstanding.Add(-1)
+				skips.Add(1)
+			} else {
+				s.submitted.Add(1)
+			}
+		}
+		seq++
+		next := start.Add(time.Duration(seq) * interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+	}
+
+	// Drain: wait for outstanding values, up to the drain budget. Values
+	// submitted into a node that died pre-durability are permanently lost
+	// (no client lives at a wiped processor) — that bounds the wait.
+	drainDeadline := time.Now().Add(opts.Drain)
+	for time.Now().Before(drainDeadline) {
+		var out int64
+		for _, s := range slots {
+			out += s.outstanding.Load()
+		}
+		if out == 0 {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	close(stop)
+	for _, s := range slots {
+		s.client().Close()
+	}
+	wg.Wait()
+
+	var totalSubmitted, lost int64
+	for _, s := range slots {
+		totalSubmitted += s.submitted.Load()
+	}
+	submitTimes.Range(func(any, any) bool { lost++; return true })
+	elapsed := time.Since(start)
+
+	entry := experiments.BenchEntry{
+		Experiment:      "live",
+		Scenario:        fmt.Sprintf("loadgen-n%d-rate%d", len(opts.Addrs), opts.Rate),
+		VirtualNS:       elapsed.Nanoseconds(), // wall time: live runs have no virtual clock
+		Bcasts:          totalSubmitted,
+		Deliveries:      delivered.Load(),
+		DeliveryLatency: latency.Summary(),
+		Counters: map[string]int64{
+			"loadgen.submitted":       totalSubmitted,
+			"loadgen.delivered_lines": delivered.Load(),
+			"loadgen.latency_samples": samples.Load(),
+			"loadgen.skips":           skips.Load(),
+			"loadgen.unresolved":      lost,
+		},
+		Histograms: map[string]obs.HistogramSummary{
+			"loadgen.delivery_latency": latency.Summary(),
+		},
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		entry.DeliveriesPerSec = float64(entry.Deliveries) / secs
+	}
+	return entry, nil
+}

@@ -1,0 +1,103 @@
+package live
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/check"
+	"repro/internal/props"
+	"repro/internal/types"
+)
+
+// ReadTraceFiles reads one node's trace across its incarnation files, in
+// boot order, into a single log. A torn final line (the write a SIGKILL
+// interrupted) is dropped; invalid JSON anywhere else is an error,
+// because per-incarnation files guarantee tearing only ever happens at a
+// file's end.
+func ReadTraceFiles(files ...string) (*props.Log, error) {
+	var buf bytes.Buffer
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		clean, err := sanitizeJSONL(f, data)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(clean)
+		if len(clean) > 0 && clean[len(clean)-1] != '\n' {
+			buf.WriteByte('\n')
+		}
+	}
+	return props.ReadJSONL(&buf)
+}
+
+// sanitizeJSONL drops a torn trailing line; any other invalid line is an
+// error.
+func sanitizeJSONL(name string, data []byte) ([]byte, error) {
+	lines := bytes.Split(data, []byte("\n"))
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if json.Valid(line) {
+			continue
+		}
+		for j := i + 1; j < len(lines); j++ {
+			if len(bytes.TrimSpace(lines[j])) != 0 {
+				return nil, fmt.Errorf("live: %s: invalid JSON on line %d (not a torn tail)", name, i+1)
+			}
+		}
+		return bytes.Join(lines[:i], []byte("\n")), nil
+	}
+	return data, nil
+}
+
+// CheckMergedTO runs the TO conformance check over per-node logs merged
+// interleaving-invariantly. A live run has no global event order — each
+// node timestamps against its own clock — but TO-machine conformance
+// doesn't need one: submissions from distinct origins commute, and only
+// (a) each origin's own submission order and (b) each node's own delivery
+// order constrain the witness. So the checker is fed every bcast first
+// (per origin, in the origin's local order — a bcast appears only in its
+// origin's log) and then each node's brcv stream in local order. If this
+// merged order admits no TO-machine execution, no interleaving does.
+//
+// Returns the checker (for order-length and delivery-count reporting)
+// alongside the first violation, if any.
+func CheckMergedTO(logs map[types.ProcID]*props.Log) (*check.TOChecker, error) {
+	ids := make([]types.ProcID, 0, len(logs))
+	for p := range logs {
+		ids = append(ids, p)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	chk := check.NewTOChecker()
+	for _, p := range ids {
+		for _, e := range logs[p].Events {
+			if e.Kind == props.TOBcast {
+				if e.P != p {
+					return chk, fmt.Errorf("live: node %v's log contains a bcast at %v", p, e.P)
+				}
+				chk.Bcast(e.Value, e.P)
+			}
+		}
+	}
+	for _, p := range ids {
+		for _, e := range logs[p].Events {
+			if e.Kind == props.TOBrcv {
+				if e.P != p {
+					return chk, fmt.Errorf("live: node %v's log contains a brcv at %v", p, e.P)
+				}
+				if err := chk.Brcv(e.Value, e.From, e.P); err != nil {
+					return chk, err
+				}
+			}
+		}
+	}
+	return chk, nil
+}

@@ -1,0 +1,399 @@
+package live
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	stdnet "net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/obs"
+	"repro/internal/props"
+	"repro/internal/sim"
+	"repro/internal/stack"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// EngineOptions configures one daemon engine (one processor's stack).
+type EngineOptions struct {
+	Config *Config
+	Self   types.ProcID
+	// WALPath is the node's write-ahead-log file. Read at boot (a
+	// non-empty file routes the boot through the recovery path) and
+	// appended to for every newly durable record.
+	WALPath string
+	// TracePath is this incarnation's JSONL trace file. The orchestrator
+	// names it per restart (node<i>.r<k>.jsonl) so a SIGKILL can tear at
+	// most the final line of the final file.
+	TracePath string
+	// MetricsPath, when non-empty, receives a JSON metrics snapshot on
+	// Close.
+	MetricsPath string
+	// Tick is the pacer granularity (default 2ms wall time).
+	Tick time.Duration
+	// Logf logs progress (default: silent).
+	Logf func(string, ...any)
+}
+
+// Engine is a running daemon: one stack.Node paced against the wall
+// clock, a TCP transport to its peers, and a client/control listener.
+//
+// Locking: everything that touches the simulator — the pacer, inbound
+// transport deliveries, client submissions — runs under mu, so protocol
+// code executes exactly as single-threaded as it does in simulation.
+type Engine struct {
+	mu   sync.Mutex
+	sim  *sim.Sim
+	node *stack.Node
+	tr   *transport.TCP
+	reg  *obs.Registry
+	opts EngineOptions
+
+	origin time.Time // wall instant of sim time zero
+
+	walFile   *os.File
+	traceFile *os.File
+	traceW    *bufio.Writer
+
+	clientLn stdnet.Listener
+	conns    map[*clientConn]struct{}
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	// Stopped closes when the engine has fully shut down (STOP command or
+	// Close): the daemon main blocks on it.
+	Stopped chan struct{}
+}
+
+// clientConn is one client/control connection; deliveries fan out to its
+// outbox, drained by a dedicated writer goroutine so a slow client never
+// stalls the pacer.
+type clientConn struct {
+	conn stdnet.Conn
+	mu   sync.Mutex
+	box  []string
+	cond *sync.Cond
+	dead bool
+}
+
+func (cc *clientConn) push(line string) {
+	cc.mu.Lock()
+	cc.box = append(cc.box, line)
+	cc.cond.Signal()
+	cc.mu.Unlock()
+}
+
+func (cc *clientConn) kill() {
+	cc.mu.Lock()
+	cc.dead = true
+	cc.cond.Signal()
+	cc.mu.Unlock()
+	cc.conn.Close()
+}
+
+func (cc *clientConn) writeLoop() {
+	bw := bufio.NewWriter(cc.conn)
+	for {
+		cc.mu.Lock()
+		for len(cc.box) == 0 && !cc.dead {
+			cc.cond.Wait()
+		}
+		if cc.dead && len(cc.box) == 0 {
+			cc.mu.Unlock()
+			return
+		}
+		batch := cc.box
+		cc.box = nil
+		cc.mu.Unlock()
+		for _, line := range batch {
+			bw.WriteString(line)
+			bw.WriteByte('\n')
+		}
+		if bw.Flush() != nil {
+			return
+		}
+	}
+}
+
+// StartEngine boots the engine: WAL replayed (if present), transport and
+// listeners bound, pacer running. The returned engine is live; call Close
+// (or send STOP on the control connection) to shut down.
+func StartEngine(opts EngineOptions) (*Engine, error) {
+	if opts.Tick <= 0 {
+		opts.Tick = 2 * time.Millisecond
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	nc, ok := opts.Config.Node(opts.Self)
+	if !ok {
+		return nil, fmt.Errorf("live: node %v not in config", opts.Self)
+	}
+
+	e := &Engine{
+		sim:     sim.New(opts.Config.Seed + int64(opts.Self)),
+		reg:     obs.New(),
+		opts:    opts,
+		conns:   make(map[*clientConn]struct{}),
+		stop:    make(chan struct{}),
+		Stopped: make(chan struct{}),
+	}
+
+	// WAL: prior contents route the boot through recovery; the append
+	// handle mirrors every newly durable byte.
+	walData, err := os.ReadFile(opts.WALPath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("live: read WAL: %w", err)
+	}
+	e.walFile, err = os.OpenFile(opts.WALPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("live: open WAL: %w", err)
+	}
+
+	e.traceFile, err = os.Create(opts.TracePath)
+	if err != nil {
+		e.walFile.Close()
+		return nil, fmt.Errorf("live: create trace: %w", err)
+	}
+	e.traceW = bufio.NewWriter(e.traceFile)
+
+	e.tr = transport.NewTCP(transport.TCPConfig{
+		Self:   opts.Self,
+		Addrs:  opts.Config.Addrs(),
+		Delta:  opts.Config.Delta(),
+		Encode: codec.Encode,
+		Decode: codec.Decode,
+		Submit: e.submit,
+		Obs:    e.reg,
+		Logf:   opts.Logf,
+	})
+	if err := e.tr.Start(); err != nil {
+		e.walFile.Close()
+		e.traceFile.Close()
+		return nil, err
+	}
+
+	// The trace log streams to disk as it grows; a torn final line after
+	// SIGKILL is tolerated by the merge reader. TO events flush
+	// immediately: a bcast/brcv line follows its WAL record's durability,
+	// and a restarted node resumes after its durable delivery prefix — if
+	// a kill could lose a whole buffer of delivery lines, the merged
+	// per-node stream would show a gap the conformance checker (rightly)
+	// rejects. VS events are diagnostic only and stay buffered.
+	lg := &props.Log{
+		Sink: func(ev props.Event) {
+			props.AppendEventJSONL(e.traceW, ev)
+			if ev.Kind == props.TOBcast || ev.Kind == props.TOBrcv {
+				e.traceW.Flush()
+			}
+		},
+		InitialSink: func(p types.ProcID, v types.View) { props.AppendInitialJSONL(e.traceW, p, v) },
+	}
+
+	e.mu.Lock()
+	e.node = stack.NewLiveNode(stack.LiveOptions{
+		Self:      opts.Self,
+		Universe:  opts.Config.Universe(),
+		P0:        opts.Config.P0Set(),
+		Delta:     opts.Config.Delta(),
+		Sim:       e.sim,
+		Transport: e.tr,
+		WALData:   walData,
+		WALMirror: e.walFile,
+		Log:       lg,
+		Obs:       e.reg,
+		OnDeliver: e.onDeliver,
+	})
+	e.mu.Unlock()
+	if len(walData) > 0 {
+		opts.Logf("node %v: recovered from %d WAL bytes", opts.Self, len(walData))
+	}
+
+	e.clientLn, err = stdnet.Listen("tcp", nc.ClientAddr)
+	if err != nil {
+		e.tr.Close()
+		e.walFile.Close()
+		e.traceFile.Close()
+		return nil, fmt.Errorf("live: client listen: %w", err)
+	}
+
+	e.origin = time.Now()
+	e.wg.Add(2)
+	go e.pace()
+	go e.acceptClients()
+	return e, nil
+}
+
+// submit runs fn under the engine lock — the transport's delivery
+// serialization hook.
+func (e *Engine) submit(fn func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select {
+	case <-e.stop:
+		return
+	default:
+	}
+	fn()
+}
+
+// pace advances the simulator to track the wall clock: each tick runs the
+// sim up to the total wall time elapsed since boot, so virtual time
+// equals wall time regardless of tick jitter.
+func (e *Engine) pace() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.opts.Tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-ticker.C:
+			e.mu.Lock()
+			target := sim.Time(time.Since(e.origin))
+			if d := time.Duration(target - e.sim.Now()); d > 0 {
+				if err := e.sim.RunFor(d); err != nil {
+					e.mu.Unlock()
+					e.opts.Logf("node %v: sim error: %v", e.opts.Self, err)
+					go e.Close()
+					return
+				}
+			}
+			e.traceW.Flush()
+			e.mu.Unlock()
+		}
+	}
+}
+
+// onDeliver streams each local TO delivery to every client connection.
+// Runs under mu (from the pacer or a submit).
+func (e *Engine) onDeliver(d stack.Delivery) {
+	line := fmt.Sprintf("D %d %s", int(d.From), string(d.Value))
+	for cc := range e.conns {
+		cc.push(line)
+	}
+}
+
+func (e *Engine) acceptClients() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.clientLn.Accept()
+		if err != nil {
+			return // listener closed: shutting down
+		}
+		cc := &clientConn{conn: conn}
+		cc.cond = sync.NewCond(&cc.mu)
+		e.mu.Lock()
+		e.conns[cc] = struct{}{}
+		e.mu.Unlock()
+		go cc.writeLoop()
+		e.wg.Add(1)
+		go e.serveClient(cc)
+	}
+}
+
+// serveClient handles the line protocol: S <value> submits a broadcast,
+// PING/PONG probes readiness, LPAUSE/LRESUME sever and restore the peer
+// listener (the injector's channel fault), METRICS returns a one-line
+// JSON snapshot, STOP shuts the daemon down.
+func (e *Engine) serveClient(cc *clientConn) {
+	defer e.wg.Done()
+	defer func() {
+		e.mu.Lock()
+		delete(e.conns, cc)
+		e.mu.Unlock()
+		cc.kill()
+	}()
+	sc := bufio.NewScanner(cc.conn)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		cmd, rest, _ := strings.Cut(line, " ")
+		switch cmd {
+		case "S":
+			e.mu.Lock()
+			e.node.Bcast(types.Value(rest))
+			e.mu.Unlock()
+		case "PING":
+			cc.push("PONG")
+		case "LPAUSE":
+			e.tr.PauseListener()
+			cc.push("OK")
+		case "LRESUME":
+			if err := e.tr.ResumeListener(); err != nil {
+				cc.push("ERR " + err.Error())
+			} else {
+				cc.push("OK")
+			}
+		case "METRICS":
+			b, err := json.Marshal(e.reg.Snapshot())
+			if err != nil {
+				cc.push("ERR " + err.Error())
+			} else {
+				cc.push("M " + string(b))
+			}
+		case "STOP":
+			cc.push("OK")
+			go e.Close()
+			return
+		default:
+			cc.push("ERR unknown command " + cmd)
+		}
+	}
+}
+
+// Close shuts the engine down: pacer stopped, transport drained, trace
+// flushed, metrics written. Idempotent.
+func (e *Engine) Close() error {
+	e.stopOnce.Do(func() {
+		close(e.stop)
+		e.clientLn.Close()
+		e.mu.Lock()
+		for cc := range e.conns {
+			cc.kill()
+		}
+		e.mu.Unlock()
+		e.tr.Close() // drains queued frames to reachable peers
+
+		e.mu.Lock()
+		e.traceW.Flush()
+		e.traceFile.Close()
+		e.walFile.Close()
+		if e.opts.MetricsPath != "" {
+			if b, err := json.MarshalIndent(e.reg.Snapshot(), "", "  "); err == nil {
+				os.WriteFile(e.opts.MetricsPath, append(b, '\n'), 0o644)
+			}
+		}
+		e.mu.Unlock()
+		e.wg.Wait()
+		close(e.Stopped)
+	})
+	return nil
+}
+
+// Bcast submits a value at this node (in-process callers; clients use the
+// line protocol).
+func (e *Engine) Bcast(v types.Value) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.node.Bcast(v)
+}
+
+// Deliveries snapshots everything delivered at this node so far.
+func (e *Engine) Deliveries() []stack.Delivery {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]stack.Delivery(nil), e.node.Deliveries()...)
+}
+
+// ClientAddr returns the bound client/control address.
+func (e *Engine) ClientAddr() string { return e.clientLn.Addr().String() }
+
+// Metrics snapshots the engine's registry.
+func (e *Engine) Metrics() *obs.Snapshot { return e.reg.Snapshot() }

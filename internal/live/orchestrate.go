@@ -1,0 +1,255 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/props"
+	"repro/internal/types"
+)
+
+// RunOptions configures an orchestrated live-cluster run: N daemon
+// processes on localhost, a load-generation phase, an optional mid-run
+// kill/restart of one node, and a final merged conformance check.
+type RunOptions struct {
+	// Dir receives everything the run produces: cluster config, WAL
+	// files, per-incarnation trace files, daemon stdout logs, metric
+	// snapshots, and the final report.json.
+	Dir string
+	// PgcsdPath is the compiled daemon binary.
+	PgcsdPath string
+	N         int
+	Delta     time.Duration
+	Seed      int64
+	BasePort  int // first of 2N consecutive localhost ports (default 42600)
+	// Rate and Duration drive the load phase (see LoadOptions).
+	Rate     int
+	Duration time.Duration
+	// KillNode is SIGKILLed halfway through the load phase and restarted
+	// RestartDelay later (default 2s), rejoining from its WAL file.
+	// Negative disables the fault.
+	KillNode     int
+	RestartDelay time.Duration
+	Logf         func(string, ...any)
+}
+
+// RunResult is the orchestrated run's outcome. CheckErr carries the
+// conformance violation, if any — the run itself completing is not a
+// pass.
+type RunResult struct {
+	Entry    experiments.BenchEntry `json:"entry"`
+	OrderLen int                    `json:"order_len"`
+	CheckOK  bool                   `json:"check_ok"`
+	CheckErr string                 `json:"check_err,omitempty"`
+}
+
+// Run executes the full live pipeline and writes report.json into Dir.
+// The returned error covers infrastructure failures AND conformance
+// violations: a nil error means the cluster ran, delivered traffic, and
+// the merged trace is a TO-machine trace.
+func Run(opts RunOptions) (*RunResult, error) {
+	if opts.RestartDelay <= 0 {
+		opts.RestartDelay = 2 * time.Second
+	}
+	if opts.BasePort <= 0 {
+		opts.BasePort = 42600
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	cfg := &Config{DeltaMS: int(opts.Delta / time.Millisecond), Seed: opts.Seed}
+	if cfg.DeltaMS <= 0 {
+		cfg.DeltaMS = 5
+	}
+	for i := 0; i < opts.N; i++ {
+		cfg.Nodes = append(cfg.Nodes, NodeConfig{
+			ID:         i,
+			Addr:       fmt.Sprintf("127.0.0.1:%d", opts.BasePort+2*i),
+			ClientAddr: fmt.Sprintf("127.0.0.1:%d", opts.BasePort+2*i+1),
+		})
+	}
+	cfgPath := filepath.Join(opts.Dir, "cluster.json")
+	cfgBytes, _ := json.MarshalIndent(cfg, "", "  ")
+	if err := os.WriteFile(cfgPath, cfgBytes, 0o644); err != nil {
+		return nil, err
+	}
+
+	// Per-node spawn state: restart counter and the trace files every
+	// incarnation wrote, in boot order.
+	var mu sync.Mutex
+	procs := make(map[int]*Proc, opts.N)
+	restarts := make(map[int]int, opts.N)
+	traces := make(map[int][]string, opts.N)
+
+	spawn := func(id int) error {
+		mu.Lock()
+		defer mu.Unlock()
+		r := restarts[id]
+		trace := filepath.Join(opts.Dir, fmt.Sprintf("node%d.r%d.jsonl", id, r))
+		stdout, err := os.Create(filepath.Join(opts.Dir, fmt.Sprintf("node%d.r%d.log", id, r)))
+		if err != nil {
+			return err
+		}
+		cmd := exec.Command(opts.PgcsdPath,
+			"-config", cfgPath,
+			"-id", fmt.Sprint(id),
+			"-wal", filepath.Join(opts.Dir, fmt.Sprintf("node%d.wal", id)),
+			"-trace", trace,
+			"-metrics", filepath.Join(opts.Dir, fmt.Sprintf("node%d.r%d.metrics.json", id, r)),
+		)
+		cmd.Stdout = stdout
+		cmd.Stderr = stdout
+		if err := cmd.Start(); err != nil {
+			stdout.Close()
+			return err
+		}
+		procs[id] = &Proc{ID: types.ProcID(id), Cmd: cmd}
+		traces[id] = append(traces[id], trace)
+		restarts[id] = r + 1
+		logf("node %d up (incarnation %d, pid %d)", id, r, cmd.Process.Pid)
+		return nil
+	}
+
+	cleanup := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, p := range procs {
+			p.Cmd.Process.Kill()
+			p.Cmd.Wait()
+		}
+	}
+	defer cleanup()
+
+	for i := 0; i < opts.N; i++ {
+		if err := spawn(i); err != nil {
+			return nil, fmt.Errorf("live: spawn node %d: %w", i, err)
+		}
+	}
+
+	// Readiness: every daemon's event loop answers a ping.
+	for _, n := range cfg.Nodes {
+		c, err := DialClient(n.ClientAddr, 30*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("live: node %d never came up: %w", n.ID, err)
+		}
+		err = c.Ping(10 * time.Second)
+		c.Close()
+		if err != nil {
+			return nil, fmt.Errorf("live: node %d not ready: %w", n.ID, err)
+		}
+	}
+	logf("all %d nodes ready", opts.N)
+
+	// The mid-run fault: SIGKILL (amnesia — volatile state gone, WAL
+	// intact) halfway through, restart after RestartDelay.
+	faultDone := make(chan error, 1)
+	if opts.KillNode >= 0 && opts.KillNode < opts.N {
+		go func() {
+			time.Sleep(opts.Duration / 2)
+			mu.Lock()
+			p := procs[opts.KillNode]
+			mu.Unlock()
+			logf("killing node %d", opts.KillNode)
+			if err := p.Kill(); err != nil {
+				faultDone <- err
+				return
+			}
+			time.Sleep(opts.RestartDelay)
+			logf("restarting node %d", opts.KillNode)
+			faultDone <- spawn(opts.KillNode)
+		}()
+	} else {
+		faultDone <- nil
+	}
+
+	addrs := make([]string, opts.N)
+	for i, n := range cfg.Nodes {
+		addrs[i] = n.ClientAddr
+	}
+	entry, err := RunLoad(LoadOptions{
+		Addrs:    addrs,
+		Rate:     opts.Rate,
+		Duration: opts.Duration,
+		RunID:    fmt.Sprintf("s%d", opts.Seed),
+		Logf:     logf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("live: loadgen: %w", err)
+	}
+	if err := <-faultDone; err != nil {
+		return nil, fmt.Errorf("live: fault injection: %w", err)
+	}
+
+	// Graceful stop: daemons flush traces and write metric snapshots.
+	for _, n := range cfg.Nodes {
+		if c, err := DialClient(n.ClientAddr, 5*time.Second); err == nil {
+			c.Stop()
+			c.Close()
+		}
+	}
+	mu.Lock()
+	ps := make([]*Proc, 0, len(procs))
+	for _, p := range procs {
+		ps = append(ps, p)
+	}
+	mu.Unlock()
+	for _, p := range ps {
+		waitProc(p, 10*time.Second)
+	}
+
+	// Merge per-node logs and check TO conformance.
+	logs := make(map[types.ProcID]*props.Log, opts.N)
+	for i := 0; i < opts.N; i++ {
+		mu.Lock()
+		files := append([]string(nil), traces[i]...)
+		mu.Unlock()
+		lg, err := ReadTraceFiles(files...)
+		if err != nil {
+			return nil, fmt.Errorf("live: node %d trace: %w", i, err)
+		}
+		logs[types.ProcID(i)] = lg
+	}
+	chk, checkErr := CheckMergedTO(logs)
+
+	res := &RunResult{Entry: entry, OrderLen: chk.OrderLen(), CheckOK: checkErr == nil}
+	if checkErr != nil {
+		res.CheckErr = checkErr.Error()
+	}
+	if b, err := json.MarshalIndent(res, "", "  "); err == nil {
+		os.WriteFile(filepath.Join(opts.Dir, "report.json"), append(b, '\n'), 0o644)
+	}
+	if checkErr != nil {
+		return res, fmt.Errorf("live: TO conformance: %w", checkErr)
+	}
+	if entry.Deliveries == 0 || chk.OrderLen() == 0 {
+		return res, fmt.Errorf("live: vacuous run: %d deliveries, order length %d",
+			entry.Deliveries, chk.OrderLen())
+	}
+	return res, nil
+}
+
+// waitProc reaps p, SIGKILLing if it outlives the timeout.
+func waitProc(p *Proc, timeout time.Duration) {
+	done := make(chan struct{})
+	go func() {
+		p.Cmd.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		p.Cmd.Process.Kill()
+		<-done
+	}
+}

@@ -21,9 +21,9 @@ package membership
 import (
 	"time"
 
-	"repro/internal/net"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/transport"
 	"repro/internal/types"
 )
 
@@ -47,7 +47,7 @@ type Former struct {
 	id       types.ProcID
 	universe types.ProcSet
 	sim      *sim.Sim
-	net      *net.Network
+	net      transport.Transport
 
 	// CollectWait is the round-2 collection window (2δ in the paper's
 	// analysis).
@@ -108,7 +108,7 @@ type Stats struct {
 
 // NewFormer creates a Former. If the processor starts inside the initial
 // view, pass it as installed; otherwise pass the zero View.
-func NewFormer(id types.ProcID, universe types.ProcSet, s *sim.Sim, n *net.Network,
+func NewFormer(id types.ProcID, universe types.ProcSet, s *sim.Sim, n transport.Transport,
 	collectWait time.Duration, installed types.View, onInstall func(types.View)) *Former {
 	f := &Former{
 		id:          id,

@@ -23,14 +23,18 @@ import (
 	"repro/internal/failures"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/transport"
 	"repro/internal/types"
 )
 
-// Packet is one point-to-point message.
-type Packet struct {
-	From, To types.ProcID
-	Payload  any
-}
+// Packet is one point-to-point message. It is the shared transport.Packet:
+// the simulated network and the real-socket transport deliver the same
+// shape, so the protocol layers above are transport-agnostic.
+type Packet = transport.Packet
+
+// Network satisfies the shared send/deliver contract the protocol layers
+// program against.
+var _ transport.Transport = (*Network)(nil)
 
 // Config holds the network's timing parameters.
 type Config struct {

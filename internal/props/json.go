@@ -65,44 +65,54 @@ func kindFromString(s string) (Kind, error) {
 	}
 }
 
+// AppendInitialJSONL writes one "initial" JSONL line declaring that p
+// starts in view v.
+func AppendInitialJSONL(w io.Writer, p types.ProcID, v types.View) error {
+	set := make([]int, 0, v.Set.Size())
+	for _, m := range v.Set.Members() {
+		set = append(set, int(m))
+	}
+	return json.NewEncoder(w).Encode(eventJSON{
+		Kind: "initial", P: int(p),
+		ViewEpoch: v.ID.Epoch, ViewProc: int(v.ID.Proc), ViewSet: set,
+	})
+}
+
+// AppendEventJSONL writes one event as a JSONL line.
+func AppendEventJSONL(w io.Writer, e Event) error {
+	j := eventJSON{
+		Kind:   kindString(e.Kind),
+		TNanos: int64(e.T),
+		P:      int(e.P),
+		From:   int(e.From),
+	}
+	switch e.Kind {
+	case TOBcast, TOBrcv:
+		j.Value = string(e.Value)
+		j.ValueSeq = e.ValueSeq
+	case VSGpsnd, VSGprcv, VSSafe:
+		j.MsgSender = int(e.Msg.Sender)
+		j.MsgSeq = e.Msg.Seq
+	case VSNewview:
+		j.ViewEpoch = e.View.ID.Epoch
+		j.ViewProc = int(e.View.ID.Proc)
+		for _, m := range e.View.Set.Members() {
+			j.ViewSet = append(j.ViewSet, int(m))
+		}
+	}
+	return json.NewEncoder(w).Encode(j)
+}
+
 // WriteJSONL streams the log as JSON lines.
 func (l *Log) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
 	for p, v := range l.Initial {
-		set := make([]int, 0, v.Set.Size())
-		for _, m := range v.Set.Members() {
-			set = append(set, int(m))
-		}
-		if err := enc.Encode(eventJSON{
-			Kind: "initial", P: int(p),
-			ViewEpoch: v.ID.Epoch, ViewProc: int(v.ID.Proc), ViewSet: set,
-		}); err != nil {
+		if err := AppendInitialJSONL(bw, p, v); err != nil {
 			return err
 		}
 	}
 	for _, e := range l.Events {
-		j := eventJSON{
-			Kind:   kindString(e.Kind),
-			TNanos: int64(e.T),
-			P:      int(e.P),
-			From:   int(e.From),
-		}
-		switch e.Kind {
-		case TOBcast, TOBrcv:
-			j.Value = string(e.Value)
-			j.ValueSeq = e.ValueSeq
-		case VSGpsnd, VSGprcv, VSSafe:
-			j.MsgSender = int(e.Msg.Sender)
-			j.MsgSeq = e.Msg.Seq
-		case VSNewview:
-			j.ViewEpoch = e.View.ID.Epoch
-			j.ViewProc = int(e.View.ID.Proc)
-			for _, m := range e.View.Set.Members() {
-				j.ViewSet = append(j.ViewSet, int(m))
-			}
-		}
-		if err := enc.Encode(j); err != nil {
+		if err := AppendEventJSONL(bw, e); err != nil {
 			return err
 		}
 	}

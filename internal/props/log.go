@@ -100,10 +100,22 @@ func (e Event) String() string {
 type Log struct {
 	Events  []Event
 	Initial map[types.ProcID]types.View
+
+	// Sink and InitialSink, when non-nil, additionally observe every
+	// Append/SetInitial as it happens. The live daemon streams each event
+	// to its on-disk JSONL delivery log this way, so the trace survives a
+	// process kill up to the last flushed line.
+	Sink        func(Event)
+	InitialSink func(types.ProcID, types.View)
 }
 
 // Append adds an event.
-func (l *Log) Append(e Event) { l.Events = append(l.Events, e) }
+func (l *Log) Append(e Event) {
+	l.Events = append(l.Events, e)
+	if l.Sink != nil {
+		l.Sink(e)
+	}
+}
 
 // SetInitial records that p starts in view v.
 func (l *Log) SetInitial(p types.ProcID, v types.View) {
@@ -111,6 +123,9 @@ func (l *Log) SetInitial(p types.ProcID, v types.View) {
 		l.Initial = make(map[types.ProcID]types.View)
 	}
 	l.Initial[p] = v
+	if l.InitialSink != nil {
+		l.InitialSink(p, v)
+	}
 }
 
 // Until returns a log view containing only events strictly before t,

@@ -1,0 +1,127 @@
+package stack
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/failures"
+	"repro/internal/obs"
+	"repro/internal/props"
+	"repro/internal/recovery"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/vsimpl"
+)
+
+// LiveOptions configures one processor's endpoint for live deployment:
+// the daemon runs exactly one Node of the cluster, over a real transport,
+// on a simulator that the caller paces against the wall clock
+// (internal/runtime style). Faults are real — process kills, severed
+// sockets — so the failure oracle stays all-good and the WAL mirrors to a
+// real file for crash recovery across process restarts.
+type LiveOptions struct {
+	// Self is this processor; Universe the full cluster; P0 the initial
+	// view's membership.
+	Self     types.ProcID
+	Universe types.ProcSet
+	P0       types.ProcSet
+	// Delta is the paper's δ the protocol timers are derived from. It must
+	// be the same at every node and should generously cover real network
+	// latency plus pacer granularity (localhost: a few ms).
+	Delta time.Duration
+	// Sim is the caller-paced simulator all protocol events run on.
+	Sim *sim.Sim
+	// Transport carries packets to peers; the caller owns its lifecycle
+	// and must deliver inbound packets on the simulator's goroutine.
+	Transport transport.Transport
+	// WALData is the content of the node's WAL file from prior
+	// incarnations (nil or empty for a first boot). When non-empty the
+	// node boots through the amnesia-recovery path: state restored from a
+	// replay, a fresh incarnation above every durable floor.
+	WALData []byte
+	// WALMirror receives every newly durable WAL byte, in order —
+	// normally the same file WALData was read from, opened for append.
+	WALMirror io.Writer
+	// Quorums defaults to majorities of Universe.
+	Quorums types.QuorumSystem
+	// Log, when non-nil, replaces the node's fresh trace log — set its
+	// Sink to stream events to disk. Obs enables instrumentation.
+	Log *props.Log
+	Obs *obs.Registry
+	// OnDeliver observes every TO delivery at this node, in order.
+	OnDeliver func(Delivery)
+}
+
+// NewLiveNode builds and starts a single processor's full TO stack (VS
+// implementation, VStoTO, write-ahead recovery log) for live deployment.
+// The returned Node is the same type the simulated Cluster hands out, so
+// everything layered on Node (Bcast, Deliveries, WAL inspection) works
+// unchanged. The endpoint becomes active only as the caller's pacer runs
+// the simulator; nothing happens synchronously here beyond scheduling.
+func NewLiveNode(opts LiveOptions) *Node {
+	if opts.Delta <= 0 {
+		opts.Delta = time.Millisecond
+	}
+	s := opts.Sim
+	opts.Obs.SetClock(s.Now)
+	qs := opts.Quorums
+	if qs == nil {
+		qs = types.Majorities{Universe: opts.Universe}
+	}
+	cfg := vsimpl.DefaultConfig(opts.Delta, opts.Universe.Size())
+	cfg.Obs = opts.Obs
+	lg := opts.Log
+	if lg == nil {
+		lg = &props.Log{}
+	}
+	c := &Cluster{
+		Sim: s,
+		// All-good oracle: in live mode faults are physical (killed
+		// processes, closed sockets), not injected into the stack.
+		Oracle: failures.NewOracle(s.Now),
+		Log:    lg,
+		Procs:  opts.Universe,
+		Cfg:    cfg,
+		Obs:    opts.Obs,
+		tr:     opts.Transport,
+		qs:     qs,
+		nodes:  make(map[types.ProcID]*Node, 1),
+	}
+	c.initMetrics(opts.Obs)
+	dev := storage.New(s, 0)
+	dev.Mirror = opts.WALMirror
+	n := newNode(c, opts.Self, opts.P0, dev)
+	if opts.OnDeliver != nil {
+		n.onRcv = append(n.onRcv, opts.OnDeliver)
+	}
+
+	if len(opts.WALData) == 0 {
+		// First boot: seal the initial durable state (if inside the
+		// initial view) and come up fresh.
+		if opts.P0.Contains(opts.Self) {
+			n.sealInitialState(opts.P0)
+		}
+		n.startFresh(opts.P0)
+		n.vs.Start()
+		return n
+	}
+
+	// Restart: the previous incarnation of this process died (crash,
+	// SIGKILL, orderly stop — indistinguishable, and treated exactly like
+	// the simulated amnesia crash). Rebuild from the WAL file and rejoin
+	// through the ordinary membership machinery, one incarnation up.
+	snap := recovery.Replay(opts.WALData)
+	n.lastReplay = snap
+	n.recoveries++
+	c.m.recoveries.Inc()
+	c.m.replayRecords.Add(int64(snap.Records))
+	c.m.replayBytes.Add(int64(len(opts.WALData)))
+	n.restoreProc(snap)
+	inc := snap.Incarnations + 1
+	n.wal.Recovered(inc, func() {
+		n.startRecovered(snap, inc)
+	})
+	return n
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/recovery"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/transport"
 	"repro/internal/types"
 	"repro/internal/vsimpl"
 	"repro/internal/vstoto"
@@ -93,6 +94,9 @@ type Cluster struct {
 	// Obs is the cluster's observability registry (nil when disabled).
 	Obs *obs.Registry
 
+	// tr is the transport every node sends through: the simulated Network
+	// in NewCluster, a real-socket transport in NewLiveNode.
+	tr         transport.Transport
 	qs         types.QuorumSystem
 	skipReplay bool
 	nodes      map[types.ProcID]*Node
@@ -226,62 +230,22 @@ func NewCluster(opts Options) *Cluster {
 		Procs:      procs,
 		Cfg:        cfg,
 		Obs:        opts.Obs,
+		tr:         nw,
 		qs:         qs,
 		skipReplay: opts.SkipRecoveryReplay,
 		nodes:      make(map[types.ProcID]*Node, opts.N),
 	}
-	if opts.Obs != nil {
-		c.submitted = make(map[submitKey]sim.Time)
-		c.m = clusterMetrics{
-			bcasts:           opts.Obs.Counter("to.bcasts"),
-			deliveries:       opts.Obs.Counter("to.deliveries"),
-			crashes:          opts.Obs.Counter("stack.crashes"),
-			recoveries:       opts.Obs.Counter("stack.recoveries"),
-			replayRecords:    opts.Obs.Counter("recovery.replay_records"),
-			replayBytes:      opts.Obs.Counter("recovery.replay_bytes"),
-			deliverLatency:   opts.Obs.Histogram("to.deliver_latency"),
-			labelToConfirm:   opts.Obs.Histogram("vstoto.label_to_confirm"),
-			confirmToRelease: opts.Obs.Histogram("vstoto.confirm_to_release"),
-			installGateWait:  opts.Obs.Histogram("stack.install_gate_wait"),
-			tracer:           opts.Obs.Tracer(),
-		}
-	}
+	c.initMetrics(opts.Obs)
 	for _, p := range procs.Members() {
-		node := &Node{
-			id:   p,
-			sim:  s,
-			orc:  oracle,
-			c:    c,
-			proc: vstoto.NewProc(p, qs, p0),
-			log:  c.Log,
-			wal:  recovery.New(storage.New(s, opts.StorageLatency)),
-		}
-		node.proc.SetObs(opts.Obs)
-		node.wal.Instrument(opts.Obs)
-		if opts.Obs != nil {
-			node.labelAt = make(map[types.Label]sim.Time)
-			node.confirmAt = make(map[types.Label]sim.Time)
-		}
+		node := newNode(c, p, p0, storage.New(s, opts.StorageLatency))
 		if p0.Contains(p) {
-			// The initial view and the empty pre-view-change establishment
-			// are durable from the start, so even a processor that crashes
-			// before its first view change restores a view floor and a
-			// high-primary of g0 rather than ⊥.
-			node.wal.View(types.InitialView(p0), nil)
-			node.wal.Establish(nil, 1, types.G0(), nil)
+			node.sealInitialState(p0)
 		}
 		if opts.OnDeliver != nil {
 			p := p
 			node.onRcv = append(node.onRcv, func(d Delivery) { opts.OnDeliver(p, d) })
 		}
-		node.vs = vsimpl.NewNode(p, procs, p0, s, nw, oracle, cfg, vsimpl.Handlers{
-			Newview: node.onNewview,
-			Gprcv:   node.onGprcv,
-			Safe:    node.onSafe,
-		})
-		node.vs.Log = c.Log
-		node.vs.SetInstallGate(node.gateInstall)
-		c.nodes[p] = node
+		node.startFresh(p0)
 	}
 	for _, p := range procs.Members() {
 		c.nodes[p].vs.Start()
@@ -315,6 +279,78 @@ func NewCluster(opts Options) *Cluster {
 		}
 	})
 	return c
+}
+
+// initMetrics binds the cluster-level obs handles (no-op on nil).
+func (c *Cluster) initMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.submitted = make(map[submitKey]sim.Time)
+	c.m = clusterMetrics{
+		bcasts:           reg.Counter("to.bcasts"),
+		deliveries:       reg.Counter("to.deliveries"),
+		crashes:          reg.Counter("stack.crashes"),
+		recoveries:       reg.Counter("stack.recoveries"),
+		replayRecords:    reg.Counter("recovery.replay_records"),
+		replayBytes:      reg.Counter("recovery.replay_bytes"),
+		deliverLatency:   reg.Histogram("to.deliver_latency"),
+		labelToConfirm:   reg.Histogram("vstoto.label_to_confirm"),
+		confirmToRelease: reg.Histogram("vstoto.confirm_to_release"),
+		installGateWait:  reg.Histogram("stack.install_gate_wait"),
+		tracer:           reg.Tracer(),
+	}
+}
+
+// newNode builds the per-processor endpoint shell shared by the simulated
+// cluster and the live daemon: the VStoTO automaton, the WAL on the given
+// device, and the instrumentation handles. The caller decides how the VS
+// incarnation comes up (startFresh for a clean boot, the recovery path for
+// a WAL-restored one) and whether to seal the initial durable records.
+func newNode(c *Cluster, p types.ProcID, p0 types.ProcSet, dev *storage.Stable) *Node {
+	node := &Node{
+		id:   p,
+		sim:  c.Sim,
+		orc:  c.Oracle,
+		c:    c,
+		proc: vstoto.NewProc(p, c.qs, p0),
+		log:  c.Log,
+		wal:  recovery.New(dev),
+	}
+	node.proc.SetObs(c.Obs)
+	node.wal.Instrument(c.Obs)
+	if c.Obs != nil {
+		node.labelAt = make(map[types.Label]sim.Time)
+		node.confirmAt = make(map[types.Label]sim.Time)
+	}
+	c.nodes[p] = node
+	return node
+}
+
+// sealInitialState makes the initial view and the empty pre-view-change
+// establishment durable, so even a processor that crashes before its first
+// view change restores a view floor and a high-primary of g0 rather than ⊥.
+// Only processors starting inside the initial view have this state.
+func (n *Node) sealInitialState(p0 types.ProcSet) {
+	n.wal.View(types.InitialView(p0), nil)
+	n.wal.Establish(nil, 1, types.G0(), nil)
+}
+
+// handlers wires the VS upcalls to this endpoint.
+func (n *Node) handlers() vsimpl.Handlers {
+	return vsimpl.Handlers{
+		Newview: n.onNewview,
+		Gprcv:   n.onGprcv,
+		Safe:    n.onSafe,
+	}
+}
+
+// startFresh attaches a clean VS incarnation (initial state, no recovery
+// floors).
+func (n *Node) startFresh(p0 types.ProcSet) {
+	n.vs = vsimpl.NewNode(n.id, n.c.Procs, p0, n.sim, n.c.tr, n.orc, n.c.Cfg, n.handlers())
+	n.vs.Log = n.c.Log
+	n.vs.SetInstallGate(n.gateInstall)
 }
 
 // Node returns the endpoint for processor p.
@@ -518,20 +554,7 @@ func (n *Node) recover() {
 	n.c.m.replayBytes.Add(int64(len(disk)))
 	n.c.m.tracer.Emit("stack", "recover", n.id, obs.NoPeer, int64(snap.Records), snap.Truncated)
 
-	proc := vstoto.NewProc(n.id, n.c.qs, types.ProcSet{})
-	proc.Order = append([]types.Label(nil), snap.Order...)
-	proc.NextConfirm = snap.NextConfirm
-	proc.NextReport = len(snap.Delivered) + 1
-	proc.HighPrimary = snap.HighPrimary
-	for l, a := range snap.Content {
-		proc.Content[l] = a
-	}
-	for _, pv := range snap.Pending {
-		proc.Delay = append(proc.Delay, pv.Value)
-		n.delaySeqs = append(n.delaySeqs, pv.Seq)
-	}
-	n.proc = proc
-	n.bcastSeq = snap.BcastSeq
+	n.restoreProc(snap)
 
 	// The rebuilt VS incarnation starts only once its recovery marker is
 	// durable: the marker count is then a strictly increasing incarnation
@@ -549,16 +572,33 @@ func (n *Node) recover() {
 	})
 }
 
+// restoreProc rebuilds the VStoTO automaton from a WAL replay snapshot:
+// restored to the last durable establishment (extended by durable order
+// appends), the persisted delivery prefix marked reported, and durable-
+// but-unlabeled submissions back in the delay queue.
+func (n *Node) restoreProc(snap *recovery.Snapshot) {
+	proc := vstoto.NewProc(n.id, n.c.qs, types.ProcSet{})
+	proc.Order = append([]types.Label(nil), snap.Order...)
+	proc.NextConfirm = snap.NextConfirm
+	proc.NextReport = len(snap.Delivered) + 1
+	proc.HighPrimary = snap.HighPrimary
+	for l, a := range snap.Content {
+		proc.Content[l] = a
+	}
+	for _, pv := range snap.Pending {
+		proc.Delay = append(proc.Delay, pv.Value)
+		n.delaySeqs = append(n.delaySeqs, pv.Seq)
+	}
+	n.proc = proc
+	n.bcastSeq = snap.BcastSeq
+}
+
 // startRecovered brings up the rebuilt VS incarnation; it runs from the
 // recovery marker's completion callback.
 func (n *Node) startRecovered(snap *recovery.Snapshot, inc int) {
-	n.vs = vsimpl.NewRecoveredNode(n.id, n.c.Procs, n.sim, n.c.Net, n.orc, n.c.Cfg,
+	n.vs = vsimpl.NewRecoveredNode(n.id, n.c.Procs, n.sim, n.c.tr, n.orc, n.c.Cfg,
 		vsimpl.Resume{ViewFloor: snap.ViewFloor(), SendSeqFloor: inc * incarnationSeqSpan},
-		vsimpl.Handlers{
-			Newview: n.onNewview,
-			Gprcv:   n.onGprcv,
-			Safe:    n.onSafe,
-		})
+		n.handlers())
 	n.vs.Log = n.c.Log
 	n.vs.SetInstallGate(n.gateInstall)
 	n.vs.Start()

@@ -16,6 +16,8 @@
 package storage
 
 import (
+	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/obs"
@@ -42,6 +44,14 @@ type Stable struct {
 	// that is in flight at the instant of a Drop have reached the platter.
 	// It must return a value in [0, n). The default keeps half.
 	TornPrefix func(n int) int
+
+	// Mirror, when non-nil, receives every byte the moment it becomes
+	// durable on the simulated device (completed writes and torn prefixes
+	// alike), in durability order. The live daemon points it at a real
+	// file, so a restarted process can replay exactly what the simulated
+	// device held; a mirror write error panics, because a divergence
+	// between the device and its mirror silently breaks crash recovery.
+	Mirror io.Writer
 
 	// Observability handles (Instrument; all nil when disabled).
 	mWrites    *obs.Counter
@@ -132,13 +142,23 @@ func (st *Stable) startNext() {
 		st.mWrites.Inc()
 		st.mBytes.Add(int64(len(w.data)))
 		st.mLatency.Record(st.sim.Now().Sub(w.at))
-		st.disk = append(st.disk, w.data...)
+		st.persist(w.data)
 		st.inFlight = nil
 		if w.done != nil {
 			w.done()
 		}
 		st.startNext()
 	})
+}
+
+// persist appends bytes to the durable image and mirrors them.
+func (st *Stable) persist(b []byte) {
+	st.disk = append(st.disk, b...)
+	if st.Mirror != nil && len(b) > 0 {
+		if _, err := st.Mirror.Write(b); err != nil {
+			panic(fmt.Sprintf("storage: mirror write: %v", err))
+		}
+	}
 }
 
 // Drop simulates the owner's amnesia crash taking the write path with it:
@@ -162,7 +182,7 @@ func (st *Stable) Drop() {
 			}
 		}
 		st.mTornBytes.Add(int64(k))
-		st.disk = append(st.disk, st.inFlight[:k]...)
+		st.persist(st.inFlight[:k])
 	}
 	st.epoch++
 	st.busy = false

@@ -1,0 +1,634 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	stdnet "net"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/types"
+)
+
+// Frame layout: a fixed 8-byte header — u32 payload length, u32 sender
+// ProcID, both little-endian — followed by the payload bytes produced by
+// the injected Encode. The header carries the sender so connections need no
+// handshake: any process may dial any other and start framing.
+const frameHeader = 8
+
+// TCPConfig configures a TCP transport endpoint (one per process).
+type TCPConfig struct {
+	// Self is the local processor; inbound frames are delivered to its
+	// registered handler.
+	Self types.ProcID
+	// Addrs maps every processor of the universe to its listen address.
+	// Self's entry is the local listen address.
+	Addrs map[types.ProcID]string
+	// Delta is the advertised δ the protocol timers are calibrated against.
+	// On a real network it is a deployment choice, not a guarantee: pick it
+	// comfortably above the observed p99 one-way latency (see DESIGN.md §11).
+	Delta time.Duration
+	// Encode/Decode are the wire codec (internal/codec's Encode and Decode
+	// in every real deployment; injected to keep this package below codec in
+	// the dependency order). Encode errors panic — an unencodable payload is
+	// a programming error, same contract as the simulated net's transcode.
+	Encode func(any) ([]byte, error)
+	Decode func([]byte) (any, error)
+	// Submit serializes handler invocations: every inbound delivery is
+	// wrapped in a closure and passed to Submit, which must run closures one
+	// at a time (the daemon runs them under its event-loop mutex). Nil runs
+	// handlers inline on the reader goroutine (only safe for tests that do
+	// their own locking).
+	Submit func(fn func())
+	// QueueLimit bounds each peer's send queue in frames; when full the
+	// OLDEST queued frame is dropped (the protocol tolerates loss — stale
+	// tokens and probes are worthless, the newest traffic is not). Default
+	// 1024.
+	QueueLimit int
+	// DialMin/DialMax bound the exponential dial backoff (defaults
+	// 20ms/2s); each wait is jittered to ±50% so a cluster-wide restart
+	// does not produce synchronized dial storms.
+	DialMin, DialMax time.Duration
+	// WriteTimeout is the per-frame write deadline (default 5s): a peer
+	// that stalls longer forfeits the connection and the writer redials.
+	WriteTimeout time.Duration
+	// DrainTimeout bounds how long Close waits for queued frames to flush
+	// over established connections (default 3s).
+	DrainTimeout time.Duration
+	// MaxFrame bounds accepted inbound frames (default 16 MiB); an
+	// oversized header is treated as a corrupt stream and the connection is
+	// dropped.
+	MaxFrame int
+	// Obs, when non-nil, receives the transport.* instruments. Nil disables
+	// instrumentation at zero cost.
+	Obs *obs.Registry
+	// Logf, when non-nil, receives connection-lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+type tcpMetrics struct {
+	sent, delivered *obs.Counter
+	bytes           *obs.Counter
+	connects        *obs.Counter
+	reconnects      *obs.Counter
+	accepts         *obs.Counter
+	dropOverflow    *obs.Counter
+	dropUnknown     *obs.Counter
+	readErrors      *obs.Counter
+	decodeErrors    *obs.Counter
+	writeLatency    *obs.Histogram
+	queueDepth      *obs.Gauge // high-water mark across all peer queues
+}
+
+// TCP is the real-socket Transport: one listener for inbound frames, one
+// managed connection (dial + backoff + reconnect) per outbound peer.
+type TCP struct {
+	cfg  TCPConfig
+	self types.ProcID
+	m    tcpMetrics
+
+	mu       sync.Mutex
+	handlers map[types.ProcID]func(Packet)
+	peers    map[types.ProcID]*peer
+	ln       stdnet.Listener
+	inbound  map[stdnet.Conn]struct{}
+	closed   bool
+	paused   bool
+
+	stop     chan struct{}
+	writerWG sync.WaitGroup
+}
+
+// NewTCP creates the endpoint. Call Start to bind the listener and begin
+// dialing peers.
+func NewTCP(cfg TCPConfig) *TCP {
+	if cfg.Delta <= 0 {
+		panic("transport: non-positive delta")
+	}
+	if cfg.Encode == nil || cfg.Decode == nil {
+		panic("transport: Encode and Decode are required")
+	}
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = 1024
+	}
+	if cfg.DialMin <= 0 {
+		cfg.DialMin = 20 * time.Millisecond
+	}
+	if cfg.DialMax <= 0 {
+		cfg.DialMax = 2 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 5 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 3 * time.Second
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = 16 << 20
+	}
+	t := &TCP{
+		cfg:      cfg,
+		self:     cfg.Self,
+		handlers: make(map[types.ProcID]func(Packet)),
+		peers:    make(map[types.ProcID]*peer),
+		inbound:  make(map[stdnet.Conn]struct{}),
+		stop:     make(chan struct{}),
+		m: tcpMetrics{
+			sent:         cfg.Obs.Counter("transport.sent"),
+			delivered:    cfg.Obs.Counter("transport.delivered"),
+			bytes:        cfg.Obs.Counter("transport.bytes"),
+			connects:     cfg.Obs.Counter("transport.connects"),
+			reconnects:   cfg.Obs.Counter("transport.reconnects"),
+			accepts:      cfg.Obs.Counter("transport.accepts"),
+			dropOverflow: cfg.Obs.Counter("transport.drops_overflow"),
+			dropUnknown:  cfg.Obs.Counter("transport.drops_unknown_peer"),
+			readErrors:   cfg.Obs.Counter("transport.read_errors"),
+			decodeErrors: cfg.Obs.Counter("transport.decode_errors"),
+			writeLatency: cfg.Obs.Histogram("transport.write_latency"),
+			queueDepth:   cfg.Obs.Gauge("transport.queue_depth"),
+		},
+	}
+	return t
+}
+
+func (t *TCP) logf(format string, args ...any) {
+	if t.cfg.Logf != nil {
+		t.cfg.Logf(format, args...)
+	}
+}
+
+// Start binds the listener and launches one writer goroutine per peer.
+func (t *TCP) Start() error {
+	addr, ok := t.cfg.Addrs[t.self]
+	if !ok {
+		return fmt.Errorf("transport: no address for self %v", t.self)
+	}
+	ln, err := stdnet.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t.mu.Lock()
+	t.ln = ln
+	for id, a := range t.cfg.Addrs {
+		if id == t.self {
+			continue
+		}
+		p := newPeer(t, id, a)
+		t.peers[id] = p
+		t.writerWG.Add(1)
+		go p.run()
+	}
+	t.mu.Unlock()
+	go t.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listen address (useful with ":0" configs).
+func (t *TCP) Addr() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ln == nil {
+		return ""
+	}
+	return t.ln.Addr().String()
+}
+
+// Register installs the delivery handler for local processor p.
+func (t *TCP) Register(p types.ProcID, h func(Packet)) {
+	t.mu.Lock()
+	t.handlers[p] = h
+	t.mu.Unlock()
+}
+
+// Delta returns the advertised δ.
+func (t *TCP) Delta() time.Duration { return t.cfg.Delta }
+
+// Send encodes and transmits payload from→to. A self-send loops back
+// locally, still through an encode/decode round trip so no pointer crosses
+// the hop.
+func (t *TCP) Send(from, to types.ProcID, payload any) {
+	t.m.sent.Inc()
+	b, err := t.cfg.Encode(payload)
+	if err != nil {
+		panic(fmt.Sprintf("transport: encode %T: %v", payload, err))
+	}
+	t.m.bytes.Add(int64(len(b)))
+	if to == t.self {
+		v, err := t.cfg.Decode(b)
+		if err != nil {
+			panic(fmt.Sprintf("transport: loopback decode %T: %v", payload, err))
+		}
+		t.deliver(Packet{From: from, To: to, Payload: v})
+		return
+	}
+	t.mu.Lock()
+	p := t.peers[to]
+	t.mu.Unlock()
+	if p == nil {
+		t.m.dropUnknown.Inc()
+		return
+	}
+	frame := make([]byte, frameHeader+len(b))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(b)))
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(int32(from)))
+	copy(frame[frameHeader:], b)
+	depth, dropped := p.q.push(frame)
+	if dropped {
+		t.m.dropOverflow.Inc()
+	}
+	t.m.queueDepth.Max(int64(depth))
+}
+
+// Broadcast sends payload from→each member of dst except from itself.
+func (t *TCP) Broadcast(from types.ProcID, dst types.ProcSet, payload any) {
+	for _, to := range dst.Members() {
+		if to != from {
+			t.Send(from, to, payload)
+		}
+	}
+}
+
+// deliver hands a packet to the registered handler through Submit.
+func (t *TCP) deliver(pkt Packet) {
+	t.mu.Lock()
+	h := t.handlers[pkt.To]
+	t.mu.Unlock()
+	if h == nil {
+		return
+	}
+	t.m.delivered.Inc()
+	if t.cfg.Submit != nil {
+		t.cfg.Submit(func() { h(pkt) })
+		return
+	}
+	h(pkt)
+}
+
+// closing reports whether Close has begun.
+func (t *TCP) closing() bool {
+	select {
+	case <-t.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close shuts the transport down: the listener closes, queued frames drain
+// over already-established connections for up to DrainTimeout, then every
+// connection is torn down. Idempotent.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	close(t.stop)
+	ln := t.ln
+	t.ln = nil
+	peers := make([]*peer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	conns := make([]stdnet.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	for _, p := range peers {
+		p.q.close()
+	}
+	done := make(chan struct{})
+	go func() {
+		t.writerWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(t.cfg.DrainTimeout):
+		t.logf("transport: drain timeout, forcing close")
+	}
+	for _, p := range peers {
+		p.closeConn()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return nil
+}
+
+// PauseListener severs every inbound link: the listener closes and all
+// accepted connections are dropped, so no frame reaches this processor
+// until ResumeListener. This is the live-fault realization of turning every
+// channel *into* this processor bad (internal/live maps the failures
+// vocabulary onto it).
+func (t *TCP) PauseListener() {
+	t.mu.Lock()
+	if t.paused || t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.paused = true
+	ln := t.ln
+	t.ln = nil
+	conns := make([]stdnet.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// ResumeListener re-binds the listener after PauseListener; peers
+// reconnect through their ordinary backoff machinery.
+func (t *TCP) ResumeListener() error {
+	t.mu.Lock()
+	if !t.paused || t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.paused = false
+	t.mu.Unlock()
+	ln, err := stdnet.Listen("tcp", t.cfg.Addrs[t.self])
+	if err != nil {
+		return fmt.Errorf("transport: relisten: %w", err)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	t.ln = ln
+	t.mu.Unlock()
+	go t.acceptLoop(ln)
+	return nil
+}
+
+func (t *TCP) acceptLoop(ln stdnet.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed (shutdown or pause)
+		}
+		t.mu.Lock()
+		if t.closed || t.paused {
+			t.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.m.accepts.Inc()
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop parses frames off one inbound connection. A partial frame at
+// connection close — the header or payload cut mid-read — is a read error:
+// the fragment is discarded, never delivered, and the connection ends. A
+// frame that parses but fails to decode is dropped alone (the stream
+// framing is still sound, so later frames remain usable).
+func (t *TCP) readLoop(conn stdnet.Conn) {
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	var hdr [frameHeader]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			if err != io.EOF {
+				t.m.readErrors.Inc()
+			}
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		from := types.ProcID(int32(binary.LittleEndian.Uint32(hdr[4:8])))
+		if int(n) > t.cfg.MaxFrame {
+			t.m.readErrors.Inc()
+			t.logf("transport: oversized frame (%d bytes) from %v, dropping connection", n, from)
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			t.m.readErrors.Inc()
+			return
+		}
+		v, err := t.cfg.Decode(buf)
+		if err != nil {
+			t.m.decodeErrors.Inc()
+			t.logf("transport: undecodable frame from %v: %v", from, err)
+			continue
+		}
+		t.deliver(Packet{From: from, To: t.self, Payload: v})
+	}
+}
+
+// --- outbound peer ---------------------------------------------------------
+
+// peer manages the single outbound connection to one remote processor: a
+// bounded drop-oldest frame queue and a writer goroutine that dials with
+// jittered exponential backoff and redials on any write failure.
+type peer struct {
+	t    *TCP
+	id   types.ProcID
+	addr string
+	q    *sendq
+
+	mu        sync.Mutex
+	conn      stdnet.Conn
+	everConn  bool
+	connected bool
+}
+
+func newPeer(t *TCP, id types.ProcID, addr string) *peer {
+	return &peer{t: t, id: id, addr: addr, q: newSendq(t.cfg.QueueLimit)}
+}
+
+func (p *peer) setConn(c stdnet.Conn) {
+	p.mu.Lock()
+	p.conn = c
+	p.connected = c != nil
+	if c != nil {
+		p.everConn = true
+	}
+	p.mu.Unlock()
+}
+
+// closeConn force-closes the current connection (shutdown path; the writer
+// goroutine owns reconnection).
+func (p *peer) closeConn() {
+	p.mu.Lock()
+	c := p.conn
+	p.conn = nil
+	p.connected = false
+	p.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// run is the writer goroutine: pop a frame, ensure a connection, write.
+// After Close begins it drains whatever remains over an already-established
+// connection but never dials anew.
+func (p *peer) run() {
+	defer p.t.writerWG.Done()
+	defer p.closeConn()
+	for {
+		frame, ok := p.q.pop()
+		if !ok {
+			return
+		}
+		p.write(frame)
+	}
+}
+
+// write pushes one frame out, redialing as needed. Returns once the frame
+// is written or abandoned (transport closing with no usable connection).
+func (p *peer) write(frame []byte) {
+	for {
+		p.mu.Lock()
+		conn := p.conn
+		p.mu.Unlock()
+		if conn == nil {
+			if p.t.closing() {
+				return // drain phase: no new dials
+			}
+			conn = p.dial()
+			if conn == nil {
+				return // transport closed while dialing
+			}
+			p.setConn(conn)
+		}
+		start := time.Now()
+		conn.SetWriteDeadline(start.Add(p.t.cfg.WriteTimeout))
+		if _, err := conn.Write(frame); err == nil {
+			p.t.m.writeLatency.Record(time.Since(start))
+			return
+		}
+		p.closeConn()
+		if p.t.closing() {
+			return
+		}
+	}
+}
+
+// dial connects to the peer, backing off exponentially with ±50% jitter
+// between attempts. Returns nil only when the transport is closing.
+func (p *peer) dial() stdnet.Conn {
+	backoff := p.t.cfg.DialMin
+	for {
+		if p.t.closing() {
+			return nil
+		}
+		conn, err := stdnet.DialTimeout("tcp", p.addr, p.t.cfg.DialMax)
+		if err == nil {
+			p.t.m.connects.Inc()
+			p.mu.Lock()
+			again := p.everConn
+			p.mu.Unlock()
+			if again {
+				p.t.m.reconnects.Inc()
+				p.t.logf("transport: reconnected to %v (%s)", p.id, p.addr)
+			}
+			return conn
+		}
+		wait := backoff/2 + time.Duration(mrand.Int63n(int64(backoff)+1))
+		select {
+		case <-p.t.stop:
+			return nil
+		case <-time.After(wait):
+		}
+		backoff *= 2
+		if backoff > p.t.cfg.DialMax {
+			backoff = p.t.cfg.DialMax
+		}
+	}
+}
+
+// --- bounded drop-oldest send queue ----------------------------------------
+
+// sendq is a bounded FIFO of encoded frames. When full, push evicts the
+// OLDEST frame: under sustained overload the receiver sees the freshest
+// window of traffic, which is what a timeout-driven protocol can actually
+// use (an ancient token only triggers the stale-view path anyway).
+type sendq struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    [][]byte
+	limit  int
+	closed bool
+}
+
+func newSendq(limit int) *sendq {
+	q := &sendq{limit: limit}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a frame, evicting the oldest if the queue is full. Returns
+// the resulting depth and whether an eviction happened. Pushing after close
+// discards the frame (not an overflow: the transport is shutting down).
+func (q *sendq) push(frame []byte) (depth int, dropped bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return len(q.buf), false
+	}
+	if len(q.buf) >= q.limit {
+		copy(q.buf, q.buf[1:])
+		q.buf[len(q.buf)-1] = frame
+		q.cond.Signal()
+		return len(q.buf), true
+	}
+	q.buf = append(q.buf, frame)
+	q.cond.Signal()
+	return len(q.buf), false
+}
+
+// pop blocks until a frame is available or the queue is closed AND empty;
+// after close, remaining frames still drain in order.
+func (q *sendq) pop() ([]byte, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.buf) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.buf) == 0 {
+		return nil, false
+	}
+	f := q.buf[0]
+	q.buf = q.buf[1:]
+	return f, true
+}
+
+// depth returns the current queue length.
+func (q *sendq) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf)
+}
+
+func (q *sendq) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+var _ Transport = (*TCP)(nil)

@@ -1,0 +1,59 @@
+// Package transport defines the point-to-point message transport that the
+// VS implementation runs over, and provides the real-socket realization of
+// it (tcp.go). The interface is extracted from what internal/vsimpl,
+// internal/membership, and internal/stack actually demand of the simulated
+// network: register one delivery handler per local processor, then fire
+// Send/Broadcast at will.
+//
+// Two implementations exist:
+//
+//   - internal/net.Network — the deterministic simulated network driven by
+//     the failure oracle of Figure 4. Every spec, chaos, and experiment run
+//     uses it; it is the default everywhere.
+//   - TCP (this package) — a length-prefixed framing over real sockets, one
+//     process per processor, used by the pgcsd daemon. Real transports have
+//     real faults (resets, refused connections, slow peers), so this side
+//     carries connection management the simulation never needed: dial
+//     backoff with jitter, reconnection, bounded drop-oldest send queues,
+//     and graceful drain on shutdown.
+//
+// The package deliberately does not import internal/codec (which sits above
+// vsimpl in the dependency order): the wire encoding is injected as a pair
+// of function values, so the same framing could carry any self-contained
+// payload encoding.
+package transport
+
+import (
+	"time"
+
+	"repro/internal/types"
+)
+
+// Packet is one point-to-point message as seen by a receiver.
+type Packet struct {
+	From, To types.ProcID
+	Payload  any
+}
+
+// Transport is the send/deliver contract shared by the simulated network
+// and the TCP transport. Implementations deliver packets by invoking the
+// handler registered for the destination; packets to a processor with no
+// registered handler are dropped.
+//
+// Handlers must be invoked one at a time per receiving processor: the
+// protocol layers above are single-threaded by design. The simulated
+// network gets this for free from the event loop; the TCP transport
+// serializes deliveries through its Submit hook.
+type Transport interface {
+	// Register installs the delivery handler for local processor p.
+	Register(p types.ProcID, h func(Packet))
+	// Send transmits payload from→to. Sending to oneself must loop back
+	// locally (still through the wire encoding, where one is configured, so
+	// no in-memory pointer survives the hop).
+	Send(from, to types.ProcID, payload any)
+	// Broadcast sends payload from→each member of dst except from itself.
+	Broadcast(from types.ProcID, dst types.ProcSet, payload any)
+	// Delta returns the advertised good-path delivery bound δ that the
+	// protocol timers are calibrated against.
+	Delta() time.Duration
+}

@@ -27,10 +27,10 @@ import (
 	"repro/internal/check"
 	"repro/internal/failures"
 	"repro/internal/membership"
-	"repro/internal/net"
 	"repro/internal/obs"
 	"repro/internal/props"
 	"repro/internal/sim"
+	"repro/internal/transport"
 	"repro/internal/types"
 )
 
@@ -163,7 +163,7 @@ type Node struct {
 	id       types.ProcID
 	universe types.ProcSet
 	sim      *sim.Sim
-	net      *net.Network
+	net      transport.Transport
 	oracle   *failures.Oracle
 	cfg      Config
 	handlers Handlers
@@ -219,7 +219,7 @@ type Stats struct {
 // NewNode creates the VS endpoint for processor id. Processors in p0 start
 // in the initial view ⟨g0, P0⟩; others start with no view. Call Start once
 // the whole system is wired.
-func NewNode(id types.ProcID, universe, p0 types.ProcSet, s *sim.Sim, nw *net.Network,
+func NewNode(id types.ProcID, universe, p0 types.ProcSet, s *sim.Sim, nw transport.Transport,
 	oracle *failures.Oracle, cfg Config, handlers Handlers) *Node {
 	if cfg.Pi <= 0 || cfg.Delta <= 0 || cfg.Mu <= 0 {
 		panic(fmt.Sprintf("vsimpl: non-positive timing parameter %+v", cfg))
@@ -291,7 +291,7 @@ type Resume struct {
 // after an amnesia crash: it holds no view (membership pulls it back in,
 // respecting the floors) and must replace a predecessor that has been
 // Stopped. Call Start once wired.
-func NewRecoveredNode(id types.ProcID, universe types.ProcSet, s *sim.Sim, nw *net.Network,
+func NewRecoveredNode(id types.ProcID, universe types.ProcSet, s *sim.Sim, nw transport.Transport,
 	oracle *failures.Oracle, cfg Config, res Resume, handlers Handlers) *Node {
 	n := NewNode(id, universe, types.ProcSet{}, s, nw, oracle, cfg, handlers)
 	n.sendSeq = res.SendSeqFloor
@@ -438,7 +438,7 @@ func (n *Node) install(v types.View) {
 }
 
 // receive dispatches an incoming packet.
-func (n *Node) receive(pkt net.Packet) {
+func (n *Node) receive(pkt transport.Packet) {
 	if n.dead || n.down() {
 		return
 	}

@@ -36,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "", "run a single experiment (E1..E14); default all")
+		exp        = flag.String("exp", "", "run a single experiment (E1..E15); default all")
 		seed       = flag.Int64("seed", 1, "seed for all randomized runs")
 		workers    = flag.Int("workers", runtime.NumCPU(), "parallel runs (1 = serial; output is identical either way)")
 		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
@@ -76,9 +76,22 @@ func main() {
 			fmt.Fprintln(os.Stderr, "FAIL: parallel sweep output diverged from serial")
 			exit(1)
 		}
-		if *minSpeedup > 0 && report.Cores >= 2 && report.Workers > 1 && report.Speedup < *minSpeedup {
-			fmt.Fprintf(os.Stderr, "FAIL: speedup %.2fx below required %.2fx\n", report.Speedup, *minSpeedup)
-			exit(1)
+		if *minSpeedup > 0 {
+			// The digest-equality gate above always runs; the speedup
+			// assertion is only meaningful with real parallelism available.
+			// Skipping must be loud: a silent pass on a 1-core runner looks
+			// identical to a real pass and hides a perf regression.
+			switch {
+			case report.Cores < 2:
+				fmt.Printf("SKIP: speedup gate (>= %.2fx): host has %d core(s); digest equality still checked\n",
+					*minSpeedup, report.Cores)
+			case report.Workers <= 1:
+				fmt.Printf("SKIP: speedup gate (>= %.2fx): running with %d worker(s); digest equality still checked\n",
+					*minSpeedup, report.Workers)
+			case report.Speedup < *minSpeedup:
+				fmt.Fprintf(os.Stderr, "FAIL: speedup %.2fx below required %.2fx\n", report.Speedup, *minSpeedup)
+				exit(1)
+			}
 		}
 		return
 	}
@@ -107,7 +120,7 @@ func main() {
 	} else {
 		run, ok := experiments.Runner(*exp)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E14)\n", *exp)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E15)\n", *exp)
 			exit(2)
 		}
 		tables = []*experiments.Table{run(*seed, *workers)}

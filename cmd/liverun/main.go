@@ -1,14 +1,24 @@
-// Command liverun orchestrates the full live-cluster pipeline the CI
-// live job runs: boot N pgcsd daemons on localhost, drive them with the
-// load generator, SIGKILL and restart one node mid-run, then merge every
-// node's delivery logs and fail unless the TO conformance checker
-// accepts the merged trace.
+// Command liverun orchestrates the live-cluster pipelines the CI live
+// jobs run.
+//
+// The default (single-scenario) mode boots N pgcsd daemons on localhost,
+// drives them with the load generator, SIGKILLs and restarts one node
+// mid-run, then merges every node's delivery logs and fails unless the
+// TO conformance checker accepts the merged trace:
 //
 //	liverun -pgcsd ./bin/pgcsd -n 5 -rate 200 -duration 30s -kill 2 -dir ./liverun-out
 //
-// Everything the run produces (configs, WALs, per-incarnation traces,
-// daemon logs, metric snapshots, report.json) lands in -dir, which CI
-// uploads as an artifact on failure.
+// -matrix instead runs the chaos-driven scenario matrix: one generated
+// fault schedule per scenario kind (stop waves, kill waves, rolling and
+// nested isolation, flapping and asymmetric links, leader kills, rolling
+// restarts, mixed soak), each against a fresh cluster, each checked for
+// TO conformance, per-node WAL rejoin safety, and non-vacuity:
+//
+//	liverun -pgcsd ./bin/pgcsd -matrix -n 10 -window 12s -checkpoint-bytes 65536 -dir ./matrix-out
+//
+// Everything a run produces (configs, WALs, per-incarnation traces,
+// daemon logs, metric snapshots, and a replayable scenario.json per
+// scenario) lands in -dir, which CI uploads as an artifact on failure.
 package main
 
 import (
@@ -16,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/live"
@@ -28,33 +39,82 @@ func main() {
 		n        = flag.Int("n", 5, "cluster size")
 		deltaMS  = flag.Int("delta-ms", 5, "the paper's delta, in milliseconds")
 		seed     = flag.Int64("seed", 1, "per-node simulator seed base")
-		basePort = flag.Int("base-port", 42600, "first of 2N consecutive localhost ports")
+		basePort = flag.Int("base-port", 23600, "first of 2N consecutive localhost ports (keep below the kernel ephemeral range)")
 		rate     = flag.Int("rate", 200, "target submissions per second")
-		duration = flag.Duration("duration", 30*time.Second, "load window")
+		duration = flag.Duration("duration", 30*time.Second, "load window (single-scenario mode)")
 		kill     = flag.Int("kill", -1, "node to SIGKILL and restart mid-run (-1 disables, 'auto' = n/2 via -kill-auto)")
 		killAuto = flag.Bool("kill-auto", false, "kill node n/2 mid-run")
+
+		matrix    = flag.Bool("matrix", false, "run the chaos-driven scenario matrix instead of one scripted run")
+		window    = flag.Duration("window", 12*time.Second, "fault-schedule window per scenario (matrix mode)")
+		settle    = flag.Duration("settle", 5*time.Second, "post-heal load interval per scenario (matrix mode)")
+		scenarios = flag.String("scenarios", "", "comma-separated scenario kinds (matrix mode; default: all)")
+		ckptBytes = flag.Int("checkpoint-bytes", 0, "WAL snapshot/compaction threshold per daemon (0 disables)")
 	)
 	flag.Parse()
 	if *pgcsd == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if *matrix {
+		var kinds []live.ScenarioKind
+		if *scenarios != "" {
+			for _, s := range strings.Split(*scenarios, ",") {
+				k, err := live.ParseScenarioKind(strings.TrimSpace(s))
+				if err != nil {
+					log.Fatal(err)
+				}
+				kinds = append(kinds, k)
+			}
+		}
+		res, err := live.RunMatrix(live.MatrixOptions{
+			Dir:             *dir,
+			PgcsdPath:       *pgcsd,
+			N:               *n,
+			Delta:           time.Duration(*deltaMS) * time.Millisecond,
+			Seed:            *seed,
+			BasePort:        *basePort,
+			Rate:            *rate,
+			Window:          *window,
+			Settle:          *settle,
+			CheckpointBytes: *ckptBytes,
+			Kinds:           kinds,
+			Logf:            log.Printf,
+		})
+		if res != nil {
+			for _, sr := range res.Scenarios {
+				status := "PASS"
+				if !sr.Passed() {
+					status = "FAIL"
+				}
+				fmt.Printf("%-18s %s  deliveries=%d order=%d restarts=%d injected=%v\n",
+					sr.Scenario.Kind, status, sr.Entry.Deliveries, sr.OrderLen, sr.Restarts, sr.Injected)
+			}
+			fmt.Printf("matrix: %d scenarios, %d failed\n", len(res.Scenarios), len(res.Failed))
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	killNode := *kill
 	if *killAuto {
 		killNode = *n / 2
 	}
-
 	res, err := live.Run(live.RunOptions{
-		Dir:       *dir,
-		PgcsdPath: *pgcsd,
-		N:         *n,
-		Delta:     time.Duration(*deltaMS) * time.Millisecond,
-		Seed:      *seed,
-		BasePort:  *basePort,
-		Rate:      *rate,
-		Duration:  *duration,
-		KillNode:  killNode,
-		Logf:      log.Printf,
+		Dir:             *dir,
+		PgcsdPath:       *pgcsd,
+		N:               *n,
+		Delta:           time.Duration(*deltaMS) * time.Millisecond,
+		Seed:            *seed,
+		BasePort:        *basePort,
+		Rate:            *rate,
+		Duration:        *duration,
+		KillNode:        killNode,
+		CheckpointBytes: *ckptBytes,
+		Logf:            log.Printf,
 	})
 	if res != nil {
 		lat := res.Entry.DeliveryLatency

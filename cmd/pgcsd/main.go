@@ -33,6 +33,7 @@ func main() {
 		walPath     = flag.String("wal", "", "write-ahead-log file (required; persists across restarts)")
 		tracePath   = flag.String("trace", "", "JSONL trace output for this incarnation (required)")
 		metricsPath = flag.String("metrics", "", "metrics snapshot JSON written on shutdown")
+		ckptBytes   = flag.Int("checkpoint-bytes", 0, "WAL snapshot/compaction threshold in bytes (0 disables)")
 		tickMS      = flag.Int("tick", 2, "pacer granularity in milliseconds")
 		quiet       = flag.Bool("quiet", false, "suppress progress logging")
 	)
@@ -55,8 +56,9 @@ func main() {
 		Self:        types.ProcID(*id),
 		WALPath:     *walPath,
 		TracePath:   *tracePath,
-		MetricsPath: *metricsPath,
-		Tick:        durationMS(*tickMS),
+		MetricsPath:     *metricsPath,
+		CheckpointBytes: *ckptBytes,
+		Tick:            durationMS(*tickMS),
 		Logf:        logf,
 	})
 	if err != nil {

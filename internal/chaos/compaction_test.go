@@ -1,0 +1,41 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// TestAmnesiaCampaignsWithCompaction reruns the amnesia and torn-write
+// campaigns with WAL snapshot/compaction armed: every rejoin now replays
+// a checkpoint plus a suffix (possibly of a prefix-truncated log) instead
+// of the full history, and every built-in check — conformance, recovery
+// liveness, rejoin safety, non-vacuity — must still pass. The campaign is
+// only evidence if checkpoints actually happen and the prefix is actually
+// discarded somewhere, so both are asserted across the seeds.
+func TestAmnesiaCampaignsWithCompaction(t *testing.T) {
+	checkpoints, compacted := 0, 0
+	for seed := int64(1); seed <= 5; seed++ {
+		for _, ct := range []CampaignType{Amnesia, TornWrite} {
+			r := Run(Config{Campaign: ct, Seed: seed, CheckpointBytes: 1024})
+			if r.Failed() {
+				t.Errorf("%s seed=%d ckpt=1024: %v", ct, seed, r.Violation)
+				continue
+			}
+			if len(r.Cluster.Crashes) == 0 {
+				t.Errorf("%s seed=%d: no amnesia crash — campaign is vacuous", ct, seed)
+			}
+			for _, p := range r.Cluster.Procs.Members() {
+				n := r.Cluster.Node(p)
+				checkpoints += n.Checkpoints()
+				if n.WAL().Storage().Base() > 0 {
+					compacted++
+				}
+			}
+		}
+	}
+	if checkpoints == 0 {
+		t.Error("no node ever checkpointed across the compaction campaigns — threshold never reached")
+	}
+	if compacted == 0 {
+		t.Error("no node ever discarded a WAL prefix — compaction never fired")
+	}
+}

@@ -42,6 +42,11 @@ type Config struct {
 	// torn-write campaign, which defaults it to δ/4 so amnesia strikes can
 	// land while WAL records are in flight.
 	StorageLatency time.Duration
+	// CheckpointBytes passes stack.Options.CheckpointBytes through: WAL
+	// snapshot/compaction every so many log bytes (0 disables). The
+	// amnesia campaigns run with it set in tests, proving recovery from a
+	// compacted log preserves rejoin safety.
+	CheckpointBytes int
 	// SkipRecoveryReplay passes stack.Options.SkipRecoveryReplay through:
 	// amnesia recovery restarts from an empty snapshot instead of a WAL
 	// replay. Tests use it to verify the harness catches (and shrinks to) a
@@ -152,6 +157,7 @@ func Run(cfg Config) *Result {
 	c := stack.NewCluster(stack.Options{
 		Seed: cfg.Seed, N: cfg.N, Delta: cfg.Delta, Wire: cfg.Wire,
 		StorageLatency:     cfg.StorageLatency,
+		CheckpointBytes:    cfg.CheckpointBytes,
 		SkipRecoveryReplay: cfg.SkipRecoveryReplay,
 		Obs:                reg,
 	})

@@ -52,9 +52,10 @@ var runnerList = []runner{
 	{"E12", func(s int64, _ int) *Table { return E12(s) }},
 	{"E13", func(s int64, _ int) *Table { return E13(s) }},
 	{"E14", func(s int64, _ int) *Table { return E14(s) }},
+	{"E15", func(s int64, _ int) *Table { return E15(s) }},
 }
 
-// Runner looks up one experiment by ID ("E1".."E14", case-insensitive) as a
+// Runner looks up one experiment by ID ("E1".."E15", case-insensitive) as a
 // workers-parameterized function.
 func Runner(id string) (func(seed int64, workers int) *Table, bool) {
 	id = strings.ToUpper(id)

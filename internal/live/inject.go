@@ -3,7 +3,9 @@ package live
 import (
 	"fmt"
 	"os/exec"
+	"sync"
 	"syscall"
+	"time"
 
 	"repro/internal/failures"
 	"repro/internal/types"
@@ -22,12 +24,19 @@ import (
 type Proc struct {
 	ID  types.ProcID
 	Cmd *exec.Cmd
+
+	// The process may only be Wait()ed once; every reap path funnels
+	// through the single background reaper waitChan starts.
+	waitOnce sync.Once
+	waitDone chan struct{}
+	waitErr  error
 }
 
 // Apply maps a processor status onto the live process. Good after a
 // SIGSTOP resumes; reviving a SIGKILLed process needs a restart, which
 // only the orchestrator can do (it owns the spawn parameters) — Apply
-// reports that case as an error so callers route it there.
+// reports that case as an error so callers route it there. Signalling an
+// already-exited process reports os.ErrProcessDone.
 func (p *Proc) Apply(status failures.Status) error {
 	switch status {
 	case failures.Bad:
@@ -47,13 +56,74 @@ func (p *Proc) Pause() error { return p.signal(syscall.SIGSTOP) }
 // Resume delivers SIGCONT (failures.Good after Bad).
 func (p *Proc) Resume() error { return p.signal(syscall.SIGCONT) }
 
-// Kill delivers SIGKILL (failures.Amnesia) and reaps the process.
+// Kill delivers SIGKILL (failures.Amnesia) and reaps the process,
+// bounded: SIGKILL cannot be caught or blocked (it kills even a stopped
+// process), so a reap that still times out means the process is wedged
+// in the kernel — reported rather than leaked.
 func (p *Proc) Kill() error {
 	if err := p.signal(syscall.SIGKILL); err != nil {
 		return err
 	}
-	p.Cmd.Wait() // reap; exit status is necessarily "killed"
-	return nil
+	select {
+	case <-p.waitChan():
+		return nil // exit status is necessarily "killed"
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("live: node %v: unreaped 10s after SIGKILL", p.ID)
+	}
+}
+
+// WaitExit reaps the process within timeout, escalating to SIGKILL at
+// the deadline (a SIGSTOPped or wedged daemon never exits on its own)
+// and bounding the post-kill reap too, so no reaper goroutine can leak
+// forever on a wedged process. A clean or killed exit returns nil; an
+// escalation or an unreapable process is an error the caller surfaces —
+// a daemon that had to be SIGKILLed out of a graceful stop may have torn
+// its final trace lines.
+func (p *Proc) WaitExit(timeout time.Duration) error {
+	select {
+	case <-p.waitChan():
+		return nil
+	case <-time.After(timeout):
+	}
+	if err := p.signal(syscall.SIGKILL); err == nil {
+		select {
+		case <-p.waitChan():
+			return fmt.Errorf("live: node %v: not exited after %v; SIGKILLed", p.ID, timeout)
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("live: node %v: unreaped 10s after SIGKILL escalation", p.ID)
+		}
+	}
+	// The signal failing means the process exited in the race window;
+	// the reaper observes it promptly.
+	select {
+	case <-p.waitChan():
+		return nil
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("live: node %v: unreaped after exit race", p.ID)
+	}
+}
+
+// Exited reports whether the process has been reaped.
+func (p *Proc) Exited() bool {
+	select {
+	case <-p.waitChan():
+		return true
+	default:
+		return false
+	}
+}
+
+// waitChan starts (once) the background reaper and returns the channel
+// it closes when the process has exited and been reaped.
+func (p *Proc) waitChan() <-chan struct{} {
+	p.waitOnce.Do(func() {
+		p.waitDone = make(chan struct{})
+		go func() {
+			p.waitErr = p.Cmd.Wait()
+			close(p.waitDone)
+		}()
+	})
+	return p.waitDone
 }
 
 func (p *Proc) signal(sig syscall.Signal) error {

@@ -2,6 +2,7 @@ package live
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,7 +30,24 @@ type LoadOptions struct {
 	// cap the generator skips its turn rather than queueing unboundedly
 	// into a partitioned or killed node.
 	MaxOutstanding int
-	Logf           func(string, ...any)
+	// Profile picks which node each submission targets: "uniform"
+	// (default) round-robins; "zipfian" skews toward low-index nodes
+	// (rand.Zipf, s=1.2), concentrating load the way real clients pile
+	// onto a few frontends — a skewed origin mix stresses the total-order
+	// path differently than a uniform one.
+	Profile string
+	// Arrival shapes submission timing: "steady" (default) paces at Rate;
+	// "bursty" alternates 500ms at 4×Rate with 1.5s of silence (same
+	// average), hammering flow control and timer slack at the burst edges.
+	Arrival string
+	// OpenLoop disables the MaxOutstanding backpressure: submissions keep
+	// coming at the arrival schedule regardless of delivery progress, the
+	// way an open-loop client population would. Skips then only count dead
+	// connections.
+	OpenLoop bool
+	// Seed fixes the profile's randomness (zipfian node choice). 0 means 1.
+	Seed int64
+	Logf  func(string, ...any)
 }
 
 // connSlot is one node's client connection; reconnects replace c.
@@ -65,9 +83,53 @@ func RunLoad(opts LoadOptions) (experiments.BenchEntry, error) {
 	if opts.MaxOutstanding <= 0 {
 		opts.MaxOutstanding = 256
 	}
+	if opts.Profile == "" {
+		opts.Profile = "uniform"
+	}
+	if opts.Arrival == "" {
+		opts.Arrival = "steady"
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
 	logf := opts.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
+	}
+
+	// Node choice per submission slot.
+	var pick func(seq int) int
+	switch opts.Profile {
+	case "uniform":
+		pick = func(seq int) int { return seq % len(opts.Addrs) }
+	case "zipfian":
+		rng := rand.New(rand.NewSource(opts.Seed))
+		zipf := rand.NewZipf(rng, 1.2, 1, uint64(len(opts.Addrs)-1))
+		pick = func(int) int { return int(zipf.Uint64()) }
+	default:
+		return experiments.BenchEntry{}, fmt.Errorf("loadgen: unknown profile %q", opts.Profile)
+	}
+
+	// Submission schedule: offset from start for the seq'th submission.
+	var schedule func(seq int) time.Duration
+	switch opts.Arrival {
+	case "steady":
+		interval := time.Second / time.Duration(opts.Rate)
+		schedule = func(seq int) time.Duration { return time.Duration(seq) * interval }
+	case "bursty":
+		// 2s cycle: all of the cycle's submissions land in the first
+		// 500ms (4× the average rate), then 1.5s of silence.
+		const cycle, burst = 2 * time.Second, 500 * time.Millisecond
+		perCycle := opts.Rate * 2
+		if perCycle < 1 {
+			perCycle = 1
+		}
+		schedule = func(seq int) time.Duration {
+			return time.Duration(seq/perCycle)*cycle +
+				time.Duration(seq%perCycle)*(burst/time.Duration(perCycle))
+		}
+	default:
+		return experiments.BenchEntry{}, fmt.Errorf("loadgen: unknown arrival %q", opts.Arrival)
 	}
 
 	var (
@@ -142,18 +204,18 @@ func RunLoad(opts LoadOptions) (experiments.BenchEntry, error) {
 		}(i, s)
 	}
 
-	// Submission loop: fixed-rate round-robin with per-connection
-	// backpressure.
-	interval := time.Second / time.Duration(opts.Rate)
+	// Submission loop: profile picks the node, the arrival schedule paces,
+	// and (closed-loop only) per-connection backpressure skips a full node.
 	start := time.Now()
 	deadline := start.Add(opts.Duration)
 	seq := 0
 	for time.Now().Before(deadline) {
-		s := slots[seq%len(slots)]
-		if s.outstanding.Load() >= int64(opts.MaxOutstanding) {
+		node := pick(seq)
+		s := slots[node]
+		if !opts.OpenLoop && s.outstanding.Load() >= int64(opts.MaxOutstanding) {
 			skips.Add(1)
 		} else {
-			value := fmt.Sprintf("g%d-%d-%s", seq%len(slots), seq, opts.RunID)
+			value := fmt.Sprintf("g%d-%d-%s", node, seq, opts.RunID)
 			submitTimes.Store(value, time.Now())
 			s.outstanding.Add(1)
 			if err := s.client().Submit(value); err != nil {
@@ -165,7 +227,7 @@ func RunLoad(opts LoadOptions) (experiments.BenchEntry, error) {
 			}
 		}
 		seq++
-		next := start.Add(time.Duration(seq) * interval)
+		next := start.Add(schedule(seq))
 		if d := time.Until(next); d > 0 {
 			time.Sleep(d)
 		}
@@ -200,7 +262,7 @@ func RunLoad(opts LoadOptions) (experiments.BenchEntry, error) {
 
 	entry := experiments.BenchEntry{
 		Experiment:      "live",
-		Scenario:        fmt.Sprintf("loadgen-n%d-rate%d", len(opts.Addrs), opts.Rate),
+		Scenario:        fmt.Sprintf("loadgen-n%d-rate%d-%s-%s", len(opts.Addrs), opts.Rate, opts.Profile, opts.Arrival),
 		VirtualNS:       elapsed.Nanoseconds(), // wall time: live runs have no virtual clock
 		Bcasts:          totalSubmitted,
 		Deliveries:      delivered.Load(),

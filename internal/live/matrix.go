@@ -1,0 +1,410 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// ScenarioOptions configures one chaos-driven live scenario: a real
+// N-process cluster under load while a generated fault schedule drives
+// the process/socket injector.
+type ScenarioOptions struct {
+	Dir       string
+	PgcsdPath string
+	N         int
+	Delta     time.Duration
+	Seed      int64
+	BasePort  int
+	// Rate drives the loadgen for the whole scenario (window + settle).
+	Rate int
+	// Window is the fault schedule's active interval (default 12s). After
+	// it the runner heals everything and lets the cluster settle under
+	// continuing load before the graceful stop.
+	Window time.Duration
+	// Settle is the post-heal load interval (default 5s) — the traffic
+	// that proves the healed cluster delivers again.
+	Settle time.Duration
+	// CheckpointBytes arms WAL compaction at every daemon (0 disables).
+	CheckpointBytes int
+	// Profile / Arrival / OpenLoop select the loadgen shape (see
+	// LoadOptions); empty strings mean uniform/steady.
+	Profile  string
+	Arrival  string
+	OpenLoop bool
+	Logf     func(string, ...any)
+}
+
+// ScenarioResult is one scenario's replayable artifact: the exact fault
+// schedule that ran plus every check's verdict and the evidence the run
+// was not vacuous.
+type ScenarioResult struct {
+	Scenario Scenario               `json:"scenario"`
+	Entry    experiments.BenchEntry `json:"entry"`
+	OrderLen int                    `json:"order_len"`
+	// Injected counts executed actions per kind; InjectErrs lists
+	// injection failures (an action against a node that died first is
+	// recorded, not fatal).
+	Injected   map[string]int `json:"injected"`
+	InjectErrs []string       `json:"inject_errs,omitempty"`
+	// Restarts counts post-boot incarnations summed over nodes.
+	Restarts int `json:"restarts"`
+	// StopErrs lists nodes whose graceful exit had to be escalated.
+	StopErrs []string `json:"stop_errs,omitempty"`
+	CheckOK  bool     `json:"check_ok"`
+	CheckErr string   `json:"check_err,omitempty"`
+	// RejoinOK is the per-node WAL/trace rejoin-safety verdict
+	// (CheckRejoinWAL over every node's final WAL and incarnation
+	// traces).
+	RejoinOK  bool   `json:"rejoin_ok"`
+	RejoinErr string `json:"rejoin_err,omitempty"`
+}
+
+// Passed reports whether every check held and the run was non-vacuous.
+func (r *ScenarioResult) Passed() bool { return r.CheckOK && r.RejoinOK }
+
+// RunScenario generates the scenario deterministically from (kind, Seed,
+// N, Window), runs it against a fresh cluster in opts.Dir, and writes the
+// artifact to <Dir>/scenario.json. The returned error covers
+// infrastructure failures and check violations alike: nil means the
+// cluster survived the schedule, the merged trace is a TO-machine trace,
+// every restarted node rejoined against its WAL safely, and traffic
+// actually flowed.
+func RunScenario(kind ScenarioKind, opts ScenarioOptions) (*ScenarioResult, error) {
+	if opts.Window <= 0 {
+		opts.Window = 12 * time.Second
+	}
+	if opts.Settle <= 0 {
+		opts.Settle = 5 * time.Second
+	}
+	if opts.BasePort <= 0 {
+		opts.BasePort = 23600
+	}
+	if opts.Rate <= 0 {
+		opts.Rate = 100
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	sc, err := GenerateScenario(kind, opts.Seed, opts.N, opts.Window)
+	if err != nil {
+		return nil, err
+	}
+	res := &ScenarioResult{Scenario: sc, Injected: make(map[string]int)}
+
+	cfg := makeConfig(opts.N, opts.Delta, opts.Seed, opts.BasePort)
+	cl, err := newCluster(opts.Dir, opts.PgcsdPath, cfg, opts.CheckpointBytes, logf)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.killAll()
+	if err := cl.spawnAll(); err != nil {
+		return nil, err
+	}
+	if err := cl.readyAll(); err != nil {
+		return nil, err
+	}
+	logf("scenario %s: %d nodes ready, %d actions over %v", kind, opts.N, len(sc.Actions), opts.Window)
+
+	// Load runs for the whole scenario plus the settle tail; the injector
+	// walks the schedule concurrently.
+	type loadOut struct {
+		entry experiments.BenchEntry
+		err   error
+	}
+	loadDone := make(chan loadOut, 1)
+	go func() {
+		entry, err := RunLoad(LoadOptions{
+			Addrs:    cl.clientAddrs(),
+			Rate:     opts.Rate,
+			Duration: opts.Window + opts.Settle,
+			RunID:    fmt.Sprintf("%s-s%d", kind, opts.Seed),
+			Profile:  opts.Profile,
+			Arrival:  opts.Arrival,
+			OpenLoop: opts.OpenLoop,
+			Seed:     opts.Seed,
+			Logf:     logf,
+		})
+		loadDone <- loadOut{entry, err}
+	}()
+
+	start := time.Now()
+	injectErr := cl.inject(sc, start, res, logf)
+	cl.healSweep(res, logf)
+	logf("scenario %s: schedule done (%d actions), settling", kind, len(sc.Actions))
+
+	load := <-loadDone
+	if load.err != nil {
+		return nil, fmt.Errorf("live: loadgen: %w", load.err)
+	}
+	res.Entry = load.entry
+	if injectErr != nil {
+		return nil, injectErr // unrecoverable injection failure (e.g. respawn)
+	}
+
+	for _, err := range cl.stopAll(10 * time.Second) {
+		res.StopErrs = append(res.StopErrs, err.Error())
+	}
+
+	logs, err := cl.mergedLogs()
+	if err != nil {
+		return nil, err
+	}
+	chk, checkErr := CheckMergedTO(logs)
+	res.OrderLen = chk.OrderLen()
+	res.CheckOK = checkErr == nil
+	if checkErr != nil {
+		res.CheckErr = checkErr.Error()
+	}
+
+	res.RejoinOK = true
+	for i := 0; i < opts.N; i++ {
+		if err := CheckRejoinWAL(cl.walPath(i), cl.traceFiles(i)); err != nil {
+			res.RejoinOK = false
+			res.RejoinErr = err.Error()
+			break
+		}
+	}
+
+	cl.mu.Lock()
+	for _, r := range cl.restarts {
+		res.Restarts += r - 1
+	}
+	cl.mu.Unlock()
+
+	if b, err := json.MarshalIndent(res, "", "  "); err == nil {
+		os.WriteFile(filepath.Join(opts.Dir, "scenario.json"), append(b, '\n'), 0o644)
+	}
+
+	if checkErr != nil {
+		return res, fmt.Errorf("live: %s: TO conformance: %w", kind, checkErr)
+	}
+	if !res.RejoinOK {
+		return res, fmt.Errorf("live: %s: rejoin safety: %s", kind, res.RejoinErr)
+	}
+	// Non-vacuity: traffic flowed, an order formed, faults actually
+	// landed, and the kinds that promise restarts produced them.
+	total := 0
+	for _, c := range res.Injected {
+		total += c
+	}
+	if res.Entry.Deliveries == 0 || res.OrderLen == 0 || total == 0 {
+		return res, fmt.Errorf("live: %s: vacuous run: deliveries=%d order=%d injected=%d",
+			kind, res.Entry.Deliveries, res.OrderLen, total)
+	}
+	switch kind {
+	case KillWaves, LeaderKill, RollingRestart:
+		if res.Restarts == 0 {
+			return res, fmt.Errorf("live: %s: vacuous run: no node ever restarted", kind)
+		}
+	}
+	return res, nil
+}
+
+// inject walks the schedule in time order against the live cluster.
+// Per-action failures (a kill racing an already-dead process, a control
+// connection to a paused node) are recorded in res and injection
+// continues; only a failed respawn aborts, because the cluster can no
+// longer reach the healed end state the checks assume.
+func (cl *cluster) inject(sc Scenario, start time.Time, res *ScenarioResult, logf func(string, ...any)) error {
+	actions := append([]Action(nil), sc.Actions...)
+	sort.SliceStable(actions, func(i, j int) bool { return actions[i].AtMS < actions[j].AtMS })
+	for _, a := range actions {
+		if d := time.Until(start.Add(time.Duration(a.AtMS) * time.Millisecond)); d > 0 {
+			time.Sleep(d)
+		}
+		if err := cl.apply(a, logf); err != nil {
+			if a.Kind == ActRestart || a.Kind == ActCycle {
+				return fmt.Errorf("live: inject %s node %d: %w", a.Kind, a.Node, err)
+			}
+			res.InjectErrs = append(res.InjectErrs, fmt.Sprintf("%s node %d at %dms: %v", a.Kind, a.Node, a.AtMS, err))
+			continue
+		}
+		res.Injected[string(a.Kind)]++
+	}
+	return nil
+}
+
+// apply executes one action.
+func (cl *cluster) apply(a Action, logf func(string, ...any)) error {
+	p := cl.proc(a.Node)
+	switch a.Kind {
+	case ActSigstop:
+		logf("inject: SIGSTOP node %d", a.Node)
+		return p.Pause()
+	case ActSigcont:
+		logf("inject: SIGCONT node %d", a.Node)
+		return p.Resume()
+	case ActSigkill:
+		logf("inject: SIGKILL node %d", a.Node)
+		return p.Kill()
+	case ActRestart:
+		if p != nil && !p.Exited() {
+			return nil // node never died; nothing to revive
+		}
+		logf("inject: restart node %d", a.Node)
+		return cl.spawn(a.Node)
+	case ActLpause:
+		logf("inject: LPAUSE node %d", a.Node)
+		return cl.control(a.Node, (*Client).PauseListener)
+	case ActLresume:
+		logf("inject: LRESUME node %d", a.Node)
+		return cl.control(a.Node, (*Client).ResumeListener)
+	case ActCycle:
+		logf("inject: cycle node %d", a.Node)
+		if c, err := DialClient(cl.cfg.Nodes[a.Node].ClientAddr, 5*time.Second); err == nil {
+			c.Stop()
+			c.Close()
+		}
+		if err := p.WaitExit(10 * time.Second); err != nil {
+			return err
+		}
+		return cl.spawn(a.Node)
+	default:
+		return fmt.Errorf("unknown action %q", a.Kind)
+	}
+}
+
+// control runs one listener command over a short-lived client connection.
+func (cl *cluster) control(id int, fn func(*Client) error) error {
+	c, err := DialClient(cl.cfg.Nodes[id].ClientAddr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return fn(c)
+}
+
+// healSweep forces the fully-healed end state the checks assume,
+// regardless of what the schedule left behind: every process running
+// (SIGCONT is a no-op on a running one, dead nodes are respawned) and
+// every listener accepting. Errors against healthy nodes are expected
+// (LRESUME on a never-paused listener is still OK; a redundant SIGCONT
+// is too) and ignored; a failed respawn is counted so non-vacuity can
+// catch a cluster that never fully healed.
+func (cl *cluster) healSweep(res *ScenarioResult, logf func(string, ...any)) {
+	for i := range cl.cfg.Nodes {
+		p := cl.proc(i)
+		if p == nil || p.Exited() {
+			logf("heal: respawning node %d", i)
+			if err := cl.spawn(i); err != nil {
+				res.InjectErrs = append(res.InjectErrs, fmt.Sprintf("heal respawn node %d: %v", i, err))
+			}
+			continue
+		}
+		p.Resume()
+	}
+	for i := range cl.cfg.Nodes {
+		cl.control(i, (*Client).ResumeListener)
+	}
+}
+
+// MatrixOptions configures a full scenario-matrix run.
+type MatrixOptions struct {
+	Dir       string
+	PgcsdPath string
+	N         int
+	Delta     time.Duration
+	Seed      int64
+	BasePort  int
+	Rate      int
+	Window    time.Duration
+	Settle    time.Duration
+	// CheckpointBytes arms WAL compaction in every scenario (0 disables).
+	CheckpointBytes int
+	// Kinds defaults to the full ScenarioKinds matrix.
+	Kinds []ScenarioKind
+	Logf  func(string, ...any)
+}
+
+// MatrixResult is the whole matrix's outcome.
+type MatrixResult struct {
+	Scenarios []*ScenarioResult `json:"scenarios"`
+	// Failed names the scenarios whose run or checks failed.
+	Failed []string `json:"failed,omitempty"`
+}
+
+// loadShapes rotates the loadgen profile across the matrix so every
+// scenario family meets more than one traffic shape over the seeds.
+var loadShapes = []struct {
+	profile, arrival string
+	open             bool
+}{
+	{"uniform", "steady", false},
+	{"zipfian", "steady", false},
+	{"uniform", "bursty", false},
+	{"zipfian", "bursty", true},
+}
+
+// RunMatrix runs every scenario kind, each in its own subdirectory and
+// port range, writing one replayable scenario.json artifact per scenario
+// and matrix.json at the top. Scenarios run sequentially (each wants the
+// machine to itself); a failing scenario doesn't stop the rest. The
+// returned error summarizes the failures, if any.
+func RunMatrix(opts MatrixOptions) (*MatrixResult, error) {
+	kinds := opts.Kinds
+	if len(kinds) == 0 {
+		kinds = ScenarioKinds
+	}
+	if opts.BasePort <= 0 {
+		// Below the kernel's ephemeral range (net.ipv4.ip_local_port_range,
+		// 32768+ by default): an outbound dial must never be handed one of
+		// our listen ports as its source port, or the daemon's bind fails
+		// with EADDRINUSE.
+		opts.BasePort = 23600
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	res := &MatrixResult{}
+	for i, kind := range kinds {
+		shape := loadShapes[i%len(loadShapes)]
+		logf("=== scenario %d/%d: %s (load %s/%s) ===", i+1, len(kinds), kind, shape.profile, shape.arrival)
+		sr, err := RunScenario(kind, ScenarioOptions{
+			Dir:             filepath.Join(opts.Dir, string(kind)),
+			PgcsdPath:       opts.PgcsdPath,
+			N:               opts.N,
+			Delta:           opts.Delta,
+			Seed:            opts.Seed + int64(i),
+			BasePort:        opts.BasePort + i*2*opts.N, // fresh ports: no TIME_WAIT collisions
+			Rate:            opts.Rate,
+			Window:          opts.Window,
+			Settle:          opts.Settle,
+			CheckpointBytes: opts.CheckpointBytes,
+			Profile:         shape.profile,
+			Arrival:         shape.arrival,
+			OpenLoop:        shape.open,
+			Logf:            logf,
+		})
+		if sr != nil {
+			res.Scenarios = append(res.Scenarios, sr)
+		}
+		if err != nil {
+			logf("scenario %s FAILED: %v", kind, err)
+			res.Failed = append(res.Failed, fmt.Sprintf("%s: %v", kind, err))
+		} else {
+			logf("scenario %s ok: %d deliveries, order %d, %d restarts",
+				kind, sr.Entry.Deliveries, sr.OrderLen, sr.Restarts)
+		}
+	}
+
+	if b, err := json.MarshalIndent(res, "", "  "); err == nil {
+		os.WriteFile(filepath.Join(opts.Dir, "matrix.json"), append(b, '\n'), 0o644)
+	}
+	if len(res.Failed) > 0 {
+		return res, fmt.Errorf("live: %d/%d scenarios failed: %v", len(res.Failed), len(kinds), res.Failed)
+	}
+	return res, nil
+}

@@ -34,6 +34,12 @@ type EngineOptions struct {
 	// MetricsPath, when non-empty, receives a JSON metrics snapshot on
 	// Close.
 	MetricsPath string
+	// CheckpointBytes arms WAL snapshot/compaction: every so many bytes
+	// of log growth the node appends a checkpoint record and the WAL
+	// file's prefix before the previous checkpoint is discarded, so a
+	// daemon killed hours into a soak replays the last checkpoint plus a
+	// bounded suffix instead of its whole history. 0 disables.
+	CheckpointBytes int
 	// Tick is the pacer granularity (default 2ms wall time).
 	Tick time.Duration
 	// Logf logs progress (default: silent).
@@ -56,7 +62,7 @@ type Engine struct {
 
 	origin time.Time // wall instant of sim time zero
 
-	walFile   *os.File
+	walFile   *walMirror
 	traceFile *os.File
 	traceW    *bufio.Writer
 
@@ -145,16 +151,14 @@ func StartEngine(opts EngineOptions) (*Engine, error) {
 		Stopped: make(chan struct{}),
 	}
 
-	// WAL: prior contents route the boot through recovery; the append
-	// handle mirrors every newly durable byte.
-	walData, err := os.ReadFile(opts.WALPath)
-	if err != nil && !os.IsNotExist(err) {
-		return nil, fmt.Errorf("live: read WAL: %w", err)
-	}
-	e.walFile, err = os.OpenFile(opts.WALPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	// WAL: prior contents (torn tail physically discarded) route the boot
+	// through recovery; the mirror appends every newly durable byte and
+	// rewrites the file when compaction discards the prefix.
+	walData, walFile, err := openWALMirror(opts.WALPath)
 	if err != nil {
 		return nil, fmt.Errorf("live: open WAL: %w", err)
 	}
+	e.walFile = walFile
 
 	e.traceFile, err = os.Create(opts.TracePath)
 	if err != nil {
@@ -198,17 +202,18 @@ func StartEngine(opts EngineOptions) (*Engine, error) {
 
 	e.mu.Lock()
 	e.node = stack.NewLiveNode(stack.LiveOptions{
-		Self:      opts.Self,
-		Universe:  opts.Config.Universe(),
-		P0:        opts.Config.P0Set(),
-		Delta:     opts.Config.Delta(),
-		Sim:       e.sim,
-		Transport: e.tr,
-		WALData:   walData,
-		WALMirror: e.walFile,
-		Log:       lg,
-		Obs:       e.reg,
-		OnDeliver: e.onDeliver,
+		Self:            opts.Self,
+		Universe:        opts.Config.Universe(),
+		P0:              opts.Config.P0Set(),
+		Delta:           opts.Config.Delta(),
+		Sim:             e.sim,
+		Transport:       e.tr,
+		WALData:         walData,
+		WALMirror:       e.walFile,
+		CheckpointBytes: opts.CheckpointBytes,
+		Log:             lg,
+		Obs:             e.reg,
+		OnDeliver:       e.onDeliver,
 	})
 	e.mu.Unlock()
 	if len(walData) > 0 {

@@ -4,14 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"os/exec"
 	"path/filepath"
-	"sync"
 	"time"
 
 	"repro/internal/experiments"
-	"repro/internal/props"
-	"repro/internal/types"
 )
 
 // RunOptions configures an orchestrated live-cluster run: N daemon
@@ -27,7 +23,7 @@ type RunOptions struct {
 	N         int
 	Delta     time.Duration
 	Seed      int64
-	BasePort  int // first of 2N consecutive localhost ports (default 42600)
+	BasePort  int // first of 2N consecutive localhost ports (default 23600, below the ephemeral range)
 	// Rate and Duration drive the load phase (see LoadOptions).
 	Rate     int
 	Duration time.Duration
@@ -36,7 +32,10 @@ type RunOptions struct {
 	// Negative disables the fault.
 	KillNode     int
 	RestartDelay time.Duration
-	Logf         func(string, ...any)
+	// CheckpointBytes arms WAL snapshot/compaction at every daemon
+	// (0 disables).
+	CheckpointBytes int
+	Logf            func(string, ...any)
 }
 
 // RunResult is the orchestrated run's outcome. CheckErr carries the
@@ -47,6 +46,9 @@ type RunResult struct {
 	OrderLen int                    `json:"order_len"`
 	CheckOK  bool                   `json:"check_ok"`
 	CheckErr string                 `json:"check_err,omitempty"`
+	// StopErrs lists nodes whose graceful exit had to be SIGKILLed —
+	// tolerated (the merge reader handles torn trace tails) but surfaced.
+	StopErrs []string `json:"stop_errs,omitempty"`
 }
 
 // Run executes the full live pipeline and writes report.json into Dir.
@@ -58,96 +60,24 @@ func Run(opts RunOptions) (*RunResult, error) {
 		opts.RestartDelay = 2 * time.Second
 	}
 	if opts.BasePort <= 0 {
-		opts.BasePort = 42600
+		opts.BasePort = 23600
 	}
 	logf := opts.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+
+	cfg := makeConfig(opts.N, opts.Delta, opts.Seed, opts.BasePort)
+	cl, err := newCluster(opts.Dir, opts.PgcsdPath, cfg, opts.CheckpointBytes, logf)
+	if err != nil {
 		return nil, err
 	}
-
-	cfg := &Config{DeltaMS: int(opts.Delta / time.Millisecond), Seed: opts.Seed}
-	if cfg.DeltaMS <= 0 {
-		cfg.DeltaMS = 5
-	}
-	for i := 0; i < opts.N; i++ {
-		cfg.Nodes = append(cfg.Nodes, NodeConfig{
-			ID:         i,
-			Addr:       fmt.Sprintf("127.0.0.1:%d", opts.BasePort+2*i),
-			ClientAddr: fmt.Sprintf("127.0.0.1:%d", opts.BasePort+2*i+1),
-		})
-	}
-	cfgPath := filepath.Join(opts.Dir, "cluster.json")
-	cfgBytes, _ := json.MarshalIndent(cfg, "", "  ")
-	if err := os.WriteFile(cfgPath, cfgBytes, 0o644); err != nil {
+	defer cl.killAll()
+	if err := cl.spawnAll(); err != nil {
 		return nil, err
 	}
-
-	// Per-node spawn state: restart counter and the trace files every
-	// incarnation wrote, in boot order.
-	var mu sync.Mutex
-	procs := make(map[int]*Proc, opts.N)
-	restarts := make(map[int]int, opts.N)
-	traces := make(map[int][]string, opts.N)
-
-	spawn := func(id int) error {
-		mu.Lock()
-		defer mu.Unlock()
-		r := restarts[id]
-		trace := filepath.Join(opts.Dir, fmt.Sprintf("node%d.r%d.jsonl", id, r))
-		stdout, err := os.Create(filepath.Join(opts.Dir, fmt.Sprintf("node%d.r%d.log", id, r)))
-		if err != nil {
-			return err
-		}
-		cmd := exec.Command(opts.PgcsdPath,
-			"-config", cfgPath,
-			"-id", fmt.Sprint(id),
-			"-wal", filepath.Join(opts.Dir, fmt.Sprintf("node%d.wal", id)),
-			"-trace", trace,
-			"-metrics", filepath.Join(opts.Dir, fmt.Sprintf("node%d.r%d.metrics.json", id, r)),
-		)
-		cmd.Stdout = stdout
-		cmd.Stderr = stdout
-		if err := cmd.Start(); err != nil {
-			stdout.Close()
-			return err
-		}
-		procs[id] = &Proc{ID: types.ProcID(id), Cmd: cmd}
-		traces[id] = append(traces[id], trace)
-		restarts[id] = r + 1
-		logf("node %d up (incarnation %d, pid %d)", id, r, cmd.Process.Pid)
-		return nil
-	}
-
-	cleanup := func() {
-		mu.Lock()
-		defer mu.Unlock()
-		for _, p := range procs {
-			p.Cmd.Process.Kill()
-			p.Cmd.Wait()
-		}
-	}
-	defer cleanup()
-
-	for i := 0; i < opts.N; i++ {
-		if err := spawn(i); err != nil {
-			return nil, fmt.Errorf("live: spawn node %d: %w", i, err)
-		}
-	}
-
-	// Readiness: every daemon's event loop answers a ping.
-	for _, n := range cfg.Nodes {
-		c, err := DialClient(n.ClientAddr, 30*time.Second)
-		if err != nil {
-			return nil, fmt.Errorf("live: node %d never came up: %w", n.ID, err)
-		}
-		err = c.Ping(10 * time.Second)
-		c.Close()
-		if err != nil {
-			return nil, fmt.Errorf("live: node %d not ready: %w", n.ID, err)
-		}
+	if err := cl.readyAll(); err != nil {
+		return nil, err
 	}
 	logf("all %d nodes ready", opts.N)
 
@@ -157,28 +87,21 @@ func Run(opts RunOptions) (*RunResult, error) {
 	if opts.KillNode >= 0 && opts.KillNode < opts.N {
 		go func() {
 			time.Sleep(opts.Duration / 2)
-			mu.Lock()
-			p := procs[opts.KillNode]
-			mu.Unlock()
 			logf("killing node %d", opts.KillNode)
-			if err := p.Kill(); err != nil {
+			if err := cl.proc(opts.KillNode).Kill(); err != nil {
 				faultDone <- err
 				return
 			}
 			time.Sleep(opts.RestartDelay)
 			logf("restarting node %d", opts.KillNode)
-			faultDone <- spawn(opts.KillNode)
+			faultDone <- cl.spawn(opts.KillNode)
 		}()
 	} else {
 		faultDone <- nil
 	}
 
-	addrs := make([]string, opts.N)
-	for i, n := range cfg.Nodes {
-		addrs[i] = n.ClientAddr
-	}
 	entry, err := RunLoad(LoadOptions{
-		Addrs:    addrs,
+		Addrs:    cl.clientAddrs(),
 		Rate:     opts.Rate,
 		Duration: opts.Duration,
 		RunID:    fmt.Sprintf("s%d", opts.Seed),
@@ -191,38 +114,23 @@ func Run(opts RunOptions) (*RunResult, error) {
 		return nil, fmt.Errorf("live: fault injection: %w", err)
 	}
 
-	// Graceful stop: daemons flush traces and write metric snapshots.
-	for _, n := range cfg.Nodes {
-		if c, err := DialClient(n.ClientAddr, 5*time.Second); err == nil {
-			c.Stop()
-			c.Close()
-		}
-	}
-	mu.Lock()
-	ps := make([]*Proc, 0, len(procs))
-	for _, p := range procs {
-		ps = append(ps, p)
-	}
-	mu.Unlock()
-	for _, p := range ps {
-		waitProc(p, 10*time.Second)
+	// Graceful stop: daemons flush traces and write metric snapshots. An
+	// escalated exit is surfaced, not fatal.
+	res := &RunResult{Entry: entry}
+	for _, err := range cl.stopAll(10 * time.Second) {
+		logf("stop: %v", err)
+		res.StopErrs = append(res.StopErrs, err.Error())
 	}
 
 	// Merge per-node logs and check TO conformance.
-	logs := make(map[types.ProcID]*props.Log, opts.N)
-	for i := 0; i < opts.N; i++ {
-		mu.Lock()
-		files := append([]string(nil), traces[i]...)
-		mu.Unlock()
-		lg, err := ReadTraceFiles(files...)
-		if err != nil {
-			return nil, fmt.Errorf("live: node %d trace: %w", i, err)
-		}
-		logs[types.ProcID(i)] = lg
+	logs, err := cl.mergedLogs()
+	if err != nil {
+		return nil, err
 	}
 	chk, checkErr := CheckMergedTO(logs)
 
-	res := &RunResult{Entry: entry, OrderLen: chk.OrderLen(), CheckOK: checkErr == nil}
+	res.OrderLen = chk.OrderLen()
+	res.CheckOK = checkErr == nil
 	if checkErr != nil {
 		res.CheckErr = checkErr.Error()
 	}
@@ -237,19 +145,4 @@ func Run(opts RunOptions) (*RunResult, error) {
 			entry.Deliveries, chk.OrderLen())
 	}
 	return res, nil
-}
-
-// waitProc reaps p, SIGKILLing if it outlives the timeout.
-func waitProc(p *Proc, timeout time.Duration) {
-	done := make(chan struct{})
-	go func() {
-		p.Cmd.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-time.After(timeout):
-		p.Cmd.Process.Kill()
-		<-done
-	}
 }

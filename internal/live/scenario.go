@@ -1,0 +1,354 @@
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ScenarioKind names one family of live fault scenarios. These port the
+// chaos campaign shapes (internal/chaos) from the simulated failure
+// oracle to real faults against real processes: the Figure 4 statuses
+// become signals (Bad→SIGSTOP, Good→SIGCONT, Amnesia→SIGKILL+restart)
+// and channel faults become listener pauses (LPAUSE severs every inbound
+// link to a node — a coarse one-way fault: the node still sends, but
+// hears nothing).
+type ScenarioKind string
+
+const (
+	// StopWaves: waves of minority SIGSTOPs with staggered SIGCONTs —
+	// the live analogue of chaos.CrashRestart's Bad/Good waves. State
+	// survives intact; only timing is violated.
+	StopWaves ScenarioKind = "stop-waves"
+	// KillWaves: waves of minority SIGKILLs with staggered restarts —
+	// the live analogue of chaos.Amnesia. Every restart replays the WAL
+	// file and rejoins one incarnation up.
+	KillWaves ScenarioKind = "kill-waves"
+	// RollingIsolation: a sequence of shifting minority LPAUSE sets,
+	// each replacing the previous — the live analogue of
+	// chaos.RollingPartition.
+	RollingIsolation ScenarioKind = "rolling-isolation"
+	// NestedIsolation: one set isolated, then a second inside the
+	// remainder, healed inner-first — the live analogue of
+	// chaos.NestedPartition.
+	NestedIsolation ScenarioKind = "nested-isolation"
+	// FlappingLinks: one or two victims toggling LPAUSE/LRESUME at
+	// periods far below the membership timescale — chaos.Flapping.
+	FlappingLinks ScenarioKind = "flapping-links"
+	// AsymmetricLinks: per phase, one victim's listener is paused while
+	// its own sends still flow — a genuinely one-way fault, rotated
+	// across victims — chaos.Asymmetric.
+	AsymmetricLinks ScenarioKind = "asymmetric-links"
+	// LeaderKill: SIGKILL targeted at the lowest-ID live node (the ring
+	// leader), restarted, then the strike cascades to the next leader —
+	// chaos.LeaderCrash.
+	LeaderKill ScenarioKind = "leader-kill"
+	// RollingRestart: every node gracefully cycled (STOP, exit, respawn)
+	// exactly once under load — the operational upgrade drill; no chaos
+	// analogue, the oracle cannot express an orderly stop.
+	RollingRestart ScenarioKind = "rolling-restart"
+	// MixedFaults: the soak adversary — every few hundred ms one of
+	// SIGSTOP / SIGKILL / LPAUSE against a random node, each healed
+	// before the next strike — chaos.Mixed.
+	MixedFaults ScenarioKind = "mixed-faults"
+)
+
+// ScenarioKinds lists every scenario kind, in the matrix's fixed order.
+var ScenarioKinds = []ScenarioKind{
+	StopWaves, KillWaves, RollingIsolation, NestedIsolation, FlappingLinks,
+	AsymmetricLinks, LeaderKill, RollingRestart, MixedFaults,
+}
+
+// ParseScenarioKind validates a scenario name.
+func ParseScenarioKind(s string) (ScenarioKind, error) {
+	for _, k := range ScenarioKinds {
+		if string(k) == s {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("live: unknown scenario %q (have %v)", s, ScenarioKinds)
+}
+
+// ActionKind is one injector primitive.
+type ActionKind string
+
+const (
+	// ActSigstop / ActSigcont / ActSigkill deliver the signal to the
+	// node's process (Proc.Pause/Resume/Kill).
+	ActSigstop ActionKind = "sigstop"
+	ActSigcont ActionKind = "sigcont"
+	ActSigkill ActionKind = "sigkill"
+	// ActRestart respawns a killed node's daemon (same WAL file, fresh
+	// incarnation); a no-op if the node is alive.
+	ActRestart ActionKind = "restart"
+	// ActLpause / ActLresume toggle the node's peer listener over the
+	// control connection (transport.TCP.PauseListener/ResumeListener):
+	// paused, the node accepts no inbound peer traffic but still sends.
+	ActLpause  ActionKind = "lpause"
+	ActLresume ActionKind = "lresume"
+	// ActCycle gracefully cycles the node: STOP over the control
+	// connection, bounded wait for exit, respawn.
+	ActCycle ActionKind = "cycle"
+)
+
+// Action is one timed fault primitive against one node.
+type Action struct {
+	AtMS int64      `json:"at_ms"` // offset from scenario start
+	Node int        `json:"node"`
+	Kind ActionKind `json:"kind"`
+}
+
+// Scenario is one replayable fault schedule: (Kind, Seed, N, WindowMS)
+// regenerate Actions exactly, and Actions alone replay without the
+// generator. The matrix runner writes the whole struct into each
+// artifact.
+type Scenario struct {
+	Kind     ScenarioKind `json:"kind"`
+	Seed     int64        `json:"seed"`
+	N        int          `json:"n"`
+	WindowMS int64        `json:"window_ms"`
+	Actions  []Action     `json:"actions"`
+}
+
+// GenerateScenario produces the fault schedule of the given kind,
+// deterministically from (kind, seed, n, window). Every generator keeps
+// the concurrently-faulted node count at or below (n-1)/2, so a strict
+// majority stays mutually connected throughout — the primary component
+// survives and the run cannot be vacuous by construction — and emits
+// every heal strictly inside the window (the runner adds a defensive
+// heal sweep after it regardless).
+func GenerateScenario(kind ScenarioKind, seed int64, n int, window time.Duration) (Scenario, error) {
+	if n < 3 {
+		return Scenario{}, fmt.Errorf("live: scenarios need n >= 3, have %d", n)
+	}
+	if window < 2*time.Second {
+		return Scenario{}, fmt.Errorf("live: scenario window %v too short (need >= 2s)", window)
+	}
+	g := &sgen{
+		rng:    rand.New(rand.NewSource(seed)),
+		n:      n,
+		window: window,
+		budget: (n - 1) / 2,
+	}
+	switch kind {
+	case StopWaves:
+		g.waves(ActSigstop, ActSigcont)
+	case KillWaves:
+		g.waves(ActSigkill, ActRestart)
+	case RollingIsolation:
+		g.rollingIsolation()
+	case NestedIsolation:
+		g.nestedIsolation()
+	case FlappingLinks:
+		g.flappingLinks()
+	case AsymmetricLinks:
+		g.asymmetricLinks()
+	case LeaderKill:
+		g.leaderKill()
+	case RollingRestart:
+		g.rollingRestart()
+	case MixedFaults:
+		g.mixedFaults()
+	default:
+		return Scenario{}, fmt.Errorf("live: unknown scenario %q", kind)
+	}
+	g.sort()
+	return Scenario{
+		Kind: kind, Seed: seed, N: n,
+		WindowMS: window.Milliseconds(),
+		Actions:  g.out,
+	}, nil
+}
+
+type sgen struct {
+	rng    *rand.Rand
+	n      int
+	window time.Duration
+	budget int // max concurrently faulted nodes: (n-1)/2
+	out    []Action
+}
+
+// act emits one action, clamped strictly inside the window.
+func (g *sgen) act(t time.Duration, node int, kind ActionKind) {
+	if t < 0 {
+		t = 0
+	}
+	if t >= g.window {
+		t = g.window - time.Millisecond
+	}
+	g.out = append(g.out, Action{AtMS: t.Milliseconds(), Node: node, Kind: kind})
+}
+
+// sort orders actions by time, stably: same-instant actions keep their
+// emission order (heals before the next wave's faults when tied).
+func (g *sgen) sort() {
+	// Insertion sort: schedules are tens of actions and stability matters.
+	for i := 1; i < len(g.out); i++ {
+		for j := i; j > 0 && g.out[j].AtMS < g.out[j-1].AtMS; j-- {
+			g.out[j], g.out[j-1] = g.out[j-1], g.out[j]
+		}
+	}
+}
+
+// victims picks k distinct nodes.
+func (g *sgen) victims(k int) []int {
+	return g.rng.Perm(g.n)[:k]
+}
+
+// dwell picks a duration in [lo, hi); a window too tight to leave room
+// (hi <= lo) degenerates to lo rather than panicking.
+func (g *sgen) dwell(lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(g.rng.Int63n(int64(hi-lo)))
+}
+
+// waves is the shared shape of StopWaves and KillWaves: each wave faults
+// a random minority, heals it before the next wave starts.
+func (g *sgen) waves(fault, heal ActionKind) {
+	waves := 3 + g.rng.Intn(3)
+	spacing := g.window / time.Duration(waves+1)
+	maxDwell := 800 * time.Millisecond
+	if half := spacing / 2; maxDwell > half {
+		maxDwell = half
+	}
+	for i := 0; i < waves; i++ {
+		start := time.Duration(i+1) * spacing
+		k := 1 + g.rng.Intn(g.budget)
+		for _, v := range g.victims(k) {
+			at := start + g.dwell(0, 100*time.Millisecond)
+			g.act(at, v, fault)
+			g.act(at+g.dwell(200*time.Millisecond, maxDwell), v, heal)
+		}
+	}
+}
+
+func (g *sgen) rollingIsolation() {
+	t := g.window / 8
+	for t < g.window-1500*time.Millisecond {
+		k := 1 + g.rng.Intn(g.budget)
+		hold := g.dwell(400*time.Millisecond, time.Second)
+		for _, v := range g.victims(k) {
+			g.act(t, v, ActLpause)
+			g.act(t+hold, v, ActLresume)
+		}
+		t += hold + g.dwell(200*time.Millisecond, 500*time.Millisecond)
+	}
+}
+
+func (g *sgen) nestedIsolation() {
+	w := g.window
+	k1 := 1 + g.rng.Intn(max(1, g.budget/2))
+	// The inner cut only exists if the budget leaves room beside the outer
+	// one; at budget 1 (n=3) the shape degrades to a single held isolation.
+	k2 := 0
+	if g.budget > k1 {
+		k2 = 1 + g.rng.Intn(g.budget-k1)
+	}
+	perm := g.victims(k1 + k2)
+	s1, s2 := perm[:k1], perm[k1:]
+	for _, v := range s1 {
+		g.act(w/6, v, ActLpause)
+	}
+	for _, v := range s2 {
+		g.act(2*w/6, v, ActLpause) // nested cut while s1 is still isolated
+	}
+	for _, v := range s2 {
+		g.act(4*w/6, v, ActLresume) // heal inner-first
+	}
+	for _, v := range s1 {
+		g.act(5*w/6, v, ActLresume)
+	}
+}
+
+func (g *sgen) flappingLinks() {
+	w := g.window
+	victims := 1 + g.rng.Intn(2)
+	if victims > g.budget {
+		victims = g.budget
+	}
+	for _, v := range g.victims(victims) {
+		t := g.dwell(0, w/4)
+		for t < w-time.Second {
+			g.act(t, v, ActLpause)
+			t += g.dwell(150*time.Millisecond, 400*time.Millisecond)
+			g.act(t, v, ActLresume)
+			t += g.dwell(150*time.Millisecond, 400*time.Millisecond)
+		}
+	}
+}
+
+func (g *sgen) asymmetricLinks() {
+	w := g.window
+	phases := 3 + g.rng.Intn(3)
+	span := w / time.Duration(phases)
+	for i := 0; i < phases; i++ {
+		start := time.Duration(i) * span
+		v := g.rng.Intn(g.n)
+		at := start + g.dwell(0, span/4)
+		g.act(at, v, ActLpause) // v still sends; hears nothing
+		g.act(start+span-100*time.Millisecond, v, ActLresume)
+	}
+}
+
+func (g *sgen) leaderKill() {
+	w := g.window
+	strikes := 2 + g.rng.Intn(2)
+	spacing := w / time.Duration(strikes+1)
+	// The leader is the minimum live processor; a strike always hits the
+	// current leader and the restart lands before the next strike, so
+	// leadership cascades down the ring one node at a time.
+	downUntil := make([]time.Duration, g.n)
+	for i := 0; i < strikes; i++ {
+		at := time.Duration(i+1) * spacing
+		leader := -1
+		for p := 0; p < g.n; p++ {
+			if downUntil[p] <= at {
+				leader = p
+				break
+			}
+		}
+		if leader < 0 {
+			continue
+		}
+		g.act(at, leader, ActSigkill)
+		lo, hi := time.Second, spacing-500*time.Millisecond
+		if hi <= lo {
+			// Tight window: restart mid-gap so the next strike still finds
+			// this node back up (one leader down at a time, always).
+			lo, hi = spacing/4, spacing/2
+		}
+		up := at + g.dwell(lo, hi)
+		g.act(up, leader, ActRestart)
+		downUntil[leader] = up
+	}
+}
+
+func (g *sgen) rollingRestart() {
+	spacing := g.window / time.Duration(g.n+1)
+	for i := 0; i < g.n; i++ {
+		g.act(time.Duration(i+1)*spacing, i, ActCycle)
+	}
+}
+
+func (g *sgen) mixedFaults() {
+	w := g.window
+	t := w / 8
+	for t < w-1500*time.Millisecond {
+		v := g.rng.Intn(g.n)
+		hold := g.dwell(300*time.Millisecond, 900*time.Millisecond)
+		switch g.rng.Intn(3) {
+		case 0:
+			g.act(t, v, ActSigstop)
+			g.act(t+hold, v, ActSigcont)
+		case 1:
+			g.act(t, v, ActSigkill)
+			g.act(t+hold, v, ActRestart)
+		case 2:
+			g.act(t, v, ActLpause)
+			g.act(t+hold, v, ActLresume)
+		}
+		t += hold + g.dwell(200*time.Millisecond, 600*time.Millisecond)
+	}
+}

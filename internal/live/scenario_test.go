@@ -1,0 +1,136 @@
+package live
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestGenerateScenarioDeterministic(t *testing.T) {
+	for _, kind := range ScenarioKinds {
+		a, err := GenerateScenario(kind, 7, 10, 12*time.Second)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		b, err := GenerateScenario(kind, 7, 10, 12*time.Second)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed, different schedules", kind)
+		}
+		if kind == RollingRestart {
+			continue // seed-free by design: one cycle per node, fixed spacing
+		}
+		c, err := GenerateScenario(kind, 8, 10, 12*time.Second)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if reflect.DeepEqual(a.Actions, c.Actions) {
+			t.Errorf("%s: seeds 7 and 8 generated identical schedules", kind)
+		}
+	}
+}
+
+// TestScenarioBudgetAndWindow replays every generated schedule as a
+// fault-set simulation: at no instant may more than (n-1)/2 nodes be
+// faulted (the primary component must survive — the non-vacuity
+// guarantee is by construction), every fault must be healed by the end,
+// and every action must land strictly inside the window.
+func TestScenarioBudgetAndWindow(t *testing.T) {
+	for _, kind := range ScenarioKinds {
+		for _, n := range []int{3, 5, 10} {
+			for _, window := range []time.Duration{2 * time.Second, 5 * time.Second, 12 * time.Second} {
+				for seed := int64(1); seed <= 5; seed++ {
+					sc, err := GenerateScenario(kind, seed, n, window)
+					if err != nil {
+						t.Fatalf("%s n=%d w=%v seed=%d: %v", kind, n, window, seed, err)
+					}
+					if len(sc.Actions) == 0 {
+						t.Errorf("%s n=%d w=%v seed=%d: empty schedule", kind, n, window, seed)
+						continue
+					}
+					budget := (n - 1) / 2
+					faulted := map[int]bool{}
+					last := int64(0)
+					for _, a := range sc.Actions {
+						if a.AtMS < 0 || a.AtMS >= sc.WindowMS {
+							t.Errorf("%s n=%d w=%v seed=%d: action at %dms outside [0, %d)",
+								kind, n, window, seed, a.AtMS, sc.WindowMS)
+						}
+						if a.AtMS < last {
+							t.Errorf("%s n=%d w=%v seed=%d: schedule not sorted", kind, n, window, seed)
+						}
+						last = a.AtMS
+						if a.Node < 0 || a.Node >= n {
+							t.Errorf("%s n=%d w=%v seed=%d: node %d out of range", kind, n, window, seed, a.Node)
+						}
+						switch a.Kind {
+						case ActSigstop, ActSigkill, ActLpause:
+							faulted[a.Node] = true
+						case ActSigcont, ActRestart, ActLresume:
+							delete(faulted, a.Node)
+						case ActCycle:
+							// Graceful in-place cycle: down and back within the
+							// runner's bounded wait, never concurrent with another
+							// cycle by construction (one per node, spaced).
+						default:
+							t.Fatalf("%s: unknown action kind %q", kind, a.Kind)
+						}
+						if len(faulted) > budget {
+							t.Fatalf("%s n=%d w=%v seed=%d: %d nodes faulted at %dms, budget %d",
+								kind, n, window, seed, len(faulted), a.AtMS, budget)
+						}
+					}
+					if len(faulted) != 0 {
+						t.Errorf("%s n=%d w=%v seed=%d: %d nodes still faulted at window end: %v",
+							kind, n, window, seed, len(faulted), faulted)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRollingRestartCyclesEveryNodeOnce(t *testing.T) {
+	sc, err := GenerateScenario(RollingRestart, 1, 10, 12*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for _, a := range sc.Actions {
+		if a.Kind != ActCycle {
+			t.Fatalf("rolling restart emitted %q", a.Kind)
+		}
+		seen[a.Node]++
+	}
+	for i := 0; i < 10; i++ {
+		if seen[i] != 1 {
+			t.Errorf("node %d cycled %d times, want exactly once", i, seen[i])
+		}
+	}
+}
+
+func TestGenerateScenarioRejects(t *testing.T) {
+	if _, err := GenerateScenario(StopWaves, 1, 2, 12*time.Second); err == nil {
+		t.Error("n=2 accepted")
+	}
+	if _, err := GenerateScenario(StopWaves, 1, 5, time.Second); err == nil {
+		t.Error("1s window accepted")
+	}
+	if _, err := GenerateScenario(ScenarioKind("bogus"), 1, 5, 12*time.Second); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestParseScenarioKind(t *testing.T) {
+	for _, k := range ScenarioKinds {
+		got, err := ParseScenarioKind(string(k))
+		if err != nil || got != k {
+			t.Errorf("ParseScenarioKind(%q) = %v, %v", k, got, err)
+		}
+	}
+	if _, err := ParseScenarioKind("nope"); err == nil {
+		t.Error("bad kind parsed")
+	}
+}

@@ -1,0 +1,194 @@
+package live
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/recovery"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// walImage builds a small valid WAL image (via a real WAL on a
+// zero-latency simulated device) and the offset of its last record.
+func walImage(t *testing.T) (img []byte, lastRec int) {
+	t.Helper()
+	s := sim.New(1)
+	w := recovery.New(storage.New(s, 0))
+	view := types.View{ID: types.ViewID{Epoch: 2, Proc: 1}, Set: types.RangeProcSet(3)}
+	la := types.Label{ID: view.ID, Seqno: 1, Origin: 1}
+	w.View(view, nil)
+	w.Establish([]types.Label{la}, 1, view.ID, nil)
+	w.Bcast(1, "a", nil)
+	w.Label(1, la, "a", nil)
+	lastRec = w.EndOffset()
+	w.Deliver(1, la, 1, 1, "a", nil)
+	if err := s.Run(s.Now().Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	return w.Storage().Contents(), lastRec
+}
+
+func TestOpenWALMirrorDiscardsTornTail(t *testing.T) {
+	img, lastRec := walImage(t)
+	path := filepath.Join(t.TempDir(), "node.wal")
+	// Tear the final record: keep its header plus part of the payload,
+	// then add garbage the next boot must never append after.
+	torn := append(append([]byte(nil), img[:lastRec+10]...), "garbage"...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, m, err := openWALMirror(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if !bytes.Equal(data, img[:lastRec]) {
+		t.Fatalf("retained %d bytes, want the clean prefix of %d", len(data), lastRec)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, img[:lastRec]) {
+		t.Fatalf("file holds %d bytes, want physical truncation to %d", len(onDisk), lastRec)
+	}
+	// Appends land right after the retained prefix: the next replay reads
+	// them (bytes after a tear would have been dead).
+	if _, err := m.Write([]byte("XY")); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, _ = os.ReadFile(path)
+	if len(onDisk) != lastRec+2 {
+		t.Fatalf("file is %d bytes after append, want %d", len(onDisk), lastRec+2)
+	}
+}
+
+func TestOpenWALMirrorFreshFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.wal")
+	data, m, err := openWALMirror(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if len(data) != 0 {
+		t.Fatalf("fresh file returned %d bytes", len(data))
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("file not created: %v", err)
+	}
+}
+
+func TestWALMirrorTruncatePrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.wal")
+	_, m, err := openWALMirror(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Write([]byte("aaaabbbb")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TruncatePrefix(4); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, _ := os.ReadFile(path)
+	if !bytes.Equal(onDisk, []byte("bbbb")) {
+		t.Fatalf("file = %q, want the suffix", onDisk)
+	}
+	// At or below origin: no-op. Beyond the end: refused.
+	if err := m.TruncatePrefix(2); err != nil {
+		t.Fatalf("no-op truncation errored: %v", err)
+	}
+	if err := m.TruncatePrefix(100); err == nil {
+		t.Fatal("truncation beyond the end accepted")
+	}
+	// The append handle survives the rename; offsets stay logical.
+	if _, err := m.Write([]byte("cc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TruncatePrefix(8); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, _ = os.ReadFile(path)
+	if !bytes.Equal(onDisk, []byte("cc")) {
+		t.Fatalf("file = %q after second truncation, want %q", onDisk, "cc")
+	}
+	// No half-rewritten temp file left behind.
+	if _, err := os.Stat(path + ".compact"); !os.IsNotExist(err) {
+		t.Fatalf("compact temp file left behind: %v", err)
+	}
+}
+
+// The full loop a live node runs: a WAL over a mirrored device,
+// compaction armed; after checkpoints truncate the prefix, a fresh boot
+// over the file must replay to a valid snapshot whose head is a
+// checkpoint.
+func TestWALMirrorCompactionSurvivesReboot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.wal")
+	_, m, err := openWALMirror(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(1)
+	st := storage.New(s, 0)
+	st.Mirror = m
+	w := recovery.New(st)
+	w.SetCompact(true)
+	view := types.View{ID: types.ViewID{Epoch: 2, Proc: 1}, Set: types.RangeProcSet(3)}
+	la := types.Label{ID: view.ID, Seqno: 1, Origin: 1}
+	lb := types.Label{ID: view.ID, Seqno: 2, Origin: 2}
+	w.View(view, nil)
+	w.Establish([]types.Label{la}, 1, view.ID, nil)
+	cs := recovery.CheckpointState{
+		HasView: true, View: view,
+		Order:       []types.Label{la},
+		Content:     map[types.Label]types.Value{la: "a"},
+		NextConfirm: 2, HighPrimary: view.ID, DeliveredCount: 1,
+		Incarnations: 1,
+	}
+	c1 := w.EndOffset()
+	w.Checkpoint(cs, nil)
+	w.OrderAppend(lb, "b", nil)
+	cs2 := cs
+	cs2.Order = []types.Label{la, lb}
+	cs2.Content = map[types.Label]types.Value{la: "a", lb: "b"}
+	w.Checkpoint(cs2, nil)
+	if err := s.Run(s.Now().Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Base() != c1 {
+		t.Fatalf("device Base = %d, want compaction at %d", st.Base(), c1)
+	}
+	onDisk, _ := os.ReadFile(path)
+	if len(onDisk) != st.Size() {
+		t.Fatalf("file %d bytes, device %d: mirror diverged", len(onDisk), st.Size())
+	}
+
+	// Reboot: the retained file must open clean and replay from the first
+	// checkpoint through the second.
+	data, m2, err := openWALMirror(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	snap := recovery.Replay(data)
+	if snap.Truncated != "" {
+		t.Fatalf("rebooted replay truncated: %s", snap.Truncated)
+	}
+	if snap.Checkpoints != 2 || len(snap.Order) != 2 {
+		t.Errorf("rebooted replay: checkpoints=%d order=%v", snap.Checkpoints, snap.Order)
+	}
+	// Two-generation discipline: the head of the retained log is itself a
+	// valid checkpoint (the older of the two).
+	if snap.PrevCheckpointAt != 0 {
+		t.Errorf("retained log's first checkpoint at %d, want the head (0)", snap.PrevCheckpointAt)
+	}
+}

@@ -1,0 +1,194 @@
+package recovery
+
+import (
+	"sort"
+
+	"repro/internal/codec"
+	"repro/internal/types"
+)
+
+// CheckpointState is the full VStoTO-critical state a checkpoint record
+// captures: everything Replay would otherwise fold together from the
+// log's history. A valid checkpoint therefore makes every record before
+// it redundant, which is what lets compaction discard the prefix — a
+// daemon killed hours into a soak replays the last checkpoint plus the
+// post-checkpoint suffix instead of the whole history.
+//
+// The delivered prefix is stored as a count, not a list: delivery i is
+// reconstructed from the order — its label is Order[i], its origin the
+// label's, its origin sequence number a running per-origin counter, and
+// its value Content[Order[i]] — exactly the identities the stack's
+// originSeq computes at delivery time.
+type CheckpointState struct {
+	// HasView and View mirror Snapshot: the last installed view (the
+	// membership floor).
+	HasView bool
+	View    types.View
+	// Order, NextConfirm, HighPrimary mirror the VStoTO state.
+	Order       []types.Label
+	NextConfirm int
+	HighPrimary types.ViewID
+	// Content is the label→value relation; it must cover every label in
+	// Order and may hold extras (labeled values not yet ordered).
+	Content map[types.Label]types.Value
+	// DeliveredCount is the length of the delivered (released) prefix of
+	// Order.
+	DeliveredCount int
+	// Pending are durable submissions never labeled, in submission order.
+	Pending []PendingValue
+	// BcastSeq is the highest submission sequence number used.
+	BcastSeq int
+	// Incarnations is the number of durable recovery markers at capture
+	// time.
+	Incarnations int
+}
+
+// Checkpoint appends a checkpoint record capturing cs and calls done once
+// it is durable. The caller must capture cs at a quiescent instant: the
+// in-memory state must equal a replay of the log's enqueued prefix (no
+// write-ahead record in flight), or the checkpoint would disagree with
+// the records around it.
+//
+// When compaction is enabled (SetCompact), the durability callback also
+// discards the log prefix before the previous checkpoint, keeping two
+// generations: the head of the retained log is always the previous valid
+// checkpoint, so a bit-flipped latest checkpoint still falls back to a
+// full replay of what is retained. A checkpoint torn by a crash never
+// truncates anything (the device suppresses its completion).
+func (w *WAL) Checkpoint(cs CheckpointState, done func()) {
+	x := w.record()
+	x.U8(recCheckpoint)
+	if cs.HasView {
+		x.U8(1)
+		x.View(cs.View)
+	} else {
+		x.U8(0)
+	}
+	x.U32(uint32(len(cs.Order)))
+	for _, l := range cs.Order {
+		x.Label(l)
+		x.Str(string(cs.Content[l]))
+	}
+	extras := make([]types.Label, 0, len(cs.Content)-len(cs.Order))
+	inOrder := make(map[types.Label]bool, len(cs.Order))
+	for _, l := range cs.Order {
+		inOrder[l] = true
+	}
+	for l := range cs.Content {
+		if !inOrder[l] {
+			extras = append(extras, l)
+		}
+	}
+	sort.Slice(extras, func(i, j int) bool { return extras[i].Less(extras[j]) })
+	x.U32(uint32(len(extras)))
+	for _, l := range extras {
+		x.Label(l)
+		x.Str(string(cs.Content[l]))
+	}
+	x.I32(cs.NextConfirm)
+	x.ViewID(cs.HighPrimary)
+	x.I32(cs.DeliveredCount)
+	x.U32(uint32(len(cs.Pending)))
+	for _, pv := range cs.Pending {
+		x.I32(pv.Seq)
+		x.Str(string(pv.Value))
+	}
+	x.I32(cs.BcastSeq)
+	x.I32(cs.Incarnations)
+
+	start := w.endOff
+	w.append(x.Data(), func() {
+		if w.compact && w.prevCkpt >= 0 {
+			w.st.TruncatePrefix(w.prevCkpt)
+		}
+		if done != nil {
+			done()
+		}
+	})
+	w.prevCkpt = w.lastCkpt
+	w.lastCkpt = start
+}
+
+// decodeCheckpoint folds a checkpoint payload (tag already consumed) into
+// the snapshot, replacing the accumulated state wholesale; it returns a
+// truncation reason for undecodable or internally inconsistent records.
+func (s *Snapshot) decodeCheckpoint(r *codec.Reader, pending map[int]types.Value) string {
+	hasView := r.U8() == 1
+	var view types.View
+	if hasView {
+		view = r.View()
+	}
+	n := int(r.U32())
+	if n < 0 || n > r.Rest() {
+		return "bad checkpoint record: oversized order"
+	}
+	order := make([]types.Label, 0, n)
+	content := make(map[types.Label]types.Value, n)
+	for i := 0; i < n; i++ {
+		l := r.Label()
+		order = append(order, l)
+		content[l] = types.Value(r.Str())
+	}
+	extras := int(r.U32())
+	if extras < 0 || extras > r.Rest() {
+		return "bad checkpoint record: oversized content"
+	}
+	for i := 0; i < extras; i++ {
+		l := r.Label()
+		content[l] = types.Value(r.Str())
+	}
+	next := r.I32()
+	high := r.ViewID()
+	delivered := r.I32()
+	np := int(r.U32())
+	if np < 0 || np > r.Rest() {
+		return "bad checkpoint record: oversized pending"
+	}
+	pend := make([]PendingValue, 0, np)
+	for i := 0; i < np; i++ {
+		seq := r.I32()
+		pend = append(pend, PendingValue{Seq: seq, Value: types.Value(r.Str())})
+	}
+	bcastSeq := r.I32()
+	incarnations := r.I32()
+	if r.Err() != nil || next < 1 || delivered < 0 || delivered > len(order) ||
+		bcastSeq < 0 || incarnations < 0 {
+		return "bad checkpoint record"
+	}
+	for _, pv := range pend {
+		if pv.Seq < 1 {
+			return "bad checkpoint record: pending seq"
+		}
+	}
+	if s.HasView && !hasView {
+		return "bad checkpoint record: view floor lost"
+	}
+	if s.HasView && view.ID.Less(s.View.ID) {
+		return "bad checkpoint record: view below the installed floor"
+	}
+
+	s.HasView = hasView
+	s.View = view
+	s.Order = order
+	s.Content = content
+	s.NextConfirm = next
+	s.HighPrimary = high
+	s.Delivered = s.Delivered[:0]
+	perOrigin := make(map[types.ProcID]int)
+	for i := 0; i < delivered; i++ {
+		l := order[i]
+		perOrigin[l.Origin]++
+		s.Delivered = append(s.Delivered, DeliveredRecord{
+			Pos: i + 1, Label: l, From: l.Origin, FromSeq: perOrigin[l.Origin], Value: content[l],
+		})
+	}
+	for seq := range pending {
+		delete(pending, seq)
+	}
+	for _, pv := range pend {
+		pending[pv.Seq] = pv.Value
+	}
+	s.BcastSeq = bcastSeq
+	s.Incarnations = incarnations
+	return ""
+}

@@ -49,8 +49,17 @@ type Snapshot struct {
 	BcastSeq int
 	// Incarnations counts the durable recovery markers: the number of
 	// restarts this log has survived. The next incarnation is
-	// Incarnations+1.
+	// Incarnations+1. A checkpoint record restores the count as of its
+	// capture; markers after it add on.
 	Incarnations int
+	// Checkpoints counts the valid checkpoint records replayed;
+	// CheckpointAt and PrevCheckpointAt are the byte offsets (within disk)
+	// of the latest and second-latest, -1 when absent. Replay resumes
+	// accumulating from the latest checkpoint's state, which is what makes
+	// compaction (discarding everything before PrevCheckpointAt) safe.
+	Checkpoints      int
+	CheckpointAt     int
+	PrevCheckpointAt int
 	// Records counts the records replayed.
 	Records int
 	// Truncated is empty for a clean log; otherwise it describes the first
@@ -67,8 +76,10 @@ type Snapshot struct {
 // panics.
 func Replay(disk []byte) *Snapshot {
 	s := &Snapshot{
-		NextConfirm: 1,
-		Content:     make(map[types.Label]types.Value),
+		NextConfirm:      1,
+		Content:          make(map[types.Label]types.Value),
+		CheckpointAt:     -1,
+		PrevCheckpointAt: -1,
 	}
 	pending := make(map[int]types.Value)
 	off := 0
@@ -96,6 +107,11 @@ func Replay(disk []byte) *Snapshot {
 		if reason := s.applyRecord(payload, pending); reason != "" {
 			truncate(reason)
 			break
+		}
+		if payload[0] == recCheckpoint {
+			s.PrevCheckpointAt = s.CheckpointAt
+			s.CheckpointAt = off
+			s.Checkpoints++
 		}
 		s.Records++
 		off += frameHeader + length
@@ -195,6 +211,10 @@ func (s *Snapshot) applyRecord(payload []byte, pending map[int]types.Value) stri
 			return "bad recovery marker"
 		}
 		s.Incarnations++
+	case recCheckpoint:
+		if reason := s.decodeCheckpoint(r, pending); reason != "" {
+			return reason
+		}
 	default:
 		return fmt.Sprintf("unknown record tag %d", tag)
 	}

@@ -63,6 +63,7 @@ const (
 	recLabel
 	recDeliver
 	recRecovered
+	recCheckpoint
 )
 
 // frameHeader is the per-record overhead: u32 payload length + u32 CRC.
@@ -86,13 +87,57 @@ type WAL struct {
 	// completions) are simply abandoned to the GC.
 	frames [][]byte
 
+	// Checkpoint bookkeeping, all in logical log offsets (0 = the first
+	// byte the log ever held; compaction never renumbers). endOff is the
+	// offset the next record will be framed at; lastCkpt/prevCkpt are the
+	// start offsets of the two most recent checkpoint records (-1 when
+	// absent); sinceCkpt counts bytes framed since the last checkpoint.
+	// Offsets track *enqueued* records and run ahead of durability; a
+	// crash discards the queue, and Resync re-derives them from the
+	// replayed image.
+	compact  bool
+	endOff   int
+	lastCkpt int
+	prevCkpt int
+
 	// Observability handles (Instrument; nil when disabled).
 	mRecords *obs.Counter
 	mBytes   *obs.Counter
 }
 
 // New wraps a storage device as a WAL.
-func New(st *storage.Stable) *WAL { return &WAL{st: st} }
+func New(st *storage.Stable) *WAL { return &WAL{st: st, lastCkpt: -1, prevCkpt: -1} }
+
+// SetCompact enables physical compaction: when a checkpoint record
+// becomes durable, the log prefix before the *previous* checkpoint is
+// discarded (storage.TruncatePrefix). Two generations are always
+// retained, so a latest checkpoint that later proves corrupt still falls
+// back to the previous one plus every record after it.
+func (w *WAL) SetCompact(on bool) { w.compact = on }
+
+// EndOffset returns the logical offset at which the next record will be
+// framed (enqueued records included).
+func (w *WAL) EndOffset() int { return w.endOff }
+
+// SinceCheckpoint returns the bytes framed since the last checkpoint was
+// enqueued (since log start when none) — the checkpoint trigger's input.
+func (w *WAL) SinceCheckpoint() int {
+	if w.lastCkpt < 0 {
+		return w.endOff
+	}
+	return w.endOff - w.lastCkpt
+}
+
+// Resync re-derives the offset bookkeeping after a crash or at a boot
+// over an existing image: end is the logical end of the retained log
+// (the torn tail already discarded), lastCkpt/prevCkpt the logical start
+// offsets of the two most recent valid checkpoint records (-1 when
+// absent), as replayed.
+func (w *WAL) Resync(end, lastCkpt, prevCkpt int) {
+	w.endOff = end
+	w.lastCkpt = lastCkpt
+	w.prevCkpt = prevCkpt
+}
 
 // Storage returns the underlying device.
 func (w *WAL) Storage() *storage.Stable { return w.st }
@@ -129,6 +174,7 @@ func (w *WAL) append(payload []byte, done func()) {
 		w.frames = w.frames[:k-1]
 	}
 	framed := frame(buf, payload)
+	w.endOff += len(framed)
 	w.mRecords.Inc()
 	w.mBytes.Add(int64(len(framed)))
 	w.st.Append(framed, func() {

@@ -43,7 +43,18 @@ type LiveOptions struct {
 	WALData []byte
 	// WALMirror receives every newly durable WAL byte, in order —
 	// normally the same file WALData was read from, opened for append.
+	// With CheckpointBytes set it must also implement
+	// storage.MirrorTruncator, so compaction can discard the file's
+	// prefix.
 	WALMirror io.Writer
+	// WALData must already have any torn tail removed (the caller
+	// truncates the file at Replay's TruncatedAt before booting): new
+	// records are appended at the physical end of the file, and a replay
+	// only reads past a tear's offset if the tear is gone.
+	//
+	// CheckpointBytes arms WAL snapshot/compaction exactly as
+	// Options.CheckpointBytes does in simulation. 0 disables.
+	CheckpointBytes int
 	// Quorums defaults to majorities of Universe.
 	Quorums types.QuorumSystem
 	// Log, when non-nil, replaces the node's fresh trace log — set its
@@ -92,7 +103,11 @@ func NewLiveNode(opts LiveOptions) *Node {
 	c.initMetrics(opts.Obs)
 	dev := storage.New(s, 0)
 	dev.Mirror = opts.WALMirror
+	// The device starts empty but logically continues the WAL file: its
+	// bytes live at logical offsets after the prior incarnations' records.
+	dev.SetBase(len(opts.WALData))
 	n := newNode(c, opts.Self, opts.P0, dev)
+	n.setCheckpointPolicy(opts.CheckpointBytes)
 	if opts.OnDeliver != nil {
 		n.onRcv = append(n.onRcv, opts.OnDeliver)
 	}
@@ -119,8 +134,13 @@ func NewLiveNode(opts LiveOptions) *Node {
 	c.m.replayRecords.Add(int64(snap.Records))
 	c.m.replayBytes.Add(int64(len(opts.WALData)))
 	n.restoreProc(snap)
+	// The file's offsets are the log's logical offsets (logical 0 = file
+	// start at this boot).
+	n.wal.Resync(len(opts.WALData), snap.CheckpointAt, snap.PrevCheckpointAt)
 	inc := snap.Incarnations + 1
+	n.waPending++
 	n.wal.Recovered(inc, func() {
+		n.waPending--
 		n.startRecovered(snap, inc)
 	})
 	return n

@@ -72,6 +72,21 @@ type Node struct {
 	recoveries    int
 	lastReplay    *recovery.Snapshot
 
+	// Checkpoint policy (Options.CheckpointBytes; 0 disables). waPending
+	// counts write-ahead records enqueued but not yet durable — between
+	// enqueue and completion the log runs ahead of memory, so a checkpoint
+	// (which must equal a replay of the log prefix it lands after) is only
+	// captured when the counter is zero. hasView/curView track the last
+	// installed view and walInc the durable recovery-marker count, both
+	// needed in the capture.
+	ckptEvery   int
+	ckptPending bool
+	waPending   int
+	hasView     bool
+	curView     types.View
+	walInc      int
+	checkpoints int
+
 	// Per-label timestamps for the vstoto latency histograms (allocated
 	// only when the cluster's obs registry is enabled; nil otherwise).
 	labelAt   map[types.Label]sim.Time
@@ -159,6 +174,15 @@ type Options struct {
 	// crash tears the in-flight record (the torn-write chaos campaign
 	// runs with λ = δ/4). Experiment E14 sweeps it.
 	StorageLatency time.Duration
+	// CheckpointBytes, when positive, turns on WAL snapshot/compaction:
+	// once at least this many log bytes have accumulated since the last
+	// checkpoint, the node appends a checkpoint record capturing its full
+	// VStoTO-critical state at the next quiescent instant, and the log
+	// prefix before the previous checkpoint is physically discarded when
+	// the record is durable. Replay then starts from the last valid
+	// checkpoint instead of folding the whole history. 0 disables (the
+	// default; the WAL keeps every record forever, as before).
+	CheckpointBytes int
 	// SkipRecoveryReplay is a test-only hook: a processor recovering from
 	// an amnesia crash is rebuilt from an empty snapshot instead of a
 	// replay of its WAL. It exists so the chaos tests can verify that the
@@ -238,6 +262,7 @@ func NewCluster(opts Options) *Cluster {
 	c.initMetrics(opts.Obs)
 	for _, p := range procs.Members() {
 		node := newNode(c, p, p0, storage.New(s, opts.StorageLatency))
+		node.setCheckpointPolicy(opts.CheckpointBytes)
 		if p0.Contains(p) {
 			node.sealInitialState(p0)
 		}
@@ -332,8 +357,17 @@ func newNode(c *Cluster, p types.ProcID, p0 types.ProcSet, dev *storage.Stable) 
 // view change restores a view floor and a high-primary of g0 rather than ⊥.
 // Only processors starting inside the initial view have this state.
 func (n *Node) sealInitialState(p0 types.ProcSet) {
-	n.wal.View(types.InitialView(p0), nil)
+	n.hasView = true
+	n.curView = types.InitialView(p0)
+	n.wal.View(n.curView, nil)
 	n.wal.Establish(nil, 1, types.G0(), nil)
+}
+
+// setCheckpointPolicy arms checkpointing (every 'bytes' of log growth;
+// 0 disables) and the compaction that rides on it.
+func (n *Node) setCheckpointPolicy(bytes int) {
+	n.ckptEvery = bytes
+	n.wal.SetCompact(bytes > 0)
 }
 
 // handlers wires the VS upcalls to this endpoint.
@@ -429,10 +463,12 @@ func (n *Node) Bcast(a types.Value) {
 		n.c.submitted[submitKey{origin: n.id, seq: seq}] = n.sim.Now()
 	}
 	inc := n.incarnation
+	n.waPending++
 	n.wal.Bcast(seq, a, func() {
 		if n.incarnation != inc {
 			return
 		}
+		n.waPending--
 		if n.log != nil {
 			n.log.Append(props.Event{
 				T: n.sim.Now(), Kind: props.TOBcast, P: n.id, Value: a, ValueSeq: seq,
@@ -450,6 +486,8 @@ func (n *Node) Deliveries() []Delivery { return n.deliveries }
 func (n *Node) onNewview(v types.View) {
 	// The view record is already durable: installation is write-ahead
 	// gated (see gateInstall), and this handler runs from the commit.
+	n.hasView = true
+	n.curView = v
 	n.proc.Newview(v)
 	n.drain()
 }
@@ -464,10 +502,12 @@ func (n *Node) onNewview(v types.View) {
 func (n *Node) gateInstall(v types.View, commit func()) {
 	inc := n.incarnation
 	entered := n.sim.Now()
+	n.waPending++
 	n.wal.View(v, func() {
 		if n.incarnation != inc {
 			return
 		}
+		n.waPending--
 		n.c.m.installGateWait.Record(n.sim.Now().Sub(entered))
 		commit()
 	})
@@ -520,6 +560,9 @@ func (n *Node) crash() {
 	n.deliverReady = false
 	n.delaySeqs = nil
 	n.needsRecovery = true
+	n.waPending = 0
+	n.ckptPending = false
+	n.hasView = false
 	n.vs.Stop()
 	st := n.wal.Storage()
 	st.Drop()
@@ -554,6 +597,20 @@ func (n *Node) recover() {
 	n.c.m.replayBytes.Add(int64(len(disk)))
 	n.c.m.tracer.Emit("stack", "recover", n.id, obs.NoPeer, int64(snap.Records), snap.Truncated)
 
+	if !n.c.skipReplay {
+		// Discard the torn tail — replay stops at the first torn record,
+		// so anything appended after it would be dead bytes a future
+		// replay never reaches — and resync the WAL's logical offsets
+		// (the enqueued records the crash discarded left them ahead of
+		// the durable image).
+		st := n.wal.Storage()
+		base := st.Base()
+		if snap.TruncatedAt < len(disk) {
+			st.TruncateTail(base + snap.TruncatedAt)
+		}
+		n.wal.Resync(base+snap.TruncatedAt, logicalOff(base, snap.CheckpointAt), logicalOff(base, snap.PrevCheckpointAt))
+	}
+
 	n.restoreProc(snap)
 
 	// The rebuilt VS incarnation starts only once its recovery marker is
@@ -564,10 +621,12 @@ func (n *Node) recover() {
 	// but dead); the membership machinery pulls it back in afterwards.
 	inc := snap.Incarnations + 1
 	guard := n.incarnation
+	n.waPending++
 	n.wal.Recovered(inc, func() {
 		if n.incarnation != guard {
 			return
 		}
+		n.waPending--
 		n.startRecovered(snap, inc)
 	})
 }
@@ -576,6 +635,15 @@ func (n *Node) recover() {
 // restored to the last durable establishment (extended by durable order
 // appends), the persisted delivery prefix marked reported, and durable-
 // but-unlabeled submissions back in the delay queue.
+// logicalOff rebases a replay-relative offset (within the retained
+// image) to the log's logical coordinates; -1 (absent) stays -1.
+func logicalOff(base, off int) int {
+	if off < 0 {
+		return -1
+	}
+	return base + off
+}
+
 func (n *Node) restoreProc(snap *recovery.Snapshot) {
 	proc := vstoto.NewProc(n.id, n.c.qs, types.ProcSet{})
 	proc.Order = append([]types.Label(nil), snap.Order...)
@@ -591,11 +659,14 @@ func (n *Node) restoreProc(snap *recovery.Snapshot) {
 	}
 	n.proc = proc
 	n.bcastSeq = snap.BcastSeq
+	n.hasView = snap.HasView
+	n.curView = snap.View
 }
 
 // startRecovered brings up the rebuilt VS incarnation; it runs from the
 // recovery marker's completion callback.
 func (n *Node) startRecovered(snap *recovery.Snapshot, inc int) {
+	n.walInc = inc
 	n.vs = vsimpl.NewRecoveredNode(n.id, n.c.Procs, n.sim, n.c.tr, n.orc, n.c.Cfg,
 		vsimpl.Resume{ViewFloor: snap.ViewFloor(), SendSeqFloor: inc * incarnationSeqSpan},
 		n.handlers())
@@ -665,19 +736,64 @@ func (n *Node) drain() {
 			l := n.proc.Order[pos-1]
 			inc := n.incarnation
 			n.brcvPending = true
+			n.waPending++
 			n.wal.Deliver(pos, l, from, n.originSeq(pos, from), a, func() {
 				if n.incarnation != inc {
 					return
 				}
+				n.waPending--
 				n.deliverReady = true
 				n.drain()
 			})
 		}
 		if !progress {
-			return
+			break
 		}
 	}
+	n.maybeCheckpoint()
 }
+
+// maybeCheckpoint appends a checkpoint record once ckptEvery bytes of log
+// have accumulated since the last one, but only at a quiescent instant:
+// no write-ahead record in flight (between its enqueue and completion the
+// log runs ahead of memory), no durable delivery awaiting release, and
+// the automaton in normal status. Write-behind records still queued are
+// fine — they precede the checkpoint through the single FIFO write head,
+// so the durable prefix ending at the checkpoint always replays to
+// exactly the captured state.
+func (n *Node) maybeCheckpoint() {
+	if n.ckptEvery <= 0 || n.ckptPending || n.waPending > 0 || n.deliverReady ||
+		n.proc.Status != vstoto.StatusNormal || n.wal.SinceCheckpoint() < n.ckptEvery {
+		return
+	}
+	cs := recovery.CheckpointState{
+		HasView:        n.hasView,
+		View:           n.curView,
+		Order:          n.proc.Order,
+		Content:        n.proc.Content,
+		NextConfirm:    n.proc.NextConfirm,
+		HighPrimary:    n.proc.HighPrimary,
+		DeliveredCount: n.proc.NextReport - 1,
+		BcastSeq:       n.bcastSeq,
+		Incarnations:   n.walInc,
+	}
+	for i, a := range n.proc.Delay {
+		cs.Pending = append(cs.Pending, recovery.PendingValue{Seq: n.delaySeqs[i], Value: a})
+	}
+	n.ckptPending = true
+	n.checkpoints++
+	inc := n.incarnation
+	n.wal.Checkpoint(cs, func() {
+		if n.incarnation != inc {
+			return
+		}
+		n.ckptPending = false
+	})
+}
+
+// Checkpoints returns how many checkpoint records this node has appended
+// (across its current process lifetime).
+func (n *Node) Checkpoints() int { return n.checkpoints }
 
 // performBrcv releases the delivery whose record just became durable.
 func (n *Node) performBrcv() {

@@ -38,6 +38,7 @@ type Stable struct {
 	maxQLen  int
 
 	disk  []byte
+	base  int // logical offset of disk[0] (advanced by TruncatePrefix)
 	epoch int // bumped by Drop; stale completion events are discarded
 
 	// TornPrefix, when non-nil, decides how many bytes of an n-byte write
@@ -51,6 +52,8 @@ type Stable struct {
 	// file, so a restarted process can replay exactly what the simulated
 	// device held; a mirror write error panics, because a divergence
 	// between the device and its mirror silently breaks crash recovery.
+	// A device that will be compacted (TruncatePrefix) needs a mirror
+	// that also implements MirrorTruncator.
 	Mirror io.Writer
 
 	// Observability handles (Instrument; all nil when disabled).
@@ -198,4 +201,75 @@ func (st *Stable) FlipBit(off int, bit uint) {
 		return
 	}
 	st.disk[off] ^= 1 << bit
+}
+
+// MirrorTruncator is the extra capability a mirror must provide for a
+// device that gets compacted: dropping the first n logical bytes of the
+// mirrored image. Offsets are logical (0 = the first byte the log ever
+// held at this mirror), matching TruncatePrefix; the mirror tracks how
+// much of its own image earlier truncations already removed.
+type MirrorTruncator interface {
+	io.Writer
+	TruncatePrefix(n int) error
+}
+
+// Base returns the logical offset of the first retained durable byte:
+// 0 until TruncatePrefix advances it. Contents() holds the logical
+// range [Base, Base+Size).
+func (st *Stable) Base() int { return st.base }
+
+// SetBase declares that the (empty) device logically continues an
+// existing image of n bytes held elsewhere — the live daemon's device
+// starts empty while the WAL file already holds every prior
+// incarnation's records. Only valid before any write.
+func (st *Stable) SetBase(n int) {
+	if len(st.disk) > 0 || st.busy || len(st.queue) > 0 {
+		panic("storage: SetBase on a non-empty device")
+	}
+	st.base = n
+}
+
+// TruncatePrefix discards the durable image before logical offset n —
+// the compaction step once a checkpoint record has made the prefix
+// redundant. A mirror must implement MirrorTruncator (panic otherwise:
+// silently diverging from the mirror breaks crash recovery). Offsets at
+// or below Base are a no-op on the device but still forwarded to the
+// mirror, whose image may reach further back (pre-boot incarnations).
+func (st *Stable) TruncatePrefix(n int) {
+	if n > st.base+len(st.disk) {
+		panic(fmt.Sprintf("storage: TruncatePrefix(%d) beyond durable end %d", n, st.base+len(st.disk)))
+	}
+	if n > st.base {
+		st.disk = st.disk[n-st.base:]
+		st.base = n
+	}
+	if st.Mirror != nil {
+		mt, ok := st.Mirror.(MirrorTruncator)
+		if !ok {
+			panic("storage: TruncatePrefix with a mirror that cannot truncate")
+		}
+		if err := mt.TruncatePrefix(n); err != nil {
+			panic(fmt.Sprintf("storage: mirror truncate: %v", err))
+		}
+	}
+}
+
+// TruncateTail discards the durable image from logical offset n on — the
+// recovery step that removes a torn tail so the next incarnation's
+// records are appended where a replay will actually read them (replay
+// stops at the first torn record, so bytes after a tear are dead). Only
+// meaningful with no write in flight (post-Drop). The live daemon
+// truncates its WAL file before the device exists, so a mirror here is
+// unsupported.
+func (st *Stable) TruncateTail(n int) {
+	if st.busy {
+		panic("storage: TruncateTail with a write in flight")
+	}
+	if n < st.base || n > st.base+len(st.disk) {
+		panic(fmt.Sprintf("storage: TruncateTail(%d) outside [%d, %d]", n, st.base, st.base+len(st.disk)))
+	}
+	if st.Mirror != nil {
+		panic("storage: TruncateTail with a mirror")
+	}
+	st.disk = st.disk[:n-st.base]
 }

@@ -1,0 +1,143 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func filled(t *testing.T) (*sim.Sim, *Stable) {
+	t.Helper()
+	s := sim.New(1)
+	st := New(s, 0)
+	st.Append([]byte("aaaa"), nil)
+	st.Append([]byte("bbbb"), nil)
+	st.Append([]byte("cccc"), nil)
+	if err := s.Run(sim.Never); err != nil {
+		t.Fatal(err)
+	}
+	return s, st
+}
+
+func TestTruncatePrefixAdvancesBase(t *testing.T) {
+	s, st := filled(t)
+	st.TruncatePrefix(4)
+	if st.Base() != 4 || st.Size() != 8 {
+		t.Fatalf("Base=%d Size=%d, want 4/8", st.Base(), st.Size())
+	}
+	if !bytes.Equal(st.Contents(), []byte("bbbbcccc")) {
+		t.Fatalf("Contents = %q", st.Contents())
+	}
+	// At or below Base: no-op, never a panic.
+	st.TruncatePrefix(4)
+	st.TruncatePrefix(2)
+	if st.Base() != 4 || st.Size() != 8 {
+		t.Fatalf("no-op truncation moved Base=%d Size=%d", st.Base(), st.Size())
+	}
+	// New appends land after the retained suffix at unchanged logical
+	// offsets: compaction never renumbers.
+	st.Append([]byte("dd"), nil)
+	if err := s.Run(sim.Never); err != nil {
+		t.Fatal(err)
+	}
+	if st.Base()+st.Size() != 14 {
+		t.Fatalf("logical end = %d, want 14", st.Base()+st.Size())
+	}
+}
+
+func TestTruncatePrefixBeyondEndPanics(t *testing.T) {
+	_, st := filled(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TruncatePrefix beyond the durable end did not panic")
+		}
+	}()
+	st.TruncatePrefix(13)
+}
+
+// A bare io.Writer mirror cannot honor a prefix truncation; diverging
+// silently from it would break crash recovery, so the device must refuse.
+func TestTruncatePrefixNeedsTruncatingMirror(t *testing.T) {
+	s, st := filled(t)
+	st.Mirror = &bytes.Buffer{}
+	st.Append([]byte("ee"), nil)
+	if err := s.Run(sim.Never); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TruncatePrefix with a non-truncating mirror did not panic")
+		}
+	}()
+	st.TruncatePrefix(4)
+}
+
+type fakeMirror struct {
+	bytes.Buffer
+	truncatedAt []int
+}
+
+func (m *fakeMirror) TruncatePrefix(n int) error {
+	m.truncatedAt = append(m.truncatedAt, n)
+	return nil
+}
+
+// Truncations at or below Base still reach the mirror: its image may
+// extend further back than the device's (pre-boot incarnations).
+func TestTruncatePrefixForwardsToMirror(t *testing.T) {
+	_, st := filled(t)
+	m := &fakeMirror{}
+	st.Mirror = m
+	st.TruncatePrefix(4)
+	st.TruncatePrefix(2) // device no-op, mirror still told
+	if len(m.truncatedAt) != 2 || m.truncatedAt[0] != 4 || m.truncatedAt[1] != 2 {
+		t.Fatalf("mirror truncations = %v, want [4 2]", m.truncatedAt)
+	}
+}
+
+func TestTruncateTailDiscardsTornBytes(t *testing.T) {
+	s, st := filled(t)
+	st.TruncateTail(10)
+	if st.Size() != 10 {
+		t.Fatalf("Size = %d, want 10", st.Size())
+	}
+	// The next incarnation appends where replay will actually read.
+	st.Append([]byte("XX"), nil)
+	if err := s.Run(sim.Never); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(st.Contents(), []byte("aaaabbbbccXX")) {
+		t.Fatalf("Contents = %q", st.Contents())
+	}
+}
+
+func TestTruncateTailRespectsBase(t *testing.T) {
+	_, st := filled(t)
+	st.TruncatePrefix(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TruncateTail below Base did not panic")
+		}
+	}()
+	st.TruncateTail(2)
+}
+
+func TestSetBaseContinuesExistingImage(t *testing.T) {
+	s := sim.New(1)
+	st := New(s, 0)
+	st.SetBase(100)
+	st.Append([]byte("zz"), nil)
+	if err := s.Run(sim.Never); err != nil {
+		t.Fatal(err)
+	}
+	if st.Base() != 100 || st.Base()+st.Size() != 102 {
+		t.Fatalf("Base=%d end=%d, want 100/102", st.Base(), st.Base()+st.Size())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetBase on a non-empty device did not panic")
+		}
+	}()
+	st.SetBase(200)
+}

@@ -344,3 +344,74 @@ func TestListenerPauseResume(t *testing.T) {
 		return false
 	})
 }
+
+// TestPauseDuringInFlightFrame pauses the listener while a frame is cut
+// mid-write on an accepted connection: the fragment must be discarded
+// (partial-frame close), never delivered — and the endpoint must serve
+// complete frames again after resume. This is the exact race the live
+// injector's LPAUSE creates when it lands between a peer's header and
+// payload writes.
+func TestPauseDuringInFlightFrame(t *testing.T) {
+	addrs := map[types.ProcID]string{1: freePort(t)}
+	regB := obs.New()
+	b := newTCP(t, 1, addrs, regB, nil)
+	var got sink
+	b.Register(1, got.handle)
+	readErrs := regB.Counter("transport.read_errors")
+
+	payload, err := codec.Encode("in-flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], 0)
+	copy(frame[8:], payload)
+
+	// Header and half the payload, then LPAUSE with the rest unwritten:
+	// the reader is blocked mid-frame when the pause closes its
+	// connection out from under it.
+	conn, err := stdnet.Dial("tcp", addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	half := 8 + len(payload)/2
+	if _, err := conn.Write(frame[:half]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the read loop consume the fragment
+	b.PauseListener()
+	waitFor(t, 2*time.Second, "mid-frame read error", func() bool { return readErrs.Value() >= 1 })
+
+	// Completing the write now goes nowhere: the connection is dead and
+	// the fragment was discarded, not buffered.
+	conn.Write(frame[half:])
+	time.Sleep(100 * time.Millisecond)
+	if got.len() != 0 {
+		t.Fatalf("torn frame delivered %d packets, want 0", got.len())
+	}
+
+	// After resume, a complete frame on a fresh connection goes through.
+	if err := b.ResumeListener(); err != nil {
+		t.Fatal(err)
+	}
+	conn2, err := stdnet.Dial("tcp", addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	payload2, err := codec.Encode("after-resume")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame2 := make([]byte, 8+len(payload2))
+	binary.LittleEndian.PutUint32(frame2[0:4], uint32(len(payload2)))
+	binary.LittleEndian.PutUint32(frame2[4:8], 0)
+	copy(frame2[8:], payload2)
+	conn2.Write(frame2)
+	waitFor(t, 5*time.Second, "post-resume delivery", func() bool { return got.len() == 1 })
+	if p := got.snapshot()[0]; p.Payload != "after-resume" {
+		t.Errorf("got %#v, want \"after-resume\"", p.Payload)
+	}
+}

@@ -11,8 +11,13 @@
 // -matrix instead runs the chaos-driven scenario matrix: one generated
 // fault schedule per scenario kind (stop waves, kill waves, rolling and
 // nested isolation, flapping and asymmetric links, leader kills, rolling
-// restarts, mixed soak), each against a fresh cluster, each checked for
-// TO conformance, per-node WAL rejoin safety, and non-vacuity:
+// restarts, mixed soak, and the quorum-loss families: majority kill,
+// total partition, cascading failure, split-rejoin), each against a
+// fresh cluster, each checked for TO conformance, per-node WAL rejoin
+// safety, and non-vacuity — quorum-loss scenarios instead prove the
+// inverse: delivery flatlined cluster-wide while no primary could exist
+// (primary-loss guard) and resumed within -recovery-bound of the final
+// heal (bounded recovery):
 //
 //	liverun -pgcsd ./bin/pgcsd -matrix -n 10 -window 12s -checkpoint-bytes 65536 -dir ./matrix-out
 //
@@ -50,6 +55,10 @@ func main() {
 		settle    = flag.Duration("settle", 5*time.Second, "post-heal load interval per scenario (matrix mode)")
 		scenarios = flag.String("scenarios", "", "comma-separated scenario kinds (matrix mode; default: all)")
 		ckptBytes = flag.Int("checkpoint-bytes", 0, "WAL snapshot/compaction threshold per daemon (0 disables)")
+
+		maxPending    = flag.Int("max-pending", 4096, "per-daemon accepted-but-undelivered submission bound (0 disables backpressure)")
+		recoveryBound = flag.Duration("recovery-bound", 12*time.Second, "quorum-loss scenarios: delivery must resume this soon after the final heal")
+		lossGrace     = flag.Duration("loss-grace", 750*time.Millisecond, "quorum-loss scenarios: per-epoch grace before the primary-loss flatline is enforced")
 	)
 	flag.Parse()
 	if *pgcsd == "" {
@@ -79,6 +88,9 @@ func main() {
 			Window:          *window,
 			Settle:          *settle,
 			CheckpointBytes: *ckptBytes,
+			MaxPending:      *maxPending,
+			LossGrace:       *lossGrace,
+			RecoveryBound:   *recoveryBound,
 			Kinds:           kinds,
 			Logf:            log.Printf,
 		})
@@ -88,8 +100,13 @@ func main() {
 				if !sr.Passed() {
 					status = "FAIL"
 				}
-				fmt.Printf("%-18s %s  deliveries=%d order=%d restarts=%d injected=%v\n",
-					sr.Scenario.Kind, status, sr.Entry.Deliveries, sr.OrderLen, sr.Restarts, sr.Injected)
+				extra := ""
+				if sr.Scenario.Kind.QuorumLoss() {
+					extra = fmt.Sprintf("  loss_epochs=%d primary_loss=%t recovery=%t recovery_ms=%d hard_failures=%d",
+						len(sr.Scenario.LossEpochs), sr.PrimaryLossOK, sr.RecoveryOK, sr.RecoveryMS, sr.HardFailures)
+				}
+				fmt.Printf("%-18s %s  deliveries=%d order=%d restarts=%d injected=%v%s\n",
+					sr.Scenario.Kind, status, sr.Entry.Deliveries, sr.OrderLen, sr.Restarts, sr.Injected, extra)
 			}
 			fmt.Printf("matrix: %d scenarios, %d failed\n", len(res.Scenarios), len(res.Failed))
 		}

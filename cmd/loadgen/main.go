@@ -8,7 +8,12 @@
 // target rate, with per-connection backpressure. Delivery latency is
 // measured submit → delivery at the submitting node. A node that dies
 // mid-run is redialed until it returns, so a kill/restart fault shows up
-// in the latency tail, not as a generator failure.
+// in the latency tail, not as a generator failure. Submissions the
+// daemon bounces with BUSY (its -max-pending backpressure bound) are
+// retried with jittered exponential backoff (-retry-base doubling up to
+// -retry-max, -retries attempts); an op undelivered past -op-timeout is
+// attributed as stalled rather than held against the closed loop, and a
+// hard failure is only ever an exhausted retry budget.
 package main
 
 import (
@@ -32,6 +37,11 @@ func main() {
 		runID      = flag.String("run-id", fmt.Sprintf("r%d", os.Getpid()), "value-uniquifying run id")
 		out        = flag.String("out", "", "write the report JSON here (default stdout only)")
 		quiet      = flag.Bool("quiet", false, "suppress progress logging")
+
+		opTimeout = flag.Duration("op-timeout", 5*time.Second, "reclassify an undelivered op as stalled after this long")
+		retryBase = flag.Duration("retry-base", 100*time.Millisecond, "first retry backoff for BUSY/send-failed ops (doubles per attempt, jittered)")
+		retryMax  = flag.Duration("retry-max", 2*time.Second, "retry backoff cap")
+		retries   = flag.Int("retries", 10, "retry budget per op; exhaustion is a hard failure")
 	)
 	flag.Parse()
 	if *configPath == "" {
@@ -52,12 +62,16 @@ func main() {
 	}
 
 	entry, err := live.RunLoad(live.LoadOptions{
-		Addrs:    addrs,
-		Rate:     *rate,
-		Duration: *duration,
-		Drain:    *drain,
-		RunID:    *runID,
-		Logf:     logf,
+		Addrs:     addrs,
+		Rate:      *rate,
+		Duration:  *duration,
+		Drain:     *drain,
+		RunID:     *runID,
+		OpTimeout: *opTimeout,
+		RetryBase: *retryBase,
+		RetryMax:  *retryMax,
+		Retries:   *retries,
+		Logf:      logf,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -79,6 +93,10 @@ func main() {
 		time.Duration(entry.VirtualNS))
 	fmt.Printf("delivery latency: p50 %v  p99 %v  max %v  (%d samples)\n",
 		time.Duration(lat.P50NS), time.Duration(lat.P99NS), time.Duration(lat.MaxNS), lat.Count)
+	fmt.Printf("backpressure: %d rejected, %d retries, %d stalled (%d recovered), %d hard failures\n",
+		entry.Counters["loadgen.rejected"], entry.Counters["loadgen.retries"],
+		entry.Counters["loadgen.stalled_ops"], entry.Counters["loadgen.stalled_recovered"],
+		entry.Counters["loadgen.hard_failures"])
 	if *out == "" {
 		os.Stdout.Write(append(b, '\n'))
 	}

@@ -8,7 +8,9 @@
 // The WAL file persists across restarts: a daemon booted over a
 // non-empty WAL rejoins through the amnesia-recovery path, one
 // incarnation up. Clients speak the line protocol on the node's
-// client_addr (S <value> submits; D <from> <value> streams deliveries;
+// client_addr (S <value> submits, answered BUSY <value> past the
+// -max-pending backpressure bound; D <from> <value> streams deliveries;
+// STATUS reports ST <OK|STALLED> <pending> <delivered>;
 // PING/LPAUSE/LRESUME/METRICS/STOP control). SIGINT/SIGTERM shut down
 // gracefully, draining the transport and writing the metrics snapshot.
 package main
@@ -34,6 +36,7 @@ func main() {
 		tracePath   = flag.String("trace", "", "JSONL trace output for this incarnation (required)")
 		metricsPath = flag.String("metrics", "", "metrics snapshot JSON written on shutdown")
 		ckptBytes   = flag.Int("checkpoint-bytes", 0, "WAL snapshot/compaction threshold in bytes (0 disables)")
+		maxPending  = flag.Int("max-pending", 4096, "accepted-but-undelivered submission bound; past it S is answered BUSY (0 disables)")
 		tickMS      = flag.Int("tick", 2, "pacer granularity in milliseconds")
 		quiet       = flag.Bool("quiet", false, "suppress progress logging")
 	)
@@ -52,14 +55,15 @@ func main() {
 		logf = func(string, ...any) {}
 	}
 	eng, err := live.StartEngine(live.EngineOptions{
-		Config:      cfg,
-		Self:        types.ProcID(*id),
-		WALPath:     *walPath,
-		TracePath:   *tracePath,
+		Config:          cfg,
+		Self:            types.ProcID(*id),
+		WALPath:         *walPath,
+		TracePath:       *tracePath,
 		MetricsPath:     *metricsPath,
 		CheckpointBytes: *ckptBytes,
+		MaxPending:      *maxPending,
 		Tick:            durationMS(*tickMS),
-		Logf:        logf,
+		Logf:            logf,
 	})
 	if err != nil {
 		log.Fatal(err)

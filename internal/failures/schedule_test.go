@@ -108,6 +108,85 @@ func TestApplyAtReproducesHistory(t *testing.T) {
 	}
 }
 
+// TestQuorumExceedingSchedule pins the declarative form of a quorum-loss
+// adversary: a single instant at which a majority of processors goes Bad
+// or Amnesia at once (more than any quorum can absorb), held, then healed
+// in a staggered wave. The schedule must survive a JSON round trip
+// byte-for-byte and ApplyAt must reproduce it in order — including the
+// list order among the simultaneous strike events, which replay fidelity
+// depends on.
+func TestQuorumExceedingSchedule(t *testing.T) {
+	const n = 5 // quorum-loss threshold (n+1)/2 = 3
+	strike := sim.Time(4 * time.Millisecond)
+	s := Schedule{
+		{Time: strike, Proc: 4, Status: Bad},
+		{Time: strike, Proc: 1, Status: Amnesia},
+		{Time: strike, Proc: 3, Status: Amnesia},
+		{Time: sim.Time(11 * time.Millisecond), Proc: 3, Status: Good},
+		{Time: sim.Time(12 * time.Millisecond), Proc: 1, Status: Good},
+		{Time: sim.Time(13 * time.Millisecond), Proc: 4, Status: Good},
+	}
+
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(s) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(s))
+	}
+	for i := range s {
+		if back[i] != s[i] {
+			t.Errorf("event %d round-tripped to %v, want %v", i, back[i], s[i])
+		}
+	}
+	data2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Errorf("re-encoding differs:\n%s\n%s", data, data2)
+	}
+
+	sm := sim.New(1)
+	o := NewOracle(sm.Now)
+	back.ApplyAt(sm, o)
+	// Observe the strike instant from inside the run: at strike time (after
+	// the schedule's same-instant events, which were scheduled first) a
+	// majority must be simultaneously non-Good.
+	var faultedAtStrike int
+	sm.At(strike, func() {
+		for p := 0; p < n; p++ {
+			if o.Proc(types.ProcID(p)) != Good {
+				faultedAtStrike++
+			}
+		}
+	})
+	if err := sm.Run(sim.Never); err != nil {
+		t.Fatal(err)
+	}
+	if want := (n + 1) / 2; faultedAtStrike < want {
+		t.Errorf("%d procs faulted at the strike, want >= %d (quorum loss)", faultedAtStrike, want)
+	}
+	h := o.History()
+	if len(h) != len(s) {
+		t.Fatalf("history has %d events, want %d", len(h), len(s))
+	}
+	for i := range s {
+		if h[i] != s[i] {
+			t.Errorf("history[%d] = %v, want %v (simultaneous strikes must keep list order)", i, h[i], s[i])
+		}
+	}
+	for p := 0; p < n; p++ {
+		if got := o.Proc(types.ProcID(p)); got != Good {
+			t.Errorf("proc %d = %v after the heal wave, want Good", p, got)
+		}
+	}
+}
+
 // TestOracleStatusRoundTrips drives a processor and a channel through the
 // full good→ugly→bad→good cycle, checking the current status, the history,
 // and the consistently-partitioned predicate across a heal.

@@ -27,9 +27,19 @@ type Client struct {
 	wmu sync.Mutex // serializes writes
 
 	deliveries chan DeliveryLine
-	replies    chan string // PONG / OK / ERR ... / M ...
+	rejects    chan string // values bounced by backpressure (BUSY ...)
+	replies    chan string // PONG / OK / ERR ... / M ... / ST ...
 
 	closeOnce sync.Once
+}
+
+// NodeStatus is one daemon's STATUS reply: whether the node is stalled
+// (not in an established primary component), its accepted-but-undelivered
+// submission backlog, and its delivered count.
+type NodeStatus struct {
+	Stalled   bool
+	Pending   int64
+	Delivered int64
 }
 
 // DialClient connects to a daemon's client address, retrying until the
@@ -43,6 +53,7 @@ func DialClient(addr string, timeout time.Duration) (*Client, error) {
 			c := &Client{
 				conn:       conn,
 				deliveries: make(chan DeliveryLine, 1<<16),
+				rejects:    make(chan string, 1<<12),
 				replies:    make(chan string, 16),
 			}
 			go c.readLoop()
@@ -68,6 +79,17 @@ func (c *Client) readLoop() {
 			select {
 			case c.deliveries <- DeliveryLine{From: types.ProcID(from), Value: value}:
 			default: // consumer far behind: shed rather than stall the reader
+			}
+			continue
+		}
+		if value, ok := strings.CutPrefix(line, "BUSY "); ok {
+			// Backpressure bounces ride their own channel: the replies
+			// channel is small and drop-on-overflow, and a burst of BUSY
+			// lines must neither displace command replies nor be lost to
+			// the loadgen's retry accounting.
+			select {
+			case c.rejects <- value:
+			default:
 			}
 			continue
 		}
@@ -103,6 +125,45 @@ func (c *Client) Submit(value string) error { return c.send("S " + value) }
 // Deliveries returns the channel of streamed deliveries. Closed when the
 // connection drops.
 func (c *Client) Deliveries() <-chan DeliveryLine { return c.deliveries }
+
+// Rejects returns the channel of values the daemon bounced with BUSY
+// (backpressure: the node's pending-submission bound was hit). A bounced
+// value never entered the system, so retrying it verbatim is safe.
+func (c *Client) Rejects() <-chan string { return c.rejects }
+
+// Status round-trips a STATUS command: stalled/OK, pending backlog,
+// delivered count. Non-ST replies arriving in between (stale PONGs, OKs)
+// are consumed and skipped until the deadline.
+func (c *Client) Status(timeout time.Duration) (NodeStatus, error) {
+	if err := c.send("STATUS"); err != nil {
+		return NodeStatus{}, err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return NodeStatus{}, fmt.Errorf("live: status timeout")
+		}
+		r, err := c.reply(remain)
+		if err != nil {
+			return NodeStatus{}, err
+		}
+		rest, ok := strings.CutPrefix(r, "ST ")
+		if !ok {
+			continue
+		}
+		f := strings.Fields(rest)
+		if len(f) != 3 {
+			return NodeStatus{}, fmt.Errorf("live: status reply %q", r)
+		}
+		pending, err1 := strconv.ParseInt(f[1], 10, 64)
+		delivered, err2 := strconv.ParseInt(f[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			return NodeStatus{}, fmt.Errorf("live: status reply %q", r)
+		}
+		return NodeStatus{Stalled: f[0] == "STALLED", Pending: pending, Delivered: delivered}, nil
+	}
+}
 
 // Ping round-trips a PING, confirming the daemon's event loop is live.
 func (c *Client) Ping(timeout time.Duration) error {

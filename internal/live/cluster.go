@@ -25,7 +25,10 @@ type cluster struct {
 	cfgPath string
 	// checkpointBytes > 0 passes -checkpoint-bytes to every daemon.
 	checkpointBytes int
-	logf            func(string, ...any)
+	// maxPending > 0 passes -max-pending to every daemon (TryBcast
+	// backpressure bound).
+	maxPending int
+	logf       func(string, ...any)
 
 	mu       sync.Mutex
 	procs    map[int]*Proc
@@ -35,7 +38,7 @@ type cluster struct {
 
 // newCluster writes cluster.json into dir and returns the (not yet
 // spawned) cluster.
-func newCluster(dir, pgcsd string, cfg *Config, checkpointBytes int, logf func(string, ...any)) (*cluster, error) {
+func newCluster(dir, pgcsd string, cfg *Config, checkpointBytes, maxPending int, logf func(string, ...any)) (*cluster, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
@@ -49,7 +52,7 @@ func newCluster(dir, pgcsd string, cfg *Config, checkpointBytes int, logf func(s
 	}
 	return &cluster{
 		dir: dir, pgcsd: pgcsd, cfg: cfg, cfgPath: cfgPath,
-		checkpointBytes: checkpointBytes, logf: logf,
+		checkpointBytes: checkpointBytes, maxPending: maxPending, logf: logf,
 		procs:    make(map[int]*Proc, len(cfg.Nodes)),
 		restarts: make(map[int]int, len(cfg.Nodes)),
 		traces:   make(map[int][]string, len(cfg.Nodes)),
@@ -80,6 +83,9 @@ func (cl *cluster) spawn(id int) error {
 	}
 	if cl.checkpointBytes > 0 {
 		args = append(args, "-checkpoint-bytes", fmt.Sprint(cl.checkpointBytes))
+	}
+	if cl.maxPending > 0 {
+		args = append(args, "-max-pending", fmt.Sprint(cl.maxPending))
 	}
 	cmd := exec.Command(cl.pgcsd, args...)
 	cmd.Stdout = stdout

@@ -32,6 +32,20 @@ type ScenarioOptions struct {
 	Settle time.Duration
 	// CheckpointBytes arms WAL compaction at every daemon (0 disables).
 	CheckpointBytes int
+	// MaxPending is the per-daemon TryBcast backpressure bound (default
+	// 4096; quorum-loss scenarios rely on it so stalled daemons push
+	// back instead of buffering without limit).
+	MaxPending int
+	// LossGrace is the primary-loss detector's per-epoch grace prefix
+	// (default 750ms): survivors forming a minority view may legitimately
+	// release already-ordered values for this long after loss onset.
+	LossGrace time.Duration
+	// RecoveryBound is the bounded-recovery gate: delivery must resume
+	// within this long after the final heal (default 12s — inside
+	// Settle + the loadgen drain, with ~2x headroom over the worst
+	// observed re-formation: split-rejoin at n=10 resumes in ~6s
+	// because the heal cascades through several pairwise view merges).
+	RecoveryBound time.Duration
 	// Profile / Arrival / OpenLoop select the loadgen shape (see
 	// LoadOptions); empty strings mean uniform/steady.
 	Profile  string
@@ -63,10 +77,37 @@ type ScenarioResult struct {
 	// traces).
 	RejoinOK  bool   `json:"rejoin_ok"`
 	RejoinErr string `json:"rejoin_err,omitempty"`
+	// BasePort is the port block the scenario actually ran on (the probe
+	// may have advanced it past busy blocks).
+	BasePort int `json:"base_port,omitempty"`
+
+	// Quorum-loss gates (set only for QuorumLoss scenario kinds).
+	// PrimaryLossOK is the inverted non-vacuity guard: delivery provably
+	// flatlined cluster-wide during every loss epoch. RecoveryOK is the
+	// bounded-recovery gate, with RecoveryMS the observed resumption
+	// offset after the final heal (at HealMS). HardFailures counts
+	// loadgen ops that exhausted their retry budget — zero on a passing
+	// quorum-loss run; stalls must be attributed, not fatal.
+	PrimaryLossOK  bool             `json:"primary_loss_ok,omitempty"`
+	PrimaryLossErr string           `json:"primary_loss_err,omitempty"`
+	RecoveryOK     bool             `json:"recovery_ok,omitempty"`
+	RecoveryMS     int64            `json:"recovery_ms,omitempty"`
+	RecoveryErr    string           `json:"recovery_err,omitempty"`
+	HealMS         int64            `json:"heal_ms,omitempty"`
+	HardFailures   int64            `json:"hard_failures,omitempty"`
+	Samples        []DeliverySample `json:"samples,omitempty"`
 }
 
 // Passed reports whether every check held and the run was non-vacuous.
-func (r *ScenarioResult) Passed() bool { return r.CheckOK && r.RejoinOK }
+func (r *ScenarioResult) Passed() bool {
+	if !r.CheckOK || !r.RejoinOK {
+		return false
+	}
+	if r.Scenario.Kind.QuorumLoss() {
+		return r.PrimaryLossOK && r.RecoveryOK && r.HardFailures == 0
+	}
+	return true
+}
 
 // RunScenario generates the scenario deterministically from (kind, Seed,
 // N, Window), runs it against a fresh cluster in opts.Dir, and writes the
@@ -88,6 +129,15 @@ func RunScenario(kind ScenarioKind, opts ScenarioOptions) (*ScenarioResult, erro
 	if opts.Rate <= 0 {
 		opts.Rate = 100
 	}
+	if opts.MaxPending <= 0 {
+		opts.MaxPending = 4096
+	}
+	if opts.LossGrace <= 0 {
+		opts.LossGrace = 750 * time.Millisecond
+	}
+	if opts.RecoveryBound <= 0 {
+		opts.RecoveryBound = 12 * time.Second
+	}
 	logf := opts.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -99,8 +149,17 @@ func RunScenario(kind ScenarioKind, opts ScenarioOptions) (*ScenarioResult, erro
 	}
 	res := &ScenarioResult{Scenario: sc, Injected: make(map[string]int)}
 
-	cfg := makeConfig(opts.N, opts.Delta, opts.Seed, opts.BasePort)
-	cl, err := newCluster(opts.Dir, opts.PgcsdPath, cfg, opts.CheckpointBytes, logf)
+	basePort, err := probeBasePort(opts.BasePort, opts.N, 8, string(kind))
+	if err != nil {
+		return nil, err
+	}
+	if basePort != opts.BasePort {
+		logf("scenario %s: base port %d busy; using %d", kind, opts.BasePort, basePort)
+	}
+	res.BasePort = basePort
+
+	cfg := makeConfig(opts.N, opts.Delta, opts.Seed, basePort)
+	cl, err := newCluster(opts.Dir, opts.PgcsdPath, cfg, opts.CheckpointBytes, opts.MaxPending, logf)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +173,17 @@ func RunScenario(kind ScenarioKind, opts ScenarioOptions) (*ScenarioResult, erro
 	logf("scenario %s: %d nodes ready, %d actions over %v", kind, opts.N, len(sc.Actions), opts.Window)
 
 	// Load runs for the whole scenario plus the settle tail; the injector
-	// walks the schedule concurrently.
+	// walks the schedule concurrently. Quorum-loss scenarios additionally
+	// run the status sampler on the injector's clock: its wall-offset
+	// samples are the evidence for the primary-loss and bounded-recovery
+	// gates, which trace timestamps (per-incarnation sim time) cannot
+	// provide.
+	start := time.Now()
+	var sampler *statusSampler
+	if kind.QuorumLoss() {
+		sampler = startStatusSampler(cl.clientAddrs(), start, 200*time.Millisecond, logf)
+	}
+
 	type loadOut struct {
 		entry experiments.BenchEntry
 		err   error
@@ -135,16 +204,24 @@ func RunScenario(kind ScenarioKind, opts ScenarioOptions) (*ScenarioResult, erro
 		loadDone <- loadOut{entry, err}
 	}()
 
-	start := time.Now()
 	injectErr := cl.inject(sc, start, res, logf)
 	cl.healSweep(res, logf)
+	// The final-heal instant anchors the recovery bound. Measuring it
+	// when healSweep returns (not at the schedule's nominal end) absorbs
+	// injection lag: a late heal only shortens the guarded interval,
+	// never blames the cluster for the injector's delay.
+	res.HealMS = time.Since(start).Milliseconds()
 	logf("scenario %s: schedule done (%d actions), settling", kind, len(sc.Actions))
 
 	load := <-loadDone
+	if sampler != nil {
+		res.Samples = sampler.stopAndSamples()
+	}
 	if load.err != nil {
 		return nil, fmt.Errorf("live: loadgen: %w", load.err)
 	}
 	res.Entry = load.entry
+	res.HardFailures = load.entry.Counters["loadgen.hard_failures"]
 	if injectErr != nil {
 		return nil, injectErr // unrecoverable injection failure (e.g. respawn)
 	}
@@ -179,6 +256,26 @@ func RunScenario(kind ScenarioKind, opts ScenarioOptions) (*ScenarioResult, erro
 	}
 	cl.mu.Unlock()
 
+	// Quorum-loss gates. CheckPrimaryLoss doubles as the non-vacuity
+	// guard for these kinds: the old quorum-alive guard is meaningless
+	// here (the schedule deliberately destroys the quorum), and the
+	// interesting property is the opposite one — delivery provably
+	// flatlined while no primary could exist, then provably resumed
+	// within the bound after the final heal.
+	if kind.QuorumLoss() {
+		lossErr := CheckPrimaryLoss(res.Samples, sc.LossEpochs, opts.LossGrace.Milliseconds())
+		res.PrimaryLossOK = lossErr == nil
+		if lossErr != nil {
+			res.PrimaryLossErr = lossErr.Error()
+		}
+		resume, recErr := CheckBoundedRecovery(res.Samples, res.HealMS, opts.RecoveryBound.Milliseconds())
+		res.RecoveryOK = recErr == nil
+		res.RecoveryMS = resume
+		if recErr != nil {
+			res.RecoveryErr = recErr.Error()
+		}
+	}
+
 	if b, err := json.MarshalIndent(res, "", "  "); err == nil {
 		os.WriteFile(filepath.Join(opts.Dir, "scenario.json"), append(b, '\n'), 0o644)
 	}
@@ -200,9 +297,21 @@ func RunScenario(kind ScenarioKind, opts ScenarioOptions) (*ScenarioResult, erro
 			kind, res.Entry.Deliveries, res.OrderLen, total)
 	}
 	switch kind {
-	case KillWaves, LeaderKill, RollingRestart:
+	case KillWaves, LeaderKill, RollingRestart, MajorityKill, CascadingFailure:
 		if res.Restarts == 0 {
 			return res, fmt.Errorf("live: %s: vacuous run: no node ever restarted", kind)
+		}
+	}
+	if kind.QuorumLoss() {
+		if !res.PrimaryLossOK {
+			return res, fmt.Errorf("live: %s: primary-loss guard: %s", kind, res.PrimaryLossErr)
+		}
+		if !res.RecoveryOK {
+			return res, fmt.Errorf("live: %s: bounded recovery: %s", kind, res.RecoveryErr)
+		}
+		if res.HardFailures > 0 {
+			return res, fmt.Errorf("live: %s: %d loadgen ops failed hard (retry budget exhausted); stalls must be attributed, not fatal",
+				kind, res.HardFailures)
 		}
 	}
 	return res, nil
@@ -319,6 +428,11 @@ type MatrixOptions struct {
 	Settle    time.Duration
 	// CheckpointBytes arms WAL compaction in every scenario (0 disables).
 	CheckpointBytes int
+	// MaxPending / LossGrace / RecoveryBound pass through to every
+	// scenario (see ScenarioOptions).
+	MaxPending    int
+	LossGrace     time.Duration
+	RecoveryBound time.Duration
 	// Kinds defaults to the full ScenarioKinds matrix.
 	Kinds []ScenarioKind
 	Logf  func(string, ...any)
@@ -383,6 +497,9 @@ func RunMatrix(opts MatrixOptions) (*MatrixResult, error) {
 			Window:          opts.Window,
 			Settle:          opts.Settle,
 			CheckpointBytes: opts.CheckpointBytes,
+			MaxPending:      opts.MaxPending,
+			LossGrace:       opts.LossGrace,
+			RecoveryBound:   opts.RecoveryBound,
 			Profile:         shape.profile,
 			Arrival:         shape.arrival,
 			OpenLoop:        shape.open,
@@ -394,6 +511,9 @@ func RunMatrix(opts MatrixOptions) (*MatrixResult, error) {
 		if err != nil {
 			logf("scenario %s FAILED: %v", kind, err)
 			res.Failed = append(res.Failed, fmt.Sprintf("%s: %v", kind, err))
+		} else if kind.QuorumLoss() {
+			logf("scenario %s ok: %d deliveries, order %d, %d restarts, %d loss epochs, recovery %dms after heal",
+				kind, sr.Entry.Deliveries, sr.OrderLen, sr.Restarts, len(sr.Scenario.LossEpochs), sr.RecoveryMS)
 		} else {
 			logf("scenario %s ok: %d deliveries, order %d, %d restarts",
 				kind, sr.Entry.Deliveries, sr.OrderLen, sr.Restarts)

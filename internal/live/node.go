@@ -40,6 +40,12 @@ type EngineOptions struct {
 	// daemon killed hours into a soak replays the last checkpoint plus a
 	// bounded suffix instead of its whole history. 0 disables.
 	CheckpointBytes int
+	// MaxPending bounds the node's accepted-but-undelivered submission
+	// backlog; a submission past the bound is answered "BUSY <value>" on
+	// the line protocol instead of accepted, so a stalled (no-primary)
+	// daemon degrades by pushing back rather than buffering without
+	// limit. 0 disables.
+	MaxPending int
 	// Tick is the pacer granularity (default 2ms wall time).
 	Tick time.Duration
 	// Logf logs progress (default: silent).
@@ -202,18 +208,19 @@ func StartEngine(opts EngineOptions) (*Engine, error) {
 
 	e.mu.Lock()
 	e.node = stack.NewLiveNode(stack.LiveOptions{
-		Self:            opts.Self,
-		Universe:        opts.Config.Universe(),
-		P0:              opts.Config.P0Set(),
-		Delta:           opts.Config.Delta(),
-		Sim:             e.sim,
-		Transport:       e.tr,
-		WALData:         walData,
-		WALMirror:       e.walFile,
-		CheckpointBytes: opts.CheckpointBytes,
-		Log:             lg,
-		Obs:             e.reg,
-		OnDeliver:       e.onDeliver,
+		Self:             opts.Self,
+		Universe:         opts.Config.Universe(),
+		P0:               opts.Config.P0Set(),
+		Delta:            opts.Config.Delta(),
+		Sim:              e.sim,
+		Transport:        e.tr,
+		WALData:          walData,
+		WALMirror:        e.walFile,
+		CheckpointBytes:  opts.CheckpointBytes,
+		MaxPendingBcasts: opts.MaxPending,
+		Log:              lg,
+		Obs:              e.reg,
+		OnDeliver:        e.onDeliver,
 	})
 	e.mu.Unlock()
 	if len(walData) > 0 {
@@ -303,10 +310,13 @@ func (e *Engine) acceptClients() {
 	}
 }
 
-// serveClient handles the line protocol: S <value> submits a broadcast,
-// PING/PONG probes readiness, LPAUSE/LRESUME sever and restore the peer
-// listener (the injector's channel fault), METRICS returns a one-line
-// JSON snapshot, STOP shuts the daemon down.
+// serveClient handles the line protocol: S <value> submits a broadcast
+// (answered "BUSY <value>" when the backpressure bound rejects it),
+// STATUS reports "ST <OK|STALLED> <pending> <delivered>" — STALLED means
+// the node is not in an established primary component, so submissions
+// queue without delivery — PING/PONG probes readiness, LPAUSE/LRESUME
+// sever and restore the peer listener (the injector's channel fault),
+// METRICS returns a one-line JSON snapshot, STOP shuts the daemon down.
 func (e *Engine) serveClient(cc *clientConn) {
 	defer e.wg.Done()
 	defer func() {
@@ -323,8 +333,22 @@ func (e *Engine) serveClient(cc *clientConn) {
 		switch cmd {
 		case "S":
 			e.mu.Lock()
-			e.node.Bcast(types.Value(rest))
+			ok := e.node.TryBcast(types.Value(rest))
 			e.mu.Unlock()
+			if !ok {
+				cc.push("BUSY " + rest)
+			}
+		case "STATUS":
+			e.mu.Lock()
+			stalled := e.node.Stalled()
+			pending := e.node.PendingBcasts()
+			delivered := e.node.DeliveredCount()
+			e.mu.Unlock()
+			state := "OK"
+			if stalled {
+				state = "STALLED"
+			}
+			cc.push(fmt.Sprintf("ST %s %d %d", state, pending, delivered))
 		case "PING":
 			cc.push("PONG")
 		case "LPAUSE":

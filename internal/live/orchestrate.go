@@ -35,7 +35,10 @@ type RunOptions struct {
 	// CheckpointBytes arms WAL snapshot/compaction at every daemon
 	// (0 disables).
 	CheckpointBytes int
-	Logf            func(string, ...any)
+	// MaxPending passes the TryBcast backpressure bound to every daemon
+	// (0 disables).
+	MaxPending int
+	Logf       func(string, ...any)
 }
 
 // RunResult is the orchestrated run's outcome. CheckErr carries the
@@ -67,8 +70,15 @@ func Run(opts RunOptions) (*RunResult, error) {
 		logf = func(string, ...any) {}
 	}
 
-	cfg := makeConfig(opts.N, opts.Delta, opts.Seed, opts.BasePort)
-	cl, err := newCluster(opts.Dir, opts.PgcsdPath, cfg, opts.CheckpointBytes, logf)
+	basePort, err := probeBasePort(opts.BasePort, opts.N, 8, "single-run")
+	if err != nil {
+		return nil, err
+	}
+	if basePort != opts.BasePort {
+		logf("base port %d busy; using %d", opts.BasePort, basePort)
+	}
+	cfg := makeConfig(opts.N, opts.Delta, opts.Seed, basePort)
+	cl, err := newCluster(opts.Dir, opts.PgcsdPath, cfg, opts.CheckpointBytes, opts.MaxPending, logf)
 	if err != nil {
 		return nil, err
 	}

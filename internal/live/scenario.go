@@ -51,13 +51,64 @@ const (
 	// SIGSTOP / SIGKILL / LPAUSE against a random node, each healed
 	// before the next strike — chaos.Mixed.
 	MixedFaults ScenarioKind = "mixed-faults"
+
+	// The quorum-loss families below deliberately exceed the ⌊(n-1)/2⌋
+	// budget every other family respects: they fault enough nodes at once
+	// that no quorum stays mutually connected, so no primary component can
+	// exist until the heal. The paper's conditional-liveness claim (the
+	// Section 6 lemma chain) only promises delivery after the pattern
+	// stabilizes with a majority component; these scenarios drive the
+	// before/after of that condition against real processes. Their
+	// non-vacuity gate is inverted: instead of proving a primary survived,
+	// the runner proves delivery flatlined during every loss epoch and
+	// resumed within a bound after the final heal.
+
+	// MajorityKill: one simultaneous SIGKILL wave large enough that no
+	// quorum survives, held, then staggered restarts — correlated machine
+	// failure taking the primary down with it.
+	MajorityKill ScenarioKind = "majority-kill"
+	// TotalPartition: every node's peer listener paused at once — a total
+	// symmetric partition into n singleton components — healed together.
+	TotalPartition ScenarioKind = "total-partition"
+	// CascadingFailure: nodes SIGKILLed one at a time until just past the
+	// quorum-loss threshold, held, then restarted in reverse order — the
+	// slow-motion loss and recovery of a primary.
+	CascadingFailure ScenarioKind = "cascading-failure"
+	// SplitRejoinSoak: repeated rounds of isolating a different majority
+	// subset (LPAUSE) and rejoining it — each round loses and re-forms the
+	// primary.
+	SplitRejoinSoak ScenarioKind = "split-rejoin"
 )
 
 // ScenarioKinds lists every scenario kind, in the matrix's fixed order.
 var ScenarioKinds = []ScenarioKind{
 	StopWaves, KillWaves, RollingIsolation, NestedIsolation, FlappingLinks,
 	AsymmetricLinks, LeaderKill, RollingRestart, MixedFaults,
+	MajorityKill, TotalPartition, CascadingFailure, SplitRejoinSoak,
 }
+
+// QuorumLossKinds lists the families that exceed the quorum budget.
+var QuorumLossKinds = []ScenarioKind{
+	MajorityKill, TotalPartition, CascadingFailure, SplitRejoinSoak,
+}
+
+// QuorumLoss reports whether this family deliberately exceeds the
+// quorum budget (and is therefore gated on primary-loss detection and
+// bounded recovery instead of the quorum-alive non-vacuity guard).
+func (k ScenarioKind) QuorumLoss() bool {
+	switch k {
+	case MajorityKill, TotalPartition, CascadingFailure, SplitRejoinSoak:
+		return true
+	}
+	return false
+}
+
+// QuorumLossThreshold returns the minimum number of simultaneously
+// faulted nodes that makes a primary impossible: with k faulted, only
+// n−k nodes remain mutually connected, and a primary view must contain
+// a quorum (a majority, ⌊n/2⌋+1). k = ⌈n/2⌉ leaves ⌊n/2⌋ alive — one
+// short of every quorum.
+func QuorumLossThreshold(n int) int { return (n + 1) / 2 }
 
 // ParseScenarioKind validates a scenario name.
 func ParseScenarioKind(s string) (ScenarioKind, error) {
@@ -98,31 +149,124 @@ type Action struct {
 	Kind ActionKind `json:"kind"`
 }
 
+// Epoch is one interval of scheduled quorum loss: from StartMS at least
+// QuorumLossThreshold(n) nodes are faulted simultaneously, until EndMS
+// heals enough of them that a quorum could re-form. Times are schedule
+// offsets, like Action.AtMS.
+type Epoch struct {
+	StartMS int64 `json:"start_ms"`
+	EndMS   int64 `json:"end_ms"`
+}
+
 // Scenario is one replayable fault schedule: (Kind, Seed, N, WindowMS)
 // regenerate Actions exactly, and Actions alone replay without the
 // generator. The matrix runner writes the whole struct into each
-// artifact.
+// artifact. LossEpochs is derived from Actions (ComputeLossEpochs) and
+// carried so the artifact records exactly which intervals the
+// primary-loss detector guarded.
 type Scenario struct {
-	Kind     ScenarioKind `json:"kind"`
-	Seed     int64        `json:"seed"`
-	N        int          `json:"n"`
-	WindowMS int64        `json:"window_ms"`
-	Actions  []Action     `json:"actions"`
+	Kind       ScenarioKind `json:"kind"`
+	Seed       int64        `json:"seed"`
+	N          int          `json:"n"`
+	WindowMS   int64        `json:"window_ms"`
+	Actions    []Action     `json:"actions"`
+	LossEpochs []Epoch      `json:"loss_epochs,omitempty"`
+}
+
+// ComputeLossEpochs replays the schedule and returns the intervals during
+// which at least QuorumLossThreshold(n) nodes are faulted at once — no
+// primary can exist inside them. A node counts as faulted while
+// SIGSTOPped, SIGKILLed (until its restart action), or listener-paused;
+// an ActCycle is a transient (sub-second graceful bounce) and does not
+// count. Same-instant actions are applied together before the count is
+// evaluated, so a heal tied with a fault never opens a zero-length
+// epoch. An epoch still open after the last action closes at that
+// action's time (generators never emit such schedules; the defensive
+// heal sweep would close it in practice).
+func ComputeLossEpochs(actions []Action, n int) []Epoch {
+	sorted := append([]Action(nil), actions...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].AtMS < sorted[j-1].AtMS; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	threshold := QuorumLossThreshold(n)
+	type state struct{ stopped, killed, paused bool }
+	nodes := make([]state, n)
+	faulted := func() int {
+		k := 0
+		for _, s := range nodes {
+			if s.stopped || s.killed || s.paused {
+				k++
+			}
+		}
+		return k
+	}
+	var epochs []Epoch
+	open := int64(-1)
+	for i := 0; i < len(sorted); {
+		at := sorted[i].AtMS
+		for ; i < len(sorted) && sorted[i].AtMS == at; i++ {
+			a := sorted[i]
+			if a.Node < 0 || a.Node >= n {
+				continue
+			}
+			s := &nodes[a.Node]
+			switch a.Kind {
+			case ActSigstop:
+				s.stopped = true
+			case ActSigcont:
+				s.stopped = false
+			case ActSigkill:
+				s.killed = true
+			case ActRestart:
+				s.killed = false
+			case ActLpause:
+				s.paused = true
+			case ActLresume:
+				s.paused = false
+			}
+		}
+		k := faulted()
+		if open < 0 && k >= threshold {
+			open = at
+		} else if open >= 0 && k < threshold {
+			if at > open {
+				epochs = append(epochs, Epoch{StartMS: open, EndMS: at})
+			}
+			open = -1
+		}
+	}
+	if open >= 0 && len(sorted) > 0 {
+		if last := sorted[len(sorted)-1].AtMS; last > open {
+			epochs = append(epochs, Epoch{StartMS: open, EndMS: last})
+		}
+	}
+	return epochs
 }
 
 // GenerateScenario produces the fault schedule of the given kind,
-// deterministically from (kind, seed, n, window). Every generator keeps
-// the concurrently-faulted node count at or below (n-1)/2, so a strict
-// majority stays mutually connected throughout — the primary component
-// survives and the run cannot be vacuous by construction — and emits
-// every heal strictly inside the window (the runner adds a defensive
-// heal sweep after it regardless).
+// deterministically from (kind, seed, n, window). The budgeted families
+// keep the concurrently-faulted node count at or below (n-1)/2, so a
+// strict majority stays mutually connected throughout — the primary
+// component survives and the run cannot be vacuous by construction. The
+// quorum-loss families (k.QuorumLoss()) invert that: they push past the
+// threshold on purpose and record the resulting LossEpochs for the
+// primary-loss detector. Every generator emits every heal strictly
+// inside the window (the runner adds a defensive heal sweep after it
+// regardless).
 func GenerateScenario(kind ScenarioKind, seed int64, n int, window time.Duration) (Scenario, error) {
 	if n < 3 {
 		return Scenario{}, fmt.Errorf("live: scenarios need n >= 3, have %d", n)
 	}
 	if window < 2*time.Second {
 		return Scenario{}, fmt.Errorf("live: scenario window %v too short (need >= 2s)", window)
+	}
+	if kind.QuorumLoss() && window < 4*time.Second {
+		// The loss epoch must outlast the detector's grace interval plus at
+		// least two sampling periods, and the heal still has to land inside
+		// the window; below 4s the shapes can't fit.
+		return Scenario{}, fmt.Errorf("live: quorum-loss scenario %s needs window >= 4s, have %v", kind, window)
 	}
 	g := &sgen{
 		rng:    rand.New(rand.NewSource(seed)),
@@ -149,14 +293,23 @@ func GenerateScenario(kind ScenarioKind, seed int64, n int, window time.Duration
 		g.rollingRestart()
 	case MixedFaults:
 		g.mixedFaults()
+	case MajorityKill:
+		g.majorityKill()
+	case TotalPartition:
+		g.totalPartition()
+	case CascadingFailure:
+		g.cascadingFailure()
+	case SplitRejoinSoak:
+		g.splitRejoin()
 	default:
 		return Scenario{}, fmt.Errorf("live: unknown scenario %q", kind)
 	}
 	g.sort()
 	return Scenario{
 		Kind: kind, Seed: seed, N: n,
-		WindowMS: window.Milliseconds(),
-		Actions:  g.out,
+		WindowMS:   window.Milliseconds(),
+		Actions:    g.out,
+		LossEpochs: ComputeLossEpochs(g.out, n),
 	}, nil
 }
 
@@ -329,6 +482,103 @@ func (g *sgen) rollingRestart() {
 	spacing := g.window / time.Duration(g.n+1)
 	for i := 0; i < g.n; i++ {
 		g.act(time.Duration(i+1)*spacing, i, ActCycle)
+	}
+}
+
+// minLossHold is the floor every quorum-loss generator keeps a loss
+// epoch open for: long enough that the runner's detector — which skips
+// a grace interval after the loss onset (in-flight deliveries, minority
+// view-formation catch-up, injection lag) and then needs at least two
+// delivery samples — can attest the flatline even at the 4s minimum
+// window.
+const minLossHold = 1350 * time.Millisecond
+
+// lossHold picks a loss-epoch hold in [lo, hi) but never below
+// minLossHold.
+func (g *sgen) lossHold(lo, hi time.Duration) time.Duration {
+	h := g.dwell(lo, hi)
+	if h < minLossHold {
+		h = minLossHold
+	}
+	return h
+}
+
+// lossSize picks how many nodes to fault at once: at least the
+// quorum-loss threshold, at most n-1 (one node always survives so the
+// cluster directory keeps a live daemon answering clients).
+func (g *sgen) lossSize() int {
+	th := QuorumLossThreshold(g.n)
+	return th + g.rng.Intn(g.n-th)
+}
+
+func (g *sgen) majorityKill() {
+	w := g.window
+	at := w / 4
+	vs := g.victims(g.lossSize())
+	for _, v := range vs {
+		g.act(at+g.dwell(0, 100*time.Millisecond), v, ActSigkill)
+	}
+	up := at + g.lossHold(w/5, w/4)
+	for i, v := range vs {
+		g.act(up+time.Duration(i)*g.dwell(80*time.Millisecond, 160*time.Millisecond), v, ActRestart)
+	}
+}
+
+func (g *sgen) totalPartition() {
+	w := g.window
+	at := w / 4
+	for v := 0; v < g.n; v++ {
+		g.act(at+g.dwell(0, 50*time.Millisecond), v, ActLpause)
+	}
+	up := at + g.lossHold(w/5, w/4)
+	for v := 0; v < g.n; v++ {
+		g.act(up+g.dwell(0, 80*time.Millisecond), v, ActLresume)
+	}
+}
+
+func (g *sgen) cascadingFailure() {
+	w := g.window
+	k := QuorumLossThreshold(g.n) + 1
+	if k > g.n-1 {
+		k = g.n - 1
+	}
+	vs := g.victims(k)
+	t := w / 6
+	stride := g.dwell(w/40, w/30)
+	for _, v := range vs {
+		g.act(t, v, ActSigkill)
+		t += stride
+	}
+	t += g.lossHold(w/6, w/5) // hold the cluster past the quorum-loss point
+	for i := len(vs) - 1; i >= 0; i-- {
+		g.act(t, vs[i], ActRestart)
+		t += stride
+	}
+}
+
+func (g *sgen) splitRejoin() {
+	w := g.window
+	rounds := 2
+	if w < 6*time.Second {
+		rounds = 1 // minLossHold-floored rounds would spill past a short window
+	} else if w >= 16*time.Second {
+		rounds += g.rng.Intn(2)
+	}
+	t := w / 8
+	// Shape scales with the round count so the final rejoin always lands
+	// well inside the window.
+	holdLo, holdHi := w/time.Duration(4*rounds), w/time.Duration(3*rounds)
+	gapLo, gapHi := w/time.Duration(5*rounds), w/time.Duration(4*rounds)
+	for r := 0; r < rounds; r++ {
+		vs := g.victims(g.lossSize())
+		hold := g.lossHold(holdLo, holdHi)
+		for _, v := range vs {
+			g.act(t+g.dwell(0, 50*time.Millisecond), v, ActLpause)
+		}
+		for _, v := range vs {
+			g.act(t+hold+g.dwell(0, 80*time.Millisecond), v, ActLresume)
+		}
+		t += hold + g.dwell(gapLo, gapHi)
 	}
 }
 

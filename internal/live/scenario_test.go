@@ -33,16 +33,25 @@ func TestGenerateScenarioDeterministic(t *testing.T) {
 }
 
 // TestScenarioBudgetAndWindow replays every generated schedule as a
-// fault-set simulation: at no instant may more than (n-1)/2 nodes be
-// faulted (the primary component must survive — the non-vacuity
-// guarantee is by construction), every fault must be healed by the end,
-// and every action must land strictly inside the window.
+// fault-set simulation. Budgeted families: at no instant may more than
+// (n-1)/2 nodes be faulted (the primary component must survive — the
+// non-vacuity guarantee is by construction). Quorum-loss families invert
+// that: at some instant at least QuorumLossThreshold(n) nodes must be
+// faulted at once, and the recorded LossEpochs must match a replay of
+// the actions. Both: every fault must be healed by the end, and every
+// action must land strictly inside the window.
 func TestScenarioBudgetAndWindow(t *testing.T) {
 	for _, kind := range ScenarioKinds {
 		for _, n := range []int{3, 5, 10} {
 			for _, window := range []time.Duration{2 * time.Second, 5 * time.Second, 12 * time.Second} {
 				for seed := int64(1); seed <= 5; seed++ {
 					sc, err := GenerateScenario(kind, seed, n, window)
+					if kind.QuorumLoss() && window < 4*time.Second {
+						if err == nil {
+							t.Errorf("%s w=%v: short window accepted for quorum-loss kind", kind, window)
+						}
+						continue
+					}
 					if err != nil {
 						t.Fatalf("%s n=%d w=%v seed=%d: %v", kind, n, window, seed, err)
 					}
@@ -51,6 +60,8 @@ func TestScenarioBudgetAndWindow(t *testing.T) {
 						continue
 					}
 					budget := (n - 1) / 2
+					threshold := QuorumLossThreshold(n)
+					peak := 0
 					faulted := map[int]bool{}
 					last := int64(0)
 					for _, a := range sc.Actions {
@@ -77,7 +88,10 @@ func TestScenarioBudgetAndWindow(t *testing.T) {
 						default:
 							t.Fatalf("%s: unknown action kind %q", kind, a.Kind)
 						}
-						if len(faulted) > budget {
+						if len(faulted) > peak {
+							peak = len(faulted)
+						}
+						if !kind.QuorumLoss() && len(faulted) > budget {
 							t.Fatalf("%s n=%d w=%v seed=%d: %d nodes faulted at %dms, budget %d",
 								kind, n, window, seed, len(faulted), a.AtMS, budget)
 						}
@@ -85,6 +99,34 @@ func TestScenarioBudgetAndWindow(t *testing.T) {
 					if len(faulted) != 0 {
 						t.Errorf("%s n=%d w=%v seed=%d: %d nodes still faulted at window end: %v",
 							kind, n, window, seed, len(faulted), faulted)
+					}
+					if kind.QuorumLoss() {
+						if peak < threshold {
+							t.Errorf("%s n=%d w=%v seed=%d: peak %d faulted never reached quorum-loss threshold %d",
+								kind, n, window, seed, peak, threshold)
+						}
+						if kind != TotalPartition && peak >= n {
+							// TotalPartition alone faults everyone (a symmetric
+							// partition into singletons); the kill-based families
+							// always keep one survivor so restarts have a peer.
+							t.Errorf("%s n=%d w=%v seed=%d: all %d nodes faulted at once (generators keep one survivor)",
+								kind, n, window, seed, n)
+						}
+						if len(sc.LossEpochs) == 0 {
+							t.Errorf("%s n=%d w=%v seed=%d: quorum-loss schedule with no loss epochs", kind, n, window, seed)
+						}
+						if want := ComputeLossEpochs(sc.Actions, n); !reflect.DeepEqual(sc.LossEpochs, want) {
+							t.Errorf("%s n=%d w=%v seed=%d: LossEpochs %v != replay %v",
+								kind, n, window, seed, sc.LossEpochs, want)
+						}
+						for _, ep := range sc.LossEpochs {
+							if ep.StartMS < 0 || ep.EndMS > sc.WindowMS || ep.EndMS <= ep.StartMS {
+								t.Errorf("%s n=%d w=%v seed=%d: malformed loss epoch %+v", kind, n, window, seed, ep)
+							}
+						}
+					} else if len(sc.LossEpochs) != 0 {
+						t.Errorf("%s n=%d w=%v seed=%d: budgeted schedule recorded loss epochs %v",
+							kind, n, window, seed, sc.LossEpochs)
 					}
 				}
 			}

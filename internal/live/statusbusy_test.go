@@ -1,0 +1,123 @@
+package live
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+// TestStatusAndBusyRoundTrip drives the graceful-degradation surface of
+// the line protocol end to end: a node booted without its peers never
+// establishes a primary component, so STATUS reports STALLED, accepted
+// submissions pile up as pending, and the -max-pending bound answers
+// further submissions with BUSY. Once the peers arrive, the node turns
+// OK, drains its backlog into the total order, and the rejected value
+// never appears.
+func TestStatusAndBusyRoundTrip(t *testing.T) {
+	cfg := testConfig(t, 3)
+	dir := t.TempDir()
+	const maxPending = 2
+	lone, err := StartEngine(EngineOptions{
+		Config:     cfg,
+		Self:       0,
+		WALPath:    filepath.Join(dir, "wal0"),
+		TracePath:  filepath.Join(dir, "trace0.jsonl"),
+		MaxPending: maxPending,
+		Tick:       time.Millisecond,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lone.Close() })
+
+	c, err := DialClient(lone.ClientAddr(), 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The initial view is primary by construction (it contains a quorum),
+	// so the lone node only turns STALLED once membership times out the
+	// absent peers and reconfigures to a singleton view.
+	waitFor(t, 30*time.Second, "lone node to notice its missing peers", func() bool {
+		st, err := c.Status(2 * time.Second)
+		return err == nil && st.Stalled && st.Pending == 0 && st.Delivered == 0
+	})
+
+	// Fill the backlog, then one more: the excess comes back as BUSY.
+	for i := 0; i < maxPending; i++ {
+		if err := c.Submit(fmt.Sprintf("held-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Submit("bounced"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-c.Rejects():
+		if got != "bounced" {
+			t.Fatalf("BUSY carried %q, want %q", got, "bounced")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no BUSY for the over-bound submission")
+	}
+	st, err := c.Status(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Stalled || st.Pending != maxPending {
+		t.Fatalf("over-bound status = %+v, want stalled with pending %d", st, maxPending)
+	}
+
+	// The peers arrive; a primary establishes and the backlog drains.
+	for i := 1; i < 3; i++ {
+		e, err := StartEngine(EngineOptions{
+			Config:    cfg,
+			Self:      types.ProcID(i),
+			WALPath:   filepath.Join(dir, fmt.Sprintf("wal%d", i)),
+			TracePath: filepath.Join(dir, fmt.Sprintf("trace%d.jsonl", i)),
+			Tick:      time.Millisecond,
+			Logf:      t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { e.Close() })
+	}
+	waitFor(t, 30*time.Second, "backlog drain into a primary", func() bool {
+		st, err := c.Status(2 * time.Second)
+		return err == nil && !st.Stalled && st.Pending == 0 && st.Delivered == maxPending
+	})
+
+	// The drained node accepts again, and the bounced value stayed out.
+	if err := c.Submit("after-heal"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 30*time.Second, "post-heal delivery", func() bool {
+		st, err := c.Status(2 * time.Second)
+		return err == nil && st.Delivered == maxPending+1
+	})
+	deliveredValues := map[string]bool{}
+drain:
+	for {
+		select {
+		case d := <-c.Deliveries():
+			deliveredValues[d.Value] = true
+		default:
+			break drain
+		}
+	}
+	if deliveredValues["bounced"] {
+		t.Error("BUSY-rejected value was delivered")
+	}
+	if !deliveredValues["held-0"] || !deliveredValues["held-1"] || !deliveredValues["after-heal"] {
+		t.Errorf("missing deliveries: %v", deliveredValues)
+	}
+}

@@ -55,6 +55,10 @@ type LiveOptions struct {
 	// CheckpointBytes arms WAL snapshot/compaction exactly as
 	// Options.CheckpointBytes does in simulation. 0 disables.
 	CheckpointBytes int
+	// MaxPendingBcasts bounds the node's accepted-but-undelivered
+	// submission backlog, exactly as Options.MaxPendingBcasts does in
+	// simulation: TryBcast rejects past the bound. 0 disables.
+	MaxPendingBcasts int
 	// Quorums defaults to majorities of Universe.
 	Quorums types.QuorumSystem
 	// Log, when non-nil, replaces the node's fresh trace log — set its
@@ -91,14 +95,15 @@ func NewLiveNode(opts LiveOptions) *Node {
 		Sim: s,
 		// All-good oracle: in live mode faults are physical (killed
 		// processes, closed sockets), not injected into the stack.
-		Oracle: failures.NewOracle(s.Now),
-		Log:    lg,
-		Procs:  opts.Universe,
-		Cfg:    cfg,
-		Obs:    opts.Obs,
-		tr:     opts.Transport,
-		qs:     qs,
-		nodes:  make(map[types.ProcID]*Node, 1),
+		Oracle:     failures.NewOracle(s.Now),
+		Log:        lg,
+		Procs:      opts.Universe,
+		Cfg:        cfg,
+		Obs:        opts.Obs,
+		tr:         opts.Transport,
+		qs:         qs,
+		maxPending: opts.MaxPendingBcasts,
+		nodes:      make(map[types.ProcID]*Node, 1),
 	}
 	c.initMetrics(opts.Obs)
 	dev := storage.New(s, 0)

@@ -59,6 +59,11 @@ type Node struct {
 
 	bcastSeq   int        // per-origin submission counter for the log
 	deliveries []Delivery // everything delivered here, in order
+	// pendingOwn counts this node's accepted submissions not yet delivered
+	// back to it — the end-to-end TOBcast backlog TryBcast bounds. It
+	// survives restarts: recovery recomputes it as the durable submission
+	// count minus the own-origin entries of the durable delivered prefix.
+	pendingOwn int
 
 	// Crash-recovery state.
 	wal       *recovery.WAL
@@ -114,6 +119,9 @@ type Cluster struct {
 	tr         transport.Transport
 	qs         types.QuorumSystem
 	skipReplay bool
+	// maxPending bounds each node's accepted-but-undelivered submission
+	// backlog (TryBcast backpressure); 0 leaves Bcast unbounded.
+	maxPending int
 	nodes      map[types.ProcID]*Node
 	m          clusterMetrics
 	// submitted maps each client submission to its bcast instant, for the
@@ -129,10 +137,17 @@ type submitKey struct {
 
 // clusterMetrics holds the stack-level obs handles (all nil when disabled).
 type clusterMetrics struct {
-	bcasts           *obs.Counter
-	deliveries       *obs.Counter
-	crashes          *obs.Counter
-	recoveries       *obs.Counter
+	bcasts        *obs.Counter
+	bcastRejected *obs.Counter // TryBcast backpressure rejections
+	deliveries    *obs.Counter
+	crashes       *obs.Counter
+	recoveries    *obs.Counter
+	pendingBcasts *obs.Gauge // accepted-but-undelivered backlog (live: the one node's)
+	// primary is 1 when the most recent view installation in this registry
+	// was a primary view at the installing node. In live deployments the
+	// registry is per-daemon, so this is exactly "this node is in a primary
+	// component" — the metric behind the STALLED status.
+	primary          *obs.Gauge
 	replayRecords    *obs.Counter
 	replayBytes      *obs.Counter
 	deliverLatency   *obs.Histogram // bcast → brcv, per delivering node
@@ -183,6 +198,14 @@ type Options struct {
 	// checkpoint instead of folding the whole history. 0 disables (the
 	// default; the WAL keeps every record forever, as before).
 	CheckpointBytes int
+	// MaxPendingBcasts, when positive, bounds each node's accepted-but-
+	// undelivered submission backlog: TryBcast rejects (returns false)
+	// while the node already holds this many of its own submissions that
+	// have not yet been delivered back to it. This is the stack's
+	// graceful-degradation valve: with no primary component the backlog
+	// cannot drain, and without a bound a stalled node buffers client
+	// values without limit. 0 (the default) leaves submission unbounded.
+	MaxPendingBcasts int
 	// SkipRecoveryReplay is a test-only hook: a processor recovering from
 	// an amnesia crash is rebuilt from an empty snapshot instead of a
 	// replay of its WAL. It exists so the chaos tests can verify that the
@@ -257,6 +280,7 @@ func NewCluster(opts Options) *Cluster {
 		tr:         nw,
 		qs:         qs,
 		skipReplay: opts.SkipRecoveryReplay,
+		maxPending: opts.MaxPendingBcasts,
 		nodes:      make(map[types.ProcID]*Node, opts.N),
 	}
 	c.initMetrics(opts.Obs)
@@ -314,9 +338,12 @@ func (c *Cluster) initMetrics(reg *obs.Registry) {
 	c.submitted = make(map[submitKey]sim.Time)
 	c.m = clusterMetrics{
 		bcasts:           reg.Counter("to.bcasts"),
+		bcastRejected:    reg.Counter("to.bcast_rejected"),
 		deliveries:       reg.Counter("to.deliveries"),
 		crashes:          reg.Counter("stack.crashes"),
 		recoveries:       reg.Counter("stack.recoveries"),
+		pendingBcasts:    reg.Gauge("stack.pending_bcasts"),
+		primary:          reg.Gauge("stack.primary"),
 		replayRecords:    reg.Counter("recovery.replay_records"),
 		replayBytes:      reg.Counter("recovery.replay_bytes"),
 		deliverLatency:   reg.Histogram("to.deliver_latency"),
@@ -444,15 +471,30 @@ func (n *Node) Recoveries() int { return n.recoveries }
 // (nil if the node never recovered).
 func (n *Node) LastReplay() *recovery.Snapshot { return n.lastReplay }
 
-// Bcast is the client's bcast(a)_p input. The value becomes durable (a
-// WAL record at the origin) before the submission is logged or enters the
-// delay queue, so every value the trace obliges the system to deliver
-// survives an amnesia crash of its origin. A submission at an already
-// amnesiac processor is dropped: no client lives at a wiped processor.
-func (n *Node) Bcast(a types.Value) {
+// Bcast is the client's bcast(a)_p input, ignoring backpressure: a value
+// rejected by the TryBcast bound is silently dropped (legacy call sites
+// and tests that never configure MaxPendingBcasts).
+func (n *Node) Bcast(a types.Value) { n.TryBcast(a) }
+
+// TryBcast is the client's bcast(a)_p input with explicit backpressure.
+// It reports false — and accepts nothing — when the node's own
+// accepted-but-undelivered backlog is at the configured bound (the value
+// never reached the WAL, so the client may retry the identical value
+// later) or when the processor is amnesiac (no client lives at a wiped
+// processor). Otherwise the value becomes durable (a WAL record at the
+// origin) before the submission is logged or enters the delay queue, so
+// every value the trace obliges the system to deliver survives an
+// amnesia crash of its origin.
+func (n *Node) TryBcast(a types.Value) bool {
 	if n.orc.Proc(n.id) == failures.Amnesia {
-		return
+		return false
 	}
+	if max := n.c.maxPending; max > 0 && n.pendingOwn >= max {
+		n.c.m.bcastRejected.Inc()
+		return false
+	}
+	n.pendingOwn++
+	n.c.m.pendingBcasts.Max(int64(n.pendingOwn))
 	n.bcastSeq++
 	seq := n.bcastSeq
 	n.c.m.bcasts.Inc()
@@ -478,10 +520,29 @@ func (n *Node) Bcast(a types.Value) {
 		n.proc.Bcast(a)
 		n.drain()
 	})
+	return true
 }
 
 // Deliveries returns everything delivered at this node, in order.
 func (n *Node) Deliveries() []Delivery { return n.deliveries }
+
+// DeliveredCount returns how many values this node has delivered.
+func (n *Node) DeliveredCount() int { return len(n.deliveries) }
+
+// PendingBcasts returns the node's accepted-but-undelivered submission
+// backlog — the quantity TryBcast bounds.
+func (n *Node) PendingBcasts() int { return n.pendingOwn }
+
+// Primary reports whether the node's current view is a primary view: a
+// quorum-contained view whose establishment completed here. Only primary
+// members extend the total order, so !Primary() means new submissions
+// cannot currently be delivered anywhere from this node's perspective.
+func (n *Node) Primary() bool { return n.proc.Primary() }
+
+// Stalled reports the graceful-degradation condition surfaced to clients:
+// the node is not in an established primary component, so accepted
+// submissions queue without delivery until a primary re-forms.
+func (n *Node) Stalled() bool { return !n.proc.Primary() }
 
 func (n *Node) onNewview(v types.View) {
 	// The view record is already durable: installation is write-ahead
@@ -489,6 +550,11 @@ func (n *Node) onNewview(v types.View) {
 	n.hasView = true
 	n.curView = v
 	n.proc.Newview(v)
+	if n.proc.Primary() {
+		n.c.m.primary.Set(1)
+	} else {
+		n.c.m.primary.Set(0)
+	}
 	n.drain()
 }
 
@@ -659,6 +725,18 @@ func (n *Node) restoreProc(snap *recovery.Snapshot) {
 	}
 	n.proc = proc
 	n.bcastSeq = snap.BcastSeq
+	// The backlog bound survives restarts: every durable submission not in
+	// the durable own-origin delivered prefix is still outstanding.
+	own := 0
+	for _, d := range snap.Delivered {
+		if d.From == n.id {
+			own++
+		}
+	}
+	n.pendingOwn = snap.BcastSeq - own
+	if n.pendingOwn < 0 {
+		n.pendingOwn = 0
+	}
 	n.hasView = snap.HasView
 	n.curView = snap.View
 }
@@ -805,6 +883,9 @@ func (n *Node) performBrcv() {
 	n.proc.Brcv()
 	d := Delivery{From: from, Value: a, Time: n.sim.Now()}
 	n.deliveries = append(n.deliveries, d)
+	if from == n.id && n.pendingOwn > 0 {
+		n.pendingOwn--
+	}
 	n.c.m.deliveries.Inc()
 	if n.c.submitted != nil {
 		l := n.proc.Order[reportIdx-1]

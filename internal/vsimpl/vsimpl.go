@@ -201,6 +201,7 @@ type Node struct {
 	mInstalls        *obs.Counter
 	mTokenRound      *obs.Histogram
 	mMaxTokenEntries *obs.Gauge
+	mBuffered        *obs.Gauge // current client messages awaiting token pickup
 	tracer           *obs.Tracer
 }
 
@@ -259,6 +260,7 @@ func NewNode(id types.ProcID, universe, p0 types.ProcSet, s *sim.Sim, nw transpo
 	n.mInstalls = cfg.Obs.Counter("vs.installs")
 	n.mTokenRound = cfg.Obs.Histogram("vs.token_round")
 	n.mMaxTokenEntries = cfg.Obs.Gauge("vs.max_token_entries")
+	n.mBuffered = cfg.Obs.Gauge("vs.buffered")
 	n.tracer = cfg.Obs.Tracer()
 	if cfg.OneRound {
 		window := cfg.ReachWindow
@@ -392,10 +394,17 @@ func (n *Node) Gpsnd(payload any) {
 	n.stats.Sent++
 	id := check.MsgID{Sender: n.id, Seq: n.sendSeq}
 	n.buffer = append(n.buffer, bufMsg{ID: id, Payload: payload, View: n.cur.ID})
+	n.mBuffered.Set(int64(len(n.buffer)))
 	if n.Log != nil {
 		n.Log.Append(props.Event{T: n.sim.Now(), Kind: props.VSGpsnd, P: n.id, Msg: id})
 	}
 }
+
+// BufferedLen returns how many accepted client messages are waiting for
+// token pickup in the current view — observational only; labeled values
+// are never dropped on its account (the TryBcast bound upstream in
+// internal/stack is the only admission control).
+func (n *Node) BufferedLen() int { return len(n.buffer) }
 
 // down reports whether this processor is currently stopped (bad or
 // amnesiac).
@@ -423,6 +432,7 @@ func (n *Node) install(v types.View) {
 		}
 	}
 	n.buffer = kept
+	n.mBuffered.Set(int64(len(n.buffer)))
 	n.holdTimer.Cancel()
 	n.holdTimer = sim.Timer{}
 	if n.Log != nil {
@@ -539,6 +549,7 @@ func (n *Node) mergeToken(tok *TokenPkt) {
 		tok.Msgs = append(tok.Msgs, TokenMsg{ID: m.ID, From: n.id, Payload: m.Payload})
 	}
 	n.buffer = n.buffer[:0]
+	n.mBuffered.Set(0)
 	if len(tok.Msgs) > n.stats.MaxTokenEntries {
 		n.stats.MaxTokenEntries = len(tok.Msgs)
 	}

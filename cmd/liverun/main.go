@@ -27,6 +27,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -34,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/experiments"
 	"repro/internal/live"
 )
 
@@ -55,6 +57,8 @@ func main() {
 		settle    = flag.Duration("settle", 5*time.Second, "post-heal load interval per scenario (matrix mode)")
 		scenarios = flag.String("scenarios", "", "comma-separated scenario kinds (matrix mode; default: all)")
 		ckptBytes = flag.Int("checkpoint-bytes", 0, "WAL snapshot/compaction threshold per daemon (0 disables)")
+
+		floorsPath = flag.String("floors", "", "BENCH_baseline.json whose live_floors to enforce on the single-scenario run (throughput floor + p99 latency bound)")
 
 		maxPending    = flag.Int("max-pending", 4096, "per-daemon accepted-but-undelivered submission bound (0 disables backpressure)")
 		recoveryBound = flag.Duration("recovery-bound", 12*time.Second, "quorum-loss scenarios: delivery must resume this soon after the final heal")
@@ -140,8 +144,45 @@ func main() {
 		fmt.Printf("delivery latency: p50 %v  p99 %v  max %v  (%d samples)\n",
 			time.Duration(lat.P50NS), time.Duration(lat.P99NS), time.Duration(lat.MaxNS), lat.Count)
 		fmt.Printf("merged TO order: %d values; conformance ok: %v\n", res.OrderLen, res.CheckOK)
+		if err == nil && *floorsPath != "" {
+			if ferr := enforceFloors(*floorsPath, res, *rate, *n); ferr != nil {
+				log.Fatal(ferr)
+			}
+		}
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// enforceFloors applies the BENCH_baseline.json live floors to a completed
+// single-scenario run: delivered throughput (summed over nodes) must be at
+// least RateFraction of the offered rate × n, and p99 submit→delivery
+// latency must stay under MaxP99MS. The floors ride in the baseline file so
+// the live gate regenerates together with the simulated baseline.
+func enforceFloors(path string, res *live.RunResult, rate, n int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("floors: %w", err)
+	}
+	var rep experiments.BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("floors: parsing %s: %w", path, err)
+	}
+	f := rep.Live
+	if f.RateFraction <= 0 && f.MaxP99MS <= 0 {
+		return fmt.Errorf("floors: %s carries no live_floors", path)
+	}
+	minRate := f.RateFraction * float64(rate) * float64(n)
+	p99MS := float64(res.Entry.DeliveryLatency.P99NS) / float64(time.Millisecond)
+	fmt.Printf("floors: throughput %.1f/s (floor %.1f/s)  p99 %.1fms (bound %.1fms)\n",
+		res.Entry.DeliveriesPerSec, minRate, p99MS, f.MaxP99MS)
+	if f.RateFraction > 0 && res.Entry.DeliveriesPerSec < minRate {
+		return fmt.Errorf("floors: throughput %.1f deliveries/sec under the floor %.1f (rate_fraction %.2f x %d/s x %d nodes)",
+			res.Entry.DeliveriesPerSec, minRate, f.RateFraction, rate, n)
+	}
+	if f.MaxP99MS > 0 && p99MS > f.MaxP99MS {
+		return fmt.Errorf("floors: p99 delivery latency %.1fms over the bound %.1fms", p99MS, f.MaxP99MS)
+	}
+	return nil
 }

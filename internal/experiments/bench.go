@@ -36,10 +36,30 @@ type BenchEntry struct {
 	Histograms      map[string]obs.HistogramSummary `json:"histograms"`
 }
 
+// LiveFloors are the perf bounds the live-cluster CI job enforces with
+// liverun -floors: the real deployment must sustain at least
+// RateFraction of the offered load (deliveries summed over nodes per
+// wall second, against rate × n offered) and keep p99 submit→delivery
+// latency under MaxP99MS. The floors ship inside BENCH_baseline.json so
+// the live gate and the simulated baseline regenerate from one file and
+// one commit.
+type LiveFloors struct {
+	// RateFraction is the minimum delivered/offered throughput ratio.
+	// Deliberately loose (the live job runs on shared CI runners and
+	// kills a node mid-run); it exists to catch order-of-magnitude
+	// regressions in the hot path, not to benchmark the runner.
+	RateFraction float64 `json:"rate_fraction"`
+	// MaxP99MS bounds the 99th-percentile submit→delivery latency in
+	// wall milliseconds.
+	MaxP99MS float64 `json:"max_p99_ms"`
+}
+
 // BenchReport is the whole baseline file (BENCH_baseline.json).
 type BenchReport struct {
 	Seed    int64        `json:"seed"`
 	Entries []BenchEntry `json:"entries"`
+	// Live carries the floors the live-cluster CI job enforces.
+	Live LiveFloors `json:"live_floors"`
 }
 
 func benchEntry(id, scenario string, c *stack.Cluster, reg *obs.Registry) BenchEntry {
@@ -74,10 +94,11 @@ func BenchBaseline(seed int64) *BenchReport { return BenchBaselineWorkers(seed, 
 // own cluster, simulator, and registry, and the entries land in submission
 // order, so the report is identical to the serial one for any worker count.
 func BenchBaselineWorkers(seed int64, workers int) *BenchReport {
-	scenarios := []func() BenchEntry{benchE1(seed), benchE2(seed), benchE14(seed)}
+	scenarios := []func() BenchEntry{benchE1(seed), benchE2(seed), benchE14(seed), benchE16(seed)}
 	return &BenchReport{
 		Seed:    seed,
 		Entries: sweep.Run(workers, len(scenarios), func(i int) BenchEntry { return scenarios[i]() }),
+		Live:    LiveFloors{RateFraction: 0.15, MaxP99MS: 2000},
 	}
 }
 
@@ -147,5 +168,35 @@ func benchE14(seed int64) func() BenchEntry {
 		}
 		return benchEntry("E14",
 			"n=3 amnesia crash + WAL-replay rejoin, λ=δ", c, reg)
+	}
+}
+
+// benchE16: the E16 hot path — a single-origin burst through the batched
+// stack (group commit, pipelined delivery, eager token rounds) at λ = 5δ.
+// Tracks the throughput the batching work bought, so a regression in any
+// batching layer moves this entry's deliveries_per_sec.
+func benchE16(seed int64) func() BenchEntry {
+	return func() BenchEntry {
+		reg := obs.New()
+		const n = 3
+		delta := time.Millisecond
+		c := stack.NewCluster(stack.Options{Seed: seed, N: n, Delta: delta,
+			StorageLatency: 5 * delta, Obs: reg,
+			GroupCommit: true, DeliverPipeline: 64, EagerTokenRounds: true})
+		c.Sim.After(30*time.Millisecond, func() {
+			for i := 0; i < 400; i++ {
+				c.Bcast(0, types.Value(fmt.Sprintf("v%d", i)))
+			}
+		})
+		for len(c.Deliveries(types.ProcID(n-1))) < 400 {
+			if err := c.Sim.RunFor(10 * time.Millisecond); err != nil {
+				panic(err)
+			}
+			if c.Sim.Now() > sim.Time(300*time.Second) {
+				panic("benchE16: burst never fully delivered")
+			}
+		}
+		return benchEntry("E16",
+			"n=3 single-origin 400-value burst, batched hot path, λ=5δ", c, reg)
 	}
 }

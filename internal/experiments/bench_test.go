@@ -5,15 +5,19 @@ import (
 	"testing"
 )
 
-// TestBenchBaseline pins the bench-baseline contract: three scenarios (E1,
-// E2, E14), each with live throughput, a sampled delivery-latency
-// distribution, and the per-layer counters the baseline diff keys on.
+// TestBenchBaseline pins the bench-baseline contract: four scenarios (E1,
+// E2, E14, E16), each with live throughput, a sampled delivery-latency
+// distribution, and the per-layer counters the baseline diff keys on,
+// plus the live floors the live CI gate enforces.
 func TestBenchBaseline(t *testing.T) {
 	r := BenchBaseline(1)
-	if len(r.Entries) != 3 {
-		t.Fatalf("entries = %d, want 3", len(r.Entries))
+	if len(r.Entries) != 4 {
+		t.Fatalf("entries = %d, want 4", len(r.Entries))
 	}
-	want := []string{"E1", "E2", "E14"}
+	if r.Live.RateFraction <= 0 || r.Live.MaxP99MS <= 0 {
+		t.Fatalf("live floors unset: %+v", r.Live)
+	}
+	want := []string{"E1", "E2", "E14", "E16"}
 	for i, e := range r.Entries {
 		if e.Experiment != want[i] {
 			t.Errorf("entry %d experiment = %s, want %s", i, e.Experiment, want[i])
@@ -25,7 +29,17 @@ func TestBenchBaseline(t *testing.T) {
 			t.Errorf("%s: delivery latency unsampled or inconsistent: %+v",
 				e.Experiment, e.DeliveryLatency)
 		}
-		for _, name := range []string{"net.sent", "vs.installs", "vstoto.labels", "wal.records"} {
+		names := []string{"net.sent", "vs.installs", "vstoto.labels", "wal.records"}
+		if e.Experiment == "E16" {
+			// No membership churn in the burst scenario (the initial view
+			// is sealed, not installed); what must show instead is the
+			// batched WAL actually coalescing.
+			names = []string{"net.sent", "vstoto.labels", "wal.records", "wal.batches"}
+			if b, r := e.Counters["wal.batches"], e.Counters["wal.records"]; b >= r {
+				t.Errorf("E16: wal.batches = %d of %d records: no coalescing", b, r)
+			}
+		}
+		for _, name := range names {
 			if e.Counters[name] <= 0 {
 				t.Errorf("%s: counter %s = %d, want > 0", e.Experiment, name, e.Counters[name])
 			}

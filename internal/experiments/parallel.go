@@ -53,9 +53,10 @@ var runnerList = []runner{
 	{"E13", func(s int64, _ int) *Table { return E13(s) }},
 	{"E14", func(s int64, _ int) *Table { return E14(s) }},
 	{"E15", func(s int64, _ int) *Table { return E15(s) }},
+	{"E16", func(s int64, _ int) *Table { return E16(s) }},
 }
 
-// Runner looks up one experiment by ID ("E1".."E15", case-insensitive) as a
+// Runner looks up one experiment by ID ("E1".."E16", case-insensitive) as a
 // workers-parameterized function.
 func Runner(id string) (func(seed int64, workers int) *Table, bool) {
 	id = strings.ToUpper(id)

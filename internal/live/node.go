@@ -46,6 +46,23 @@ type EngineOptions struct {
 	// daemon degrades by pushing back rather than buffering without
 	// limit. 0 disables.
 	MaxPending int
+	// CommitWindow arms WAL group commit with the given commit window
+	// (negative disables group commit entirely; 0 is pure pipelined
+	// coalescing — see stack.Options.GroupCommit/CommitWindow). The
+	// daemon's flag default is 0: group commit on, no added latency.
+	CommitWindow time.Duration
+	// GroupCommitOff disables WAL group commit (and the delivery
+	// pipelining default) regardless of CommitWindow.
+	GroupCommitOff bool
+	// DeliverPipeline bounds delivery records in flight ahead of the
+	// release point (stack.Options.DeliverPipeline); 0 picks the engine
+	// default: 64 with group commit on, 1 (legacy lock-step) off.
+	DeliverPipeline int
+	// BatchMsgs/BatchBytes tune transport frame batching
+	// (transport.TCPConfig.MaxBatchMsgs/MaxBatchBytes); 0 keeps the
+	// transport defaults, BatchMsgs 1 disables batching.
+	BatchMsgs  int
+	BatchBytes int
 	// Tick is the pacer granularity (default 2ms wall time).
 	Tick time.Duration
 	// Logf logs progress (default: silent).
@@ -174,14 +191,17 @@ func StartEngine(opts EngineOptions) (*Engine, error) {
 	e.traceW = bufio.NewWriter(e.traceFile)
 
 	e.tr = transport.NewTCP(transport.TCPConfig{
-		Self:   opts.Self,
-		Addrs:  opts.Config.Addrs(),
-		Delta:  opts.Config.Delta(),
-		Encode: codec.Encode,
-		Decode: codec.Decode,
-		Submit: e.submit,
-		Obs:    e.reg,
-		Logf:   opts.Logf,
+		Self:          opts.Self,
+		Addrs:         opts.Config.Addrs(),
+		Delta:         opts.Config.Delta(),
+		Encode:        codec.Encode,
+		Decode:        codec.Decode,
+		AppendEncode:  codec.AppendEncode,
+		MaxBatchMsgs:  opts.BatchMsgs,
+		MaxBatchBytes: opts.BatchBytes,
+		Submit:        e.submit,
+		Obs:           e.reg,
+		Logf:          opts.Logf,
 	})
 	if err := e.tr.Start(); err != nil {
 		e.walFile.Close()
@@ -206,6 +226,14 @@ func StartEngine(opts EngineOptions) (*Engine, error) {
 		InitialSink: func(p types.ProcID, v types.View) { props.AppendInitialJSONL(e.traceW, p, v) },
 	}
 
+	groupCommit := !opts.GroupCommitOff && opts.CommitWindow >= 0
+	pipeline := opts.DeliverPipeline
+	if pipeline <= 0 {
+		pipeline = 1
+		if groupCommit {
+			pipeline = 64
+		}
+	}
 	e.mu.Lock()
 	e.node = stack.NewLiveNode(stack.LiveOptions{
 		Self:             opts.Self,
@@ -218,6 +246,10 @@ func StartEngine(opts EngineOptions) (*Engine, error) {
 		WALMirror:        e.walFile,
 		CheckpointBytes:  opts.CheckpointBytes,
 		MaxPendingBcasts: opts.MaxPending,
+		GroupCommit:      groupCommit,
+		CommitWindow:     opts.CommitWindow,
+		DeliverPipeline:  pipeline,
+		EagerTokenRounds: groupCommit,
 		Log:              lg,
 		Obs:              e.reg,
 		OnDeliver:        e.onDeliver,

@@ -63,6 +63,13 @@ type Config struct {
 	// the net.bytes counter (the stack wires the wire-codec's encoded size
 	// in wire mode). Left nil, byte accounting is skipped.
 	PayloadBytes func(any) int
+	// Coalesce makes packets sent at the same instant on the same good
+	// channel share one jitter draw, mirroring the real transport's frame
+	// batching: frames queued together leave in one syscall and arrive
+	// together, rather than each drawing an independent delay. Send order
+	// is preserved within the coalesced group. Without Jitter the option
+	// changes nothing (every good-channel delay is exactly δ already).
+	Coalesce bool
 }
 
 // DefaultConfig returns δ = 1ms worst-case delivery with moderately lossy
@@ -135,6 +142,18 @@ type Network struct {
 	handlers map[types.ProcID]func(Packet)
 	ctr      counters
 	m        metrics
+	// coalesced caches the last jitter draw per directed channel so that
+	// same-instant sends share it (Config.Coalesce). Touched only from the
+	// simulator goroutine, like handlers.
+	coalesced map[chanKey]coalesceEntry
+}
+
+// chanKey identifies a directed channel for delay coalescing.
+type chanKey struct{ from, to types.ProcID }
+
+type coalesceEntry struct {
+	at    sim.Time
+	delay time.Duration
 }
 
 // New creates a network over the given simulator and failure oracle.
@@ -211,6 +230,20 @@ func (n *Network) Send(from, to types.ProcID, payload any) {
 		d := n.cfg.Delta
 		if n.cfg.Jitter {
 			d = time.Duration(1 + n.sim.Rand().Int63n(int64(n.cfg.Delta)))
+			if n.cfg.Coalesce {
+				if n.coalesced == nil {
+					n.coalesced = make(map[chanKey]coalesceEntry)
+				}
+				key := chanKey{from, to}
+				if e, ok := n.coalesced[key]; ok && e.at == n.sim.Now() {
+					// Same instant, same channel: ride the batch already
+					// in flight (sim.After is FIFO at equal times, so
+					// send order within the group is preserved).
+					d = e.delay
+				} else {
+					n.coalesced[key] = coalesceEntry{at: n.sim.Now(), delay: d}
+				}
+			}
 		}
 		n.m.delay.Record(d)
 		n.sim.After(d, func() { n.deliver(pkt) })

@@ -1,6 +1,7 @@
 package recovery
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"sort"
@@ -104,16 +105,31 @@ func Replay(disk []byte) *Snapshot {
 			truncate("checksum mismatch")
 			break
 		}
-		if reason := s.applyRecord(payload, pending); reason != "" {
-			truncate(reason)
-			break
+		if payload[0] == recBatch {
+			if reason := s.applyBatch(payload, pending, off); reason != "" {
+				// A batch that decodes but carries an invalid sub-record
+				// may already have applied a prefix of its records to the
+				// snapshot. The kept log must replay identically on the
+				// next restart, so rebuild from the clean prefix — it
+				// replayed without truncation a moment ago, making the
+				// recursion depth exactly one.
+				clean := Replay(disk[:off])
+				clean.Truncated = reason
+				clean.TruncatedAt = off
+				return clean
+			}
+		} else {
+			if reason := s.applyRecord(payload, pending); reason != "" {
+				truncate(reason)
+				break
+			}
+			if payload[0] == recCheckpoint {
+				s.PrevCheckpointAt = s.CheckpointAt
+				s.CheckpointAt = off
+				s.Checkpoints++
+			}
+			s.Records++
 		}
-		if payload[0] == recCheckpoint {
-			s.PrevCheckpointAt = s.CheckpointAt
-			s.CheckpointAt = off
-			s.Checkpoints++
-		}
-		s.Records++
 		off += frameHeader + length
 	}
 	if s.Truncated == "" {
@@ -127,6 +143,43 @@ func Replay(disk []byte) *Snapshot {
 		s.NextConfirm = s.Delivered[n-1].Pos + 1
 	}
 	return s
+}
+
+// applyBatch folds a group-commit batch (outer CRC already verified) into
+// the snapshot: a sequence of [u32 len | record payload] sub-records, each
+// applied exactly as a standalone record. A checkpoint inside a batch is
+// located by the batch frame's start offset — the only physical frame
+// boundary compaction can truncate at. Any structural or semantic failure
+// returns a truncation reason; the caller discards the whole batch.
+func (s *Snapshot) applyBatch(payload []byte, pending map[int]types.Value, off int) string {
+	body := payload[1:]
+	if len(body) == 0 {
+		return "empty batch record"
+	}
+	for len(body) > 0 {
+		if len(body) < 4 {
+			return fmt.Sprintf("torn batch sub-record length: %d trailing bytes", len(body))
+		}
+		ln := int(binary.LittleEndian.Uint32(body[:4]))
+		if ln <= 0 || ln > len(body)-4 {
+			return fmt.Sprintf("bad batch sub-record: length %d with %d bytes left", ln, len(body)-4)
+		}
+		sub := body[4 : 4+ln]
+		if sub[0] == recBatch {
+			return "nested batch record"
+		}
+		if reason := s.applyRecord(sub, pending); reason != "" {
+			return reason
+		}
+		if sub[0] == recCheckpoint {
+			s.PrevCheckpointAt = s.CheckpointAt
+			s.CheckpointAt = off
+			s.Checkpoints++
+		}
+		s.Records++
+		body = body[4+ln:]
+	}
+	return ""
 }
 
 // applyRecord folds one record payload into the snapshot; it returns a

@@ -1,6 +1,7 @@
 package recovery
 
 import (
+	"encoding/binary"
 	"testing"
 	"time"
 
@@ -95,6 +96,25 @@ func viewRec(v types.View) []byte {
 	return rec(func(x *codec.Writer) { x.U8(recView); x.View(v) })
 }
 
+// batchFrame wraps record payloads as one group-commit batch frame:
+// [len | crc | recBatch [sublen payload]...]. The CRC covers the whole
+// batch body, making the batch the atom of durability.
+func batchFrame(payloads ...[]byte) []byte {
+	body := []byte{recBatch}
+	for _, p := range payloads {
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(p)))
+		body = append(body, p...)
+	}
+	return frame(nil, body)
+}
+
+// payload builds one record payload (unframed).
+func payload(parts func(x *codec.Writer)) []byte {
+	x := codec.NewWriter()
+	parts(x)
+	return append([]byte(nil), x.Data()...)
+}
+
 func TestReplayTruncatesCorruptTail(t *testing.T) {
 	good := viewRec(testView)
 	older := types.View{ID: types.ViewID{Epoch: 1, Proc: 0}, Set: types.RangeProcSet(3)}
@@ -133,6 +153,22 @@ func TestReplayTruncatesCorruptTail(t *testing.T) {
 			x.I32(1)
 			x.Str("a")
 		}), "not at order position"},
+		// Group-commit batch tears: the batch is the atom of durability,
+		// so any tear inside one discards it whole while the prefix
+		// before the batch frame replays untouched.
+		{"empty batch", batchFrame(), "empty batch record"},
+		{"torn batch sub length", frame(nil, []byte{recBatch, 1, 2}), "torn batch sub-record length"},
+		{"bad batch sub length", frame(nil, append(binary.LittleEndian.AppendUint32(
+			[]byte{recBatch}, 100), 1, 2, 3)), "bad batch sub-record"},
+		{"nested batch", batchFrame([]byte{recBatch}), "nested batch record"},
+		{"mid-batch bad record", batchFrame(
+			payload(func(x *codec.Writer) { x.U8(recRecovered); x.I32(1) }),
+			payload(func(x *codec.Writer) { x.U8(42) }),
+		), "unknown record tag"},
+		{"mid-batch torn write", batchFrame(
+			payload(func(x *codec.Writer) { x.U8(recRecovered); x.I32(1) }),
+			payload(func(x *codec.Writer) { x.U8(recRecovered); x.I32(2) }),
+		)[:12], "torn record"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -238,6 +274,20 @@ func FuzzReplay(f *testing.F) {
 		img[off] ^= 0x10
 		f.Add(img)
 	}
+	// Group-commit layouts: a clean batched image, the same image cut
+	// mid-batch (the torn covering write), and a batch frame with a
+	// corrupted interior.
+	batched, _ := gcDisk(f, 0)
+	f.Add(batched)
+	f.Add(batched[:len(batched)-3])
+	f.Add(batched[:len(batched)/2])
+	img := append([]byte(nil), batched...)
+	img[len(img)/2] ^= 0x10
+	f.Add(img)
+	f.Add(append(append([]byte(nil), viewRec(testView)...), batchFrame(
+		payload(func(x *codec.Writer) { x.U8(recRecovered); x.I32(1) }),
+		payload(func(x *codec.Writer) { x.U8(recRecovered); x.I32(2) }),
+	)...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s := Replay(data) // must never panic
 		if s.TruncatedAt < 0 || s.TruncatedAt > len(data) {

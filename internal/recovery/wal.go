@@ -47,6 +47,7 @@ package recovery
 import (
 	"encoding/binary"
 	"hash/crc32"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/obs"
@@ -64,6 +65,15 @@ const (
 	recDeliver
 	recRecovered
 	recCheckpoint
+	// recBatch is a group-commit batch: its payload is a sequence of
+	// [u32 len | record payload] sub-records sharing the outer frame's CRC.
+	// The batch is the atom of durability — a tear anywhere inside it fails
+	// the outer checksum and Replay discards the batch whole, exactly as it
+	// discards a torn single record. That is what keeps write-ahead gating
+	// sound under coalescing: all of a batch's completion callbacks ride the
+	// one covering storage write, so either every record of the batch is
+	// durable and acknowledged, or none of its effects were acknowledged.
+	recBatch
 )
 
 // frameHeader is the per-record overhead: u32 payload length + u32 CRC.
@@ -100,9 +110,28 @@ type WAL struct {
 	lastCkpt int
 	prevCkpt int
 
+	// Group-commit state (SetGroupCommit). Records appended while a batch
+	// write is outstanding coalesce into the open batch; the batch is
+	// sealed into one storage write (one λ covering every record in it)
+	// when the head frees up, or when the commit window expires on an idle
+	// device. batch is the open batch buffer (outer frame header reserved,
+	// recBatch tag, then sub-records); batchDones fire in append order from
+	// the covering write's completion; flights counts batch writes handed
+	// to the device whose completions are still pending; armed marks a
+	// pending window timer.
+	gcOn       bool
+	gcWindow   time.Duration
+	batch      []byte
+	batchDones []func()
+	batchRecs  int
+	flights    int
+	armed      bool
+
 	// Observability handles (Instrument; nil when disabled).
-	mRecords *obs.Counter
-	mBytes   *obs.Counter
+	mRecords   *obs.Counter
+	mBytes     *obs.Counter
+	mBatches   *obs.Counter
+	mBatchRecs *obs.Counter
 }
 
 // New wraps a storage device as a WAL.
@@ -114,6 +143,29 @@ func New(st *storage.Stable) *WAL { return &WAL{st: st, lastCkpt: -1, prevCkpt: 
 // retained, so a latest checkpoint that later proves corrupt still falls
 // back to the previous one plus every record after it.
 func (w *WAL) SetCompact(on bool) { w.compact = on }
+
+// SetGroupCommit turns on group commit: records appended while a batch
+// write is outstanding coalesce into one covering storage write instead of
+// queueing as individual writes behind the device's single head. window,
+// when positive, additionally delays the first write of a batch on an idle
+// device by that long, trading latency for larger batches; window 0 is
+// pure pipelined coalescing — the first record writes immediately and
+// batches form only behind the in-flight write, so an idle, lightly loaded
+// log pays no extra latency at all.
+//
+// Completion callbacks still fire only once the covering write is durable,
+// in append order, so every write-ahead gate in the stack (view installs,
+// delivery release, recovery markers) keeps its meaning. On disk a batch
+// is a single recBatch frame whose CRC covers all its records: a torn
+// batch is discarded whole by Replay, which is what preserves the
+// "acknowledged ⇔ durable" equivalence batch-wide.
+func (w *WAL) SetGroupCommit(window time.Duration) {
+	w.gcOn = true
+	if window < 0 {
+		window = 0
+	}
+	w.gcWindow = window
+}
 
 // EndOffset returns the logical offset at which the next record will be
 // framed (enqueued records included).
@@ -137,6 +189,17 @@ func (w *WAL) Resync(end, lastCkpt, prevCkpt int) {
 	w.endOff = end
 	w.lastCkpt = lastCkpt
 	w.prevCkpt = prevCkpt
+	// A crash abandoned whatever batch was open or in flight: the device's
+	// Drop suppressed every pending completion, so the outstanding-write
+	// accounting must be reset or the new incarnation's appends would wait
+	// forever for a completion that never comes. A window timer armed
+	// before the crash may still fire; its flush is harmless (it seals the
+	// new incarnation's open batch at worst early, never out of order).
+	w.batch = nil
+	w.batchDones = nil
+	w.batchRecs = 0
+	w.flights = 0
+	w.armed = false
 }
 
 // Storage returns the underlying device.
@@ -147,6 +210,8 @@ func (w *WAL) Storage() *storage.Stable { return w.st }
 func (w *WAL) Instrument(reg *obs.Registry) {
 	w.mRecords = reg.Counter("wal.records")
 	w.mBytes = reg.Counter("wal.bytes")
+	w.mBatches = reg.Counter("wal.batches")
+	w.mBatchRecs = reg.Counter("wal.batch_records")
 	w.st.Instrument(reg)
 }
 
@@ -167,6 +232,10 @@ func frame(buf, payload []byte) []byte {
 }
 
 func (w *WAL) append(payload []byte, done func()) {
+	if w.gcOn {
+		w.appendBatched(payload, done)
+		return
+	}
 	var buf []byte
 	if k := len(w.frames); k > 0 {
 		buf = w.frames[k-1][:0]
@@ -184,6 +253,94 @@ func (w *WAL) append(payload []byte, done func()) {
 		if done != nil {
 			done()
 		}
+	})
+}
+
+// appendBatched adds the record to the open group-commit batch, opening
+// one if needed, and decides when the batch gets written: immediately if
+// the device head is idle and no commit window is pending, at window
+// expiry if one is armed, or when the outstanding batch write completes
+// (flush from the completion callback) otherwise — the classic
+// group-commit discipline.
+func (w *WAL) appendBatched(payload []byte, done func()) {
+	if len(w.batch) == 0 {
+		var buf []byte
+		if k := len(w.frames); k > 0 {
+			buf = w.frames[k-1][:0]
+			w.frames[k-1] = nil
+			w.frames = w.frames[:k-1]
+		}
+		// Reserve the outer frame header (filled in by seal) and tag the
+		// payload as a batch.
+		buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+		buf = append(buf, recBatch)
+		w.batch = buf
+		w.endOff += frameHeader + 1
+		w.mBytes.Add(frameHeader + 1)
+	}
+	w.batch = binary.LittleEndian.AppendUint32(w.batch, uint32(len(payload)))
+	w.batch = append(w.batch, payload...)
+	w.endOff += 4 + len(payload)
+	w.mRecords.Inc()
+	w.mBytes.Add(int64(4 + len(payload)))
+	w.batchDones = append(w.batchDones, done)
+	w.batchRecs++
+	if w.flights == 0 && !w.armed {
+		if w.gcWindow > 0 {
+			w.armed = true
+			w.st.Schedule(w.gcWindow, func() {
+				w.armed = false
+				w.flush()
+			})
+		} else {
+			w.flush()
+		}
+	}
+}
+
+// flush seals the open batch into a storage write, unless a batch write is
+// already outstanding — then the completion callback re-flushes, and the
+// records accumulated meanwhile ride the next covering write together.
+func (w *WAL) flush() {
+	if w.flights > 0 {
+		return
+	}
+	w.seal()
+}
+
+// seal finalizes the open batch's outer frame (length + CRC over the whole
+// batch payload, so any tear inside the batch voids it whole) and hands it
+// to the device. The completion recycles the buffer and fires the batch's
+// done callbacks in append order — only now are the records durable — then
+// flushes whatever batch formed behind this write.
+func (w *WAL) seal() {
+	if len(w.batch) == 0 {
+		return
+	}
+	buf, dones, recs := w.batch, w.batchDones, w.batchRecs
+	w.batch, w.batchDones, w.batchRecs = nil, nil, 0
+	payload := buf[frameHeader:]
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	w.flights++
+	w.mBatches.Inc()
+	w.mBatchRecs.Add(int64(recs))
+	w.st.Append(buf, func() {
+		w.frames = append(w.frames, buf)
+		// The flight stays accounted while the dones run: a done that
+		// appends (delivery release cascading into the next record) must
+		// see an outstanding write and coalesce, not trigger a write per
+		// record. The flights > 0 guard covers a Resync racing in from a
+		// done callback, which resets the accounting under us.
+		for _, d := range dones {
+			if d != nil {
+				d()
+			}
+		}
+		if w.flights > 0 {
+			w.flights--
+		}
+		w.flush()
 	})
 }
 

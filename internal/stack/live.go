@@ -59,6 +59,14 @@ type LiveOptions struct {
 	// submission backlog, exactly as Options.MaxPendingBcasts does in
 	// simulation: TryBcast rejects past the bound. 0 disables.
 	MaxPendingBcasts int
+	// GroupCommit, CommitWindow, DeliverPipeline and EagerTokenRounds
+	// mirror the Options fields of the same names: WAL group commit,
+	// delivery-record pipelining, and eager token rounds on the live
+	// daemon's endpoint.
+	GroupCommit      bool
+	CommitWindow     time.Duration
+	DeliverPipeline  int
+	EagerTokenRounds bool
 	// Quorums defaults to majorities of Universe.
 	Quorums types.QuorumSystem
 	// Log, when non-nil, replaces the node's fresh trace log — set its
@@ -86,6 +94,7 @@ func NewLiveNode(opts LiveOptions) *Node {
 		qs = types.Majorities{Universe: opts.Universe}
 	}
 	cfg := vsimpl.DefaultConfig(opts.Delta, opts.Universe.Size())
+	cfg.EagerRelaunch = opts.EagerTokenRounds
 	cfg.Obs = opts.Obs
 	lg := opts.Log
 	if lg == nil {
@@ -100,10 +109,11 @@ func NewLiveNode(opts LiveOptions) *Node {
 		Procs:      opts.Universe,
 		Cfg:        cfg,
 		Obs:        opts.Obs,
-		tr:         opts.Transport,
-		qs:         qs,
-		maxPending: opts.MaxPendingBcasts,
-		nodes:      make(map[types.ProcID]*Node, 1),
+		tr:          opts.Transport,
+		qs:          qs,
+		maxPending:  opts.MaxPendingBcasts,
+		deliverPipe: pipeDepth(opts.DeliverPipeline),
+		nodes:       make(map[types.ProcID]*Node, 1),
 	}
 	c.initMetrics(opts.Obs)
 	dev := storage.New(s, 0)
@@ -112,6 +122,9 @@ func NewLiveNode(opts LiveOptions) *Node {
 	// bytes live at logical offsets after the prior incarnations' records.
 	dev.SetBase(len(opts.WALData))
 	n := newNode(c, opts.Self, opts.P0, dev)
+	if opts.GroupCommit {
+		n.wal.SetGroupCommit(opts.CommitWindow)
+	}
 	n.setCheckpointPolicy(opts.CheckpointBytes)
 	if opts.OnDeliver != nil {
 		n.onRcv = append(n.onRcv, opts.OnDeliver)

@@ -70,10 +70,16 @@ type Node struct {
 	delaySeqs []int // submission seqs of proc.Delay entries, in lockstep
 	// incarnation guards storage completion callbacks: a callback captured
 	// under an older incarnation must not act on the rebuilt state.
-	incarnation   int
-	brcvPending   bool // a delivery record is being written
-	deliverReady  bool // the record is durable; release on the next drain
-	needsRecovery bool
+	incarnation int
+	// Delivery pipelining (Cluster.deliverPipe bounds the sum of the two):
+	// deliverInFlight counts delivery records being written, deliverReady
+	// counts records durable but not yet released. Records are written for
+	// consecutive confirmed positions ahead of NextReport; the confirmed
+	// prefix is stable across establishments, so a record written ahead
+	// names the same label/value it will have at release time.
+	deliverInFlight int
+	deliverReady    int
+	needsRecovery   bool
 	recoveries    int
 	lastReplay    *recovery.Snapshot
 
@@ -122,7 +128,10 @@ type Cluster struct {
 	// maxPending bounds each node's accepted-but-undelivered submission
 	// backlog (TryBcast backpressure); 0 leaves Bcast unbounded.
 	maxPending int
-	nodes      map[types.ProcID]*Node
+	// deliverPipe bounds each node's delivery records in flight plus
+	// durable-awaiting-release (Options.DeliverPipeline; always ≥ 1).
+	deliverPipe int
+	nodes       map[types.ProcID]*Node
 	m          clusterMetrics
 	// submitted maps each client submission to its bcast instant, for the
 	// end-to-end to.deliver_latency histogram (nil when obs is disabled).
@@ -206,6 +215,26 @@ type Options struct {
 	// cannot drain, and without a bound a stalled node buffers client
 	// values without limit. 0 (the default) leaves submission unbounded.
 	MaxPendingBcasts int
+	// GroupCommit turns on WAL group commit (recovery.WAL.SetGroupCommit):
+	// records appended while a batch write is outstanding coalesce into one
+	// covering storage write instead of serializing one λ each. The
+	// simulated network mirrors the batching semantics (net.Config.Coalesce)
+	// so sim and live stay behaviorally aligned.
+	GroupCommit bool
+	// CommitWindow, with GroupCommit, additionally delays the first write
+	// of a batch on an idle device to let a larger batch form — latency
+	// traded for throughput. 0 is pure pipelined coalescing.
+	CommitWindow time.Duration
+	// DeliverPipeline bounds how many delivery records a node keeps in
+	// flight ahead of the release point. The default 0 means 1: the legacy
+	// lock-step path (write one record, wait for durability, release,
+	// repeat). Depths > 1 overlap the storage latency of consecutive
+	// deliveries; release order and write-ahead gating are unchanged.
+	DeliverPipeline int
+	// EagerTokenRounds relaunches the VS token immediately when work is
+	// queued instead of pacing rounds at π (vsimpl.Config.EagerRelaunch),
+	// so a burst of TOBcasts is carried by back-to-back rounds.
+	EagerTokenRounds bool
 	// SkipRecoveryReplay is a test-only hook: a processor recovering from
 	// an amnesia crash is rebuilt from an empty snapshot instead of a
 	// replay of its WAL. It exists so the chaos tests can verify that the
@@ -232,7 +261,7 @@ func NewCluster(opts Options) *Cluster {
 	s := sim.New(opts.Seed)
 	opts.Obs.SetClock(s.Now)
 	oracle := failures.NewOracle(s.Now)
-	netCfg := net.Config{Delta: opts.Delta, Jitter: opts.Jitter, UglyLossProb: 0.5, UglyMaxDelayFactor: 10, Obs: opts.Obs}
+	netCfg := net.Config{Delta: opts.Delta, Jitter: opts.Jitter, UglyLossProb: 0.5, UglyMaxDelayFactor: 10, Obs: opts.Obs, Coalesce: opts.GroupCommit}
 	if opts.Wire {
 		netCfg.Transcode = codec.Roundtrip
 		if opts.Obs != nil {
@@ -270,6 +299,7 @@ func NewCluster(opts Options) *Cluster {
 	}
 	cfg.OneRound = opts.OneRound
 	cfg.NoTokenCompaction = opts.NoTokenCompaction
+	cfg.EagerRelaunch = opts.EagerTokenRounds
 	cfg.Obs = opts.Obs
 	c := &Cluster{
 		Sim: s, Oracle: oracle, Net: nw,
@@ -279,13 +309,17 @@ func NewCluster(opts Options) *Cluster {
 		Obs:        opts.Obs,
 		tr:         nw,
 		qs:         qs,
-		skipReplay: opts.SkipRecoveryReplay,
-		maxPending: opts.MaxPendingBcasts,
-		nodes:      make(map[types.ProcID]*Node, opts.N),
+		skipReplay:  opts.SkipRecoveryReplay,
+		maxPending:  opts.MaxPendingBcasts,
+		deliverPipe: pipeDepth(opts.DeliverPipeline),
+		nodes:       make(map[types.ProcID]*Node, opts.N),
 	}
 	c.initMetrics(opts.Obs)
 	for _, p := range procs.Members() {
 		node := newNode(c, p, p0, storage.New(s, opts.StorageLatency))
+		if opts.GroupCommit {
+			node.wal.SetGroupCommit(opts.CommitWindow)
+		}
 		node.setCheckpointPolicy(opts.CheckpointBytes)
 		if p0.Contains(p) {
 			node.sealInitialState(p0)
@@ -328,6 +362,15 @@ func NewCluster(opts Options) *Cluster {
 		}
 	})
 	return c
+}
+
+// pipeDepth normalizes a DeliverPipeline option: anything below 1 is the
+// legacy lock-step depth of one.
+func pipeDepth(d int) int {
+	if d < 1 {
+		return 1
+	}
+	return d
 }
 
 // initMetrics binds the cluster-level obs handles (no-op on nil).
@@ -622,8 +665,8 @@ func (n *Node) crash() {
 	n.c.m.crashes.Inc()
 	n.c.m.tracer.Emit("stack", "crash", n.id, obs.NoPeer, int64(n.incarnation+1), "")
 	n.incarnation++
-	n.brcvPending = false
-	n.deliverReady = false
+	n.deliverInFlight = 0
+	n.deliverReady = 0
 	n.delaySeqs = nil
 	n.needsRecovery = true
 	n.waPending = 0
@@ -771,9 +814,8 @@ func (n *Node) drain() {
 	}
 	for {
 		progress := false
-		if n.deliverReady {
-			n.deliverReady = false
-			n.brcvPending = false
+		for n.deliverReady > 0 {
+			n.deliverReady--
 			n.performBrcv()
 			progress = true
 		}
@@ -809,18 +851,28 @@ func (n *Node) drain() {
 			n.proc.Confirm()
 			progress = true
 		}
-		if from, a, ok := n.proc.BrcvEnabled(); ok && !n.brcvPending {
-			pos := n.proc.NextReport
+		// Write delivery records ahead of the release point, up to the
+		// pipeline depth: while one record's write is riding out the
+		// storage latency the next confirmed positions get their records
+		// enqueued behind it (and, under group commit, coalesced into the
+		// same covering write) instead of waiting a full λ each.
+		for n.deliverInFlight+n.deliverReady < n.c.deliverPipe {
+			pos := n.proc.NextReport + n.deliverReady + n.deliverInFlight
+			from, a, ok := n.proc.BrcvEnabledAt(pos)
+			if !ok {
+				break
+			}
 			l := n.proc.Order[pos-1]
 			inc := n.incarnation
-			n.brcvPending = true
+			n.deliverInFlight++
 			n.waPending++
 			n.wal.Deliver(pos, l, from, n.originSeq(pos, from), a, func() {
 				if n.incarnation != inc {
 					return
 				}
 				n.waPending--
-				n.deliverReady = true
+				n.deliverInFlight--
+				n.deliverReady++
 				n.drain()
 			})
 		}
@@ -840,7 +892,7 @@ func (n *Node) drain() {
 // so the durable prefix ending at the checkpoint always replays to
 // exactly the captured state.
 func (n *Node) maybeCheckpoint() {
-	if n.ckptEvery <= 0 || n.ckptPending || n.waPending > 0 || n.deliverReady ||
+	if n.ckptEvery <= 0 || n.ckptPending || n.waPending > 0 || n.deliverReady > 0 ||
 		n.proc.Status != vstoto.StatusNormal || n.wal.SinceCheckpoint() < n.ckptEvery {
 		return
 	}

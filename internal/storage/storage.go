@@ -79,6 +79,15 @@ func New(s *sim.Sim, latency time.Duration) *Stable {
 // Latency returns the configured write latency.
 func (st *Stable) Latency() time.Duration { return st.latency }
 
+// Schedule runs fn after d on the device's simulator. Layers above the
+// device that need a timing source for write policy — the WAL's
+// group-commit window — use this instead of holding their own simulator
+// reference, so the device remains the single point where storage timing
+// is decided. A crash (Drop) does not cancel scheduled callbacks; callers
+// must tolerate a stale firing (the WAL's flush is a no-op on an empty
+// batch).
+func (st *Stable) Schedule(d time.Duration, fn func()) { st.sim.After(d, fn) }
+
 // Instrument binds the device's obs instruments from the registry (nil
 // disables at zero cost): storage.* counters, the enqueue→durable
 // storage.write_latency histogram, and the storage.max_queue high-water

@@ -7,6 +7,7 @@ import (
 	mrand "math/rand"
 	stdnet "net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -17,7 +18,21 @@ import (
 // ProcID, both little-endian — followed by the payload bytes produced by
 // the injected Encode. The header carries the sender so connections need no
 // handshake: any process may dial any other and start framing.
+//
+// When the sender field carries senderBatchFlag the frame is a batch: its
+// payload is a sequence of [u32 sub-length | sub-payload] messages encoded
+// back to back, all from the same sender. Batches form on the send side
+// while the writer is busy (messages coalesce into the queue's tail entry)
+// and amortize both the encode allocations and the write syscalls.
 const frameHeader = 8
+
+// senderBatchFlag marks a batch frame in the header's sender field. ProcIDs
+// are small non-negative integers, so bit 31 is always free.
+const senderBatchFlag = 1 << 31
+
+// maxWriteBatch bounds how many queued frames the writer goroutine drains
+// per wake-up into one vectored write.
+const maxWriteBatch = 32
 
 // TCPConfig configures a TCP transport endpoint (one per process).
 type TCPConfig struct {
@@ -37,6 +52,20 @@ type TCPConfig struct {
 	// a programming error, same contract as the simulated net's transcode.
 	Encode func(any) ([]byte, error)
 	Decode func([]byte) (any, error)
+	// AppendEncode, when non-nil, appends a payload's encoding to dst and
+	// returns the extended slice (internal/codec's AppendEncode). The send
+	// path uses it to encode straight into the forming batch buffer — one
+	// growing allocation per batch instead of one per message. Nil falls
+	// back to Encode plus a copy.
+	AppendEncode func(dst []byte, v any) ([]byte, error)
+	// MaxBatchMsgs bounds how many messages coalesce into one batch frame
+	// (default 64). 1 disables batching entirely: every message travels as
+	// a legacy single-payload frame.
+	MaxBatchMsgs int
+	// MaxBatchBytes bounds a batch frame's payload size (default 256 KiB);
+	// a batch at or past the bound stops accepting messages and the next
+	// message opens a fresh frame.
+	MaxBatchBytes int
 	// Submit serializes handler invocations: every inbound delivery is
 	// wrapped in a closure and passed to Submit, which must run closures one
 	// at a time (the daemon runs them under its event-loop mutex). Nil runs
@@ -75,12 +104,18 @@ type tcpMetrics struct {
 	connects        *obs.Counter
 	reconnects      *obs.Counter
 	accepts         *obs.Counter
-	dropOverflow    *obs.Counter
-	dropUnknown     *obs.Counter
-	readErrors      *obs.Counter
-	decodeErrors    *obs.Counter
-	writeLatency    *obs.Histogram
-	queueDepth      *obs.Gauge // high-water mark across all peer queues
+	dropOverflow     *obs.Counter // drop-oldest evictions, in frames
+	dropOverflowMsgs *obs.Counter // messages lost to those evictions
+	dropUnknown      *obs.Counter
+	readErrors       *obs.Counter
+	decodeErrors     *obs.Counter
+	writeLatency     *obs.Histogram
+	queueDepth       *obs.Gauge // high-water mark across all peer queues
+	// queueDepthNow samples the current queued-message total across all
+	// peers after every change — the decaying companion to queueDepth's
+	// high-water Max, so a dashboard shows recovery, not just the worst
+	// moment ever.
+	queueDepthNow *obs.Gauge
 }
 
 // TCP is the real-socket Transport: one listener for inbound frames, one
@@ -100,6 +135,10 @@ type TCP struct {
 
 	stop     chan struct{}
 	writerWG sync.WaitGroup
+
+	// qNow is the current queued-message total across all peer queues,
+	// feeding the transport.queue_depth_now gauge.
+	qNow atomic.Int64
 }
 
 // NewTCP creates the endpoint. Call Start to bind the listener and begin
@@ -129,6 +168,15 @@ func NewTCP(cfg TCPConfig) *TCP {
 	if cfg.MaxFrame <= 0 {
 		cfg.MaxFrame = 16 << 20
 	}
+	if cfg.MaxBatchMsgs == 0 {
+		cfg.MaxBatchMsgs = 64
+	}
+	if cfg.MaxBatchMsgs < 1 {
+		cfg.MaxBatchMsgs = 1
+	}
+	if cfg.MaxBatchBytes <= 0 {
+		cfg.MaxBatchBytes = 256 << 10
+	}
 	t := &TCP{
 		cfg:      cfg,
 		self:     cfg.Self,
@@ -143,12 +191,14 @@ func NewTCP(cfg TCPConfig) *TCP {
 			connects:     cfg.Obs.Counter("transport.connects"),
 			reconnects:   cfg.Obs.Counter("transport.reconnects"),
 			accepts:      cfg.Obs.Counter("transport.accepts"),
-			dropOverflow: cfg.Obs.Counter("transport.drops_overflow"),
-			dropUnknown:  cfg.Obs.Counter("transport.drops_unknown_peer"),
-			readErrors:   cfg.Obs.Counter("transport.read_errors"),
-			decodeErrors: cfg.Obs.Counter("transport.decode_errors"),
-			writeLatency: cfg.Obs.Histogram("transport.write_latency"),
-			queueDepth:   cfg.Obs.Gauge("transport.queue_depth"),
+			dropOverflow:     cfg.Obs.Counter("transport.drops_overflow"),
+			dropOverflowMsgs: cfg.Obs.Counter("transport.drops_overflow_msgs"),
+			dropUnknown:      cfg.Obs.Counter("transport.drops_unknown_peer"),
+			readErrors:       cfg.Obs.Counter("transport.read_errors"),
+			decodeErrors:     cfg.Obs.Counter("transport.decode_errors"),
+			writeLatency:     cfg.Obs.Histogram("transport.write_latency"),
+			queueDepth:       cfg.Obs.Gauge("transport.queue_depth"),
+			queueDepthNow:    cfg.Obs.Gauge("transport.queue_depth_now"),
 		},
 	}
 	return t
@@ -208,15 +258,18 @@ func (t *TCP) Delta() time.Duration { return t.cfg.Delta }
 
 // Send encodes and transmits payload from→to. A self-send loops back
 // locally, still through an encode/decode round trip so no pointer crosses
-// the hop.
+// the hop. Outbound messages coalesce into the peer queue's tail batch
+// frame while the writer is busy (up to MaxBatchMsgs/MaxBatchBytes), so a
+// burst leaves in a handful of vectored writes instead of one syscall per
+// message.
 func (t *TCP) Send(from, to types.ProcID, payload any) {
 	t.m.sent.Inc()
-	b, err := t.cfg.Encode(payload)
-	if err != nil {
-		panic(fmt.Sprintf("transport: encode %T: %v", payload, err))
-	}
-	t.m.bytes.Add(int64(len(b)))
 	if to == t.self {
+		b, err := t.cfg.Encode(payload)
+		if err != nil {
+			panic(fmt.Sprintf("transport: encode %T: %v", payload, err))
+		}
+		t.m.bytes.Add(int64(len(b)))
 		v, err := t.cfg.Decode(b)
 		if err != nil {
 			panic(fmt.Sprintf("transport: loopback decode %T: %v", payload, err))
@@ -231,15 +284,30 @@ func (t *TCP) Send(from, to types.ProcID, payload any) {
 		t.m.dropUnknown.Inc()
 		return
 	}
-	frame := make([]byte, frameHeader+len(b))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(b)))
-	binary.LittleEndian.PutUint32(frame[4:8], uint32(int32(from)))
-	copy(frame[frameHeader:], b)
-	depth, dropped := p.q.push(frame)
-	if dropped {
-		t.m.dropOverflow.Inc()
+	enc := t.cfg.AppendEncode
+	if enc == nil {
+		enc = func(dst []byte, v any) ([]byte, error) {
+			b, err := t.cfg.Encode(v)
+			if err != nil {
+				return nil, err
+			}
+			return append(dst, b...), nil
+		}
 	}
-	t.m.queueDepth.Max(int64(depth))
+	res, err := p.q.push(from, payload, enc, t.cfg.MaxBatchMsgs, t.cfg.MaxBatchBytes)
+	if err != nil {
+		panic(fmt.Sprintf("transport: encode %T: %v", payload, err))
+	}
+	t.m.bytes.Add(int64(res.bytes))
+	if res.evictedMsgs > 0 {
+		t.m.dropOverflow.Inc()
+		t.m.dropOverflowMsgs.Add(int64(res.evictedMsgs))
+	}
+	if res.queued {
+		t.qNow.Add(int64(1 - res.evictedMsgs))
+		t.m.queueDepth.Max(int64(res.depth))
+		t.m.queueDepthNow.Set(t.qNow.Load())
+	}
 }
 
 // Broadcast sends payload from→each member of dst except from itself.
@@ -418,7 +486,9 @@ func (t *TCP) readLoop(conn stdnet.Conn) {
 			return
 		}
 		n := binary.LittleEndian.Uint32(hdr[0:4])
-		from := types.ProcID(int32(binary.LittleEndian.Uint32(hdr[4:8])))
+		sender := binary.LittleEndian.Uint32(hdr[4:8])
+		isBatch := sender&senderBatchFlag != 0
+		from := types.ProcID(int32(sender &^ senderBatchFlag))
 		if int(n) > t.cfg.MaxFrame {
 			t.m.readErrors.Inc()
 			t.logf("transport: oversized frame (%d bytes) from %v, dropping connection", n, from)
@@ -429,14 +499,42 @@ func (t *TCP) readLoop(conn stdnet.Conn) {
 			t.m.readErrors.Inc()
 			return
 		}
-		v, err := t.cfg.Decode(buf)
-		if err != nil {
-			t.m.decodeErrors.Inc()
-			t.logf("transport: undecodable frame from %v: %v", from, err)
+		if !isBatch {
+			t.decodeAndDeliver(from, buf)
 			continue
 		}
-		t.deliver(Packet{From: from, To: t.self, Payload: v})
+		// Batch frame: a sequence of [u32 len | payload] messages. A
+		// malformed sub-header means the framing itself is unsound, so the
+		// connection is dropped like any other corrupt stream.
+		for off := 0; off < len(buf); {
+			if len(buf)-off < 4 {
+				t.m.readErrors.Inc()
+				t.logf("transport: torn batch sub-header from %v, dropping connection", from)
+				return
+			}
+			ln := int(binary.LittleEndian.Uint32(buf[off : off+4]))
+			if ln <= 0 || ln > len(buf)-off-4 {
+				t.m.readErrors.Inc()
+				t.logf("transport: bad batch sub-length %d from %v, dropping connection", ln, from)
+				return
+			}
+			t.decodeAndDeliver(from, buf[off+4:off+4+ln])
+			off += 4 + ln
+		}
 	}
+}
+
+// decodeAndDeliver decodes one message payload and hands it to the local
+// handler; an undecodable payload is dropped alone (the stream framing is
+// still sound, so later messages remain usable).
+func (t *TCP) decodeAndDeliver(from types.ProcID, b []byte) {
+	v, err := t.cfg.Decode(b)
+	if err != nil {
+		t.m.decodeErrors.Inc()
+		t.logf("transport: undecodable frame from %v: %v", from, err)
+		return
+	}
+	t.deliver(Packet{From: from, To: t.self, Payload: v})
 }
 
 // --- outbound peer ---------------------------------------------------------
@@ -483,24 +581,32 @@ func (p *peer) closeConn() {
 	}
 }
 
-// run is the writer goroutine: pop a frame, ensure a connection, write.
-// After Close begins it drains whatever remains over an already-established
+// run is the writer goroutine: pop everything queued (up to maxWriteBatch
+// frames), ensure a connection, flush the lot in one vectored write. After
+// Close begins it drains whatever remains over an already-established
 // connection but never dials anew.
 func (p *peer) run() {
 	defer p.t.writerWG.Done()
 	defer p.closeConn()
 	for {
-		frame, ok := p.q.pop()
+		frames, msgs, ok := p.q.popBatch(maxWriteBatch)
 		if !ok {
 			return
 		}
-		p.write(frame)
+		p.t.qNow.Add(-int64(msgs))
+		p.t.m.queueDepthNow.Set(p.t.qNow.Load())
+		p.write(frames)
 	}
 }
 
-// write pushes one frame out, redialing as needed. Returns once the frame
-// is written or abandoned (transport closing with no usable connection).
-func (p *peer) write(frame []byte) {
+// write flushes a run of frames, redialing as needed. Returns once the
+// frames are written or abandoned (transport closing with no usable
+// connection). On a write error the WHOLE run is retried from the original
+// frame slices on a fresh connection: a partial vectored write may have
+// cut a frame mid-stream, and the new connection must start at a frame
+// boundary — receivers tolerate the duplicated frames exactly as they
+// tolerated the legacy path's whole-frame retries.
+func (p *peer) write(frames [][]byte) {
 	for {
 		p.mu.Lock()
 		conn := p.conn
@@ -517,7 +623,10 @@ func (p *peer) write(frame []byte) {
 		}
 		start := time.Now()
 		conn.SetWriteDeadline(start.Add(p.t.cfg.WriteTimeout))
-		if _, err := conn.Write(frame); err == nil {
+		// Buffers consumes its slice headers as it writes, so hand it a
+		// copy and keep frames intact for a retry.
+		bufs := stdnet.Buffers(append([][]byte(nil), frames...))
+		if _, err := bufs.WriteTo(conn); err == nil {
 			p.t.m.writeLatency.Record(time.Since(start))
 			return
 		}
@@ -563,14 +672,47 @@ func (p *peer) dial() stdnet.Conn {
 
 // --- bounded drop-oldest send queue ----------------------------------------
 
-// sendq is a bounded FIFO of encoded frames. When full, push evicts the
-// OLDEST frame: under sustained overload the receiver sees the freshest
-// window of traffic, which is what a timeout-driven protocol can actually
-// use (an ancient token only triggers the stale-view path anyway).
+// sendEntry is one queued frame: the full wire bytes (8-byte header,
+// finalized at pop time, then the payload) and the number of messages the
+// frame carries. A batch entry at the tail keeps growing as messages
+// coalesce into it; entries are only mutated or handed to the writer under
+// the queue mutex, so membership in buf is ownership.
+type sendEntry struct {
+	from  types.ProcID
+	buf   []byte
+	msgs  int
+	batch bool
+}
+
+// finalize stamps the header now that the entry has stopped growing.
+func (e *sendEntry) finalize() []byte {
+	binary.LittleEndian.PutUint32(e.buf[0:4], uint32(len(e.buf)-frameHeader))
+	sender := uint32(int32(e.from))
+	if e.batch {
+		sender |= senderBatchFlag
+	}
+	binary.LittleEndian.PutUint32(e.buf[4:8], sender)
+	return e.buf
+}
+
+// pushResult reports what one push did, for the caller's accounting.
+type pushResult struct {
+	depth       int  // resulting queue depth, in messages
+	bytes       int  // payload bytes appended (0 when discarded)
+	evictedMsgs int  // messages lost to a drop-oldest eviction
+	queued      bool // false when the queue is closed (message discarded)
+}
+
+// sendq is a bounded FIFO of encoded frames. The bound is in frames; when
+// full, push evicts the OLDEST frame: under sustained overload the
+// receiver sees the freshest window of traffic, which is what a
+// timeout-driven protocol can actually use (an ancient token only triggers
+// the stale-view path anyway).
 type sendq struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	buf    [][]byte
+	buf    []sendEntry
+	msgs   int // total messages across buf
 	limit  int
 	closed bool
 }
@@ -581,47 +723,98 @@ func newSendq(limit int) *sendq {
 	return q
 }
 
-// push enqueues a frame, evicting the oldest if the queue is full. Returns
-// the resulting depth and whether an eviction happened. Pushing after close
-// discards the frame (not an overflow: the transport is shutting down).
-func (q *sendq) push(frame []byte) (depth int, dropped bool) {
+// push encodes payload (via enc, appending to the chosen buffer) into the
+// queue: into the tail batch entry when batching allows — same sender,
+// under maxMsgs messages and maxBytes payload — otherwise as a new frame,
+// evicting the oldest frame if the queue is full. Encoding under the
+// mutex is what makes the tail append safe and keeps allocation amortized:
+// one growing buffer per batch, not one per message. Pushing after close
+// discards the message (not an overflow: the transport is shutting down).
+func (q *sendq) push(from types.ProcID, payload any, enc func([]byte, any) ([]byte, error), maxMsgs, maxBytes int) (pushResult, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
-		return len(q.buf), false
+		return pushResult{depth: q.msgs}, nil
 	}
+	batching := maxMsgs > 1
+	if batching && len(q.buf) > 0 {
+		e := &q.buf[len(q.buf)-1]
+		if e.batch && e.from == from && e.msgs < maxMsgs && len(e.buf)-frameHeader < maxBytes {
+			off := len(e.buf)
+			grown, err := enc(append(e.buf, 0, 0, 0, 0), payload)
+			if err != nil {
+				return pushResult{}, err
+			}
+			binary.LittleEndian.PutUint32(grown[off:off+4], uint32(len(grown)-off-4))
+			e.buf = grown
+			e.msgs++
+			q.msgs++
+			q.cond.Signal()
+			return pushResult{depth: q.msgs, bytes: len(grown) - off - 4, queued: true}, nil
+		}
+	}
+	buf := make([]byte, frameHeader, frameHeader+64)
+	if batching {
+		buf = append(buf, 0, 0, 0, 0)
+	}
+	grown, err := enc(buf, payload)
+	if err != nil {
+		return pushResult{}, err
+	}
+	payloadLen := len(grown) - len(buf)
+	if batching {
+		binary.LittleEndian.PutUint32(grown[frameHeader:frameHeader+4], uint32(payloadLen))
+	}
+	entry := sendEntry{from: from, buf: grown, msgs: 1, batch: batching}
+	evicted := 0
 	if len(q.buf) >= q.limit {
+		evicted = q.buf[0].msgs
+		q.msgs -= evicted
 		copy(q.buf, q.buf[1:])
-		q.buf[len(q.buf)-1] = frame
-		q.cond.Signal()
-		return len(q.buf), true
+		q.buf[len(q.buf)-1] = entry
+	} else {
+		q.buf = append(q.buf, entry)
 	}
-	q.buf = append(q.buf, frame)
+	q.msgs++
 	q.cond.Signal()
-	return len(q.buf), false
+	return pushResult{depth: q.msgs, bytes: payloadLen, evictedMsgs: evicted, queued: true}, nil
 }
 
-// pop blocks until a frame is available or the queue is closed AND empty;
-// after close, remaining frames still drain in order.
-func (q *sendq) pop() ([]byte, bool) {
+// popBatch blocks until at least one frame is available or the queue is
+// closed AND empty, then removes up to max frames, finalizes their headers
+// (they stop growing the moment they leave buf), and returns them with
+// their total message count. After close, remaining frames still drain in
+// order.
+func (q *sendq) popBatch(max int) ([][]byte, int, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.buf) == 0 && !q.closed {
 		q.cond.Wait()
 	}
 	if len(q.buf) == 0 {
-		return nil, false
+		return nil, 0, false
 	}
-	f := q.buf[0]
-	q.buf = q.buf[1:]
-	return f, true
+	n := len(q.buf)
+	if n > max {
+		n = max
+	}
+	frames := make([][]byte, 0, n)
+	msgs := 0
+	for i := 0; i < n; i++ {
+		frames = append(frames, q.buf[i].finalize())
+		msgs += q.buf[i].msgs
+		q.buf[i] = sendEntry{} // release the buffer once written
+	}
+	q.buf = q.buf[n:]
+	q.msgs -= msgs
+	return frames, msgs, true
 }
 
-// depth returns the current queue length.
+// depth returns the current queue length in messages.
 func (q *sendq) depth() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.buf)
+	return q.msgs
 }
 
 func (q *sendq) close() {

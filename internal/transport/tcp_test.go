@@ -198,6 +198,11 @@ func TestSendQueueOverflow(t *testing.T) {
 	regA := obs.New()
 	a := newTCP(t, 0, addrs, regA, func(c *transport.TCPConfig) {
 		c.QueueLimit = 4
+		// One message per frame: this test pins the legacy drop-oldest
+		// accounting (batching would coalesce the burst into one frame and
+		// nothing would ever overflow — TestSendQueueOverflowBatched covers
+		// that path).
+		c.MaxBatchMsgs = 1
 		// Long backoff: the first dial fails instantly (connection refused)
 		// and the writer then sits in backoff while the test overflows the
 		// queue.
@@ -240,6 +245,78 @@ func TestSendQueueOverflow(t *testing.T) {
 	if g := regA.Gauge("transport.queue_depth").Value(); g != 4 {
 		t.Errorf("queue_depth high-water = %d, want 4", g)
 	}
+}
+
+// TestSendQueueOverflowBatched is the batching-mode twin of
+// TestSendQueueOverflow: entries coalesce up to MaxBatchMsgs messages, so
+// drop-oldest evicts multi-message frames and the frame-granular counter
+// alone would undercount the loss. Asserts the message-granular
+// accounting conserves every message (delivered + dropped = sent), that
+// survivors arrive in submission order, and that the current-depth gauge
+// decays to zero once the queue drains.
+func TestSendQueueOverflowBatched(t *testing.T) {
+	peerAddr := freePort(t) // nothing listens here yet
+	addrs := map[types.ProcID]string{0: freePort(t), 1: peerAddr}
+	regA := obs.New()
+	a := newTCP(t, 0, addrs, regA, func(c *transport.TCPConfig) {
+		c.QueueLimit = 2
+		c.MaxBatchMsgs = 2
+		c.DialMin = 300 * time.Millisecond
+		c.DialMax = 500 * time.Millisecond
+	})
+
+	const total = 10
+	for i := 0; i < total; i++ {
+		a.Send(0, 1, fmt.Sprintf("m%d", i))
+	}
+	// Evictions happen synchronously inside Send, so the drop counters
+	// are final here. Every evicted entry holds exactly MaxBatchMsgs
+	// messages (an entry only stops being the coalescing tail once full),
+	// so the message-granular counter must be exactly 2x the frame one.
+	dropsFrames := regA.Counter("transport.drops_overflow").Value()
+	dropsMsgs := regA.Counter("transport.drops_overflow_msgs").Value()
+	if dropsFrames < 1 {
+		t.Fatalf("burst never overflowed the queue (drops_overflow = %d)", dropsFrames)
+	}
+	if dropsMsgs != 2*dropsFrames {
+		t.Fatalf("drops_overflow_msgs = %d, want 2x drops_overflow (%d)", dropsMsgs, dropsFrames)
+	}
+
+	// Bring the peer up; everything not dropped must arrive, in order.
+	var got sink
+	b := newTCP(t, 1, addrs, obs.New(), nil)
+	b.Register(1, got.handle)
+	want := total - int(dropsMsgs)
+	waitFor(t, 10*time.Second, "survivors", func() bool { return got.len() >= want })
+	time.Sleep(50 * time.Millisecond)
+	pkts := got.snapshot()
+	if len(pkts) != want {
+		t.Fatalf("delivered %d messages, want %d (dropped %d)", len(pkts), want, dropsMsgs)
+	}
+	// Submission order survives batching and drop-oldest: the delivered
+	// indices are strictly increasing and end with the newest message.
+	last := -1
+	for i, pkt := range pkts {
+		var idx int
+		if _, err := fmt.Sscanf(pkt.Payload.(string), "m%d", &idx); err != nil {
+			t.Fatalf("pkts[%d] = %#v", i, pkt.Payload)
+		}
+		if idx <= last {
+			t.Fatalf("out of order: m%d after m%d", idx, last)
+		}
+		last = idx
+	}
+	if last != total-1 {
+		t.Errorf("newest message m%d did not survive (last = m%d)", total-1, last)
+	}
+	// High-water depth is message-granular (2 entries x 2 msgs max); the
+	// current-depth gauge must have decayed with the drain.
+	if g := regA.Gauge("transport.queue_depth").Value(); g < 2 || g > 4 {
+		t.Errorf("queue_depth high-water = %d, want within [2,4]", g)
+	}
+	waitFor(t, 2*time.Second, "queue_depth_now decay", func() bool {
+		return regA.Gauge("transport.queue_depth_now").Value() == 0
+	})
 }
 
 // TestPartialFrameAtClose cuts a connection mid-frame and asserts the

@@ -60,6 +60,14 @@ type Config struct {
 	// ReachWindow is the staleness horizon of the one-round reachability
 	// estimate (default 2μ).
 	ReachWindow time.Duration
+	// EagerRelaunch makes the leader relaunch the token immediately when
+	// the returning rotation shows work still queued — messages buffered
+	// anywhere, or a sequence suffix not yet emitted safe — instead of
+	// pacing every launch at π. An idle ring still launches at the π
+	// cadence, and a rotation costs at least nδ of wire time, so eager
+	// rounds cannot spin; they just stop a loaded ring from idling between
+	// rotations while TOBcasts queue up.
+	EagerRelaunch bool
 	// InstallSlack stretches the patience windows that implicitly assume a
 	// view installation is instantaneous: the token-loss timeout and the
 	// formation hold-off. With write-ahead install gating (internal/
@@ -521,6 +529,17 @@ func (n *Node) handleToken(tok *TokenPkt) {
 	if n.isLeader() {
 		// The token is home: one full ring rotation has completed.
 		n.mTokenRound.Record(n.sim.Now().Sub(n.lastLaunch))
+		// With eager relaunch, a rotation that comes home with work still
+		// queued — buffered messages or a sequence suffix not yet safe —
+		// starts the next rotation immediately: the queued messages and
+		// the count propagation they are waiting on ride the very next
+		// round instead of idling out the rest of the π window. The ring's
+		// nδ wire time paces consecutive rounds, so this cannot spin.
+		if n.cfg.EagerRelaunch && (len(n.buffer) > 0 || n.safeSent < len(n.seq)) {
+			n.holdTimer.Cancel()
+			n.launchToken()
+			return
+		}
 		// Hold it and relaunch π after the previous launch (the paper's
 		// "spacing of token creation").
 		next := n.lastLaunch.Add(n.cfg.Pi)

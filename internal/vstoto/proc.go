@@ -369,10 +369,19 @@ func (p *Proc) Confirm() {
 // BrcvEnabled reports whether the output brcv(a)_{q,p} is enabled,
 // returning the origin q and value a.
 func (p *Proc) BrcvEnabled() (types.ProcID, types.Value, bool) {
-	if p.NextReport >= p.NextConfirm || p.NextReport > len(p.Order) {
+	return p.BrcvEnabledAt(p.NextReport)
+}
+
+// BrcvEnabledAt reports whether brcv would be enabled with NextReport at
+// pos — the lookahead the pipelined stack uses to write delivery records
+// for positions beyond the one currently awaiting its durability callback,
+// without committing the automaton state until each release actually
+// happens.
+func (p *Proc) BrcvEnabledAt(pos int) (types.ProcID, types.Value, bool) {
+	if pos >= p.NextConfirm || pos > len(p.Order) {
 		return 0, "", false
 	}
-	l := p.Order[p.NextReport-1]
+	l := p.Order[pos-1]
 	a, ok := p.Content[l]
 	if !ok {
 		return 0, "", false

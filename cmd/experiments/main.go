@@ -36,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "", "run a single experiment (E1..E16); default all")
+		exp        = flag.String("exp", "", "run a single experiment (E1..E17); default all")
 		seed       = flag.Int64("seed", 1, "seed for all randomized runs")
 		workers    = flag.Int("workers", runtime.NumCPU(), "parallel runs (1 = serial; output is identical either way)")
 		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
@@ -120,7 +120,7 @@ func main() {
 	} else {
 		run, ok := experiments.Runner(*exp)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E16)\n", *exp)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E17)\n", *exp)
 			exit(2)
 		}
 		tables = []*experiments.Table{run(*seed, *workers)}

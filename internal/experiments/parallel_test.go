@@ -22,6 +22,13 @@ import (
 // determinism root cause (sorted enabled-action enumeration) is pinned
 // directly by TestEnabledEnumerationStable in spec/vsmachine, and the
 // engine-level property this test checks is runner-agnostic.
+//
+// E17 is excluded because its throughput phase reports wall-clock apply
+// timings — measurements, not deterministic outputs — so its JSON can
+// never be byte-stable across passes. The determinism E17 actually
+// claims (replica digests and ack order across apply worker counts) is
+// enforced inside the experiment itself: any divergence lands in
+// Table.Failures and fails TestAllExperimentsValidate.
 func TestSuiteParallelMatchesSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs most of the suite twice; skipped in -short mode")
@@ -34,7 +41,7 @@ func TestSuiteParallelMatchesSerial(t *testing.T) {
 
 	var gate []runner
 	for _, r := range runnerList {
-		if r.id != "E6" {
+		if r.id != "E6" && r.id != "E17" {
 			gate = append(gate, r)
 		}
 	}

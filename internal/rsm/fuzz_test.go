@@ -13,6 +13,16 @@ func FuzzDecodeOp(f *testing.F) {
 	f.Add("w|1|2:ab")
 	f.Add("")
 	f.Add("r|0|0:")
+	// Binary wire-format seeds: reads, weird keys, custom kinds, and
+	// truncations/corruptions of a valid encoding.
+	binary := string(Op{Kind: "w", Key: "key|with:bytes", Val: "val\x00", Nonce: 42}.Encode())
+	f.Add(binary)
+	f.Add(string(Op{Kind: "r", Key: "k", Nonce: 7}.Encode()))
+	f.Add(string(Op{Kind: "custom", Key: "k", Val: "v", Nonce: -1}.Encode()))
+	f.Add(binary[:1])
+	f.Add(binary[:len(binary)/2])
+	f.Add(binary + "trailing")
+	f.Add("\x01\xff junk after unknown kind byte")
 	f.Fuzz(func(t *testing.T, s string) {
 		op, err := DecodeOp(types.Value(s))
 		if err != nil {

@@ -1,0 +1,204 @@
+package rsm
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/stack"
+	"repro/internal/sweep"
+	"repro/internal/types"
+)
+
+// ConflictFunc is an application-declared conflict relation over memory
+// operations: Conflict(a, b) reports whether a and b do NOT commute —
+// i.e. applying them in either order can change the resulting state or
+// any observed value. Only conflicting operations need the serial apply
+// discipline; runs of pairwise non-conflicting operations (maximal
+// antichains of the delivered stream) are applied with their per-op work
+// fanned across worker goroutines.
+//
+// The planner symmetrizes the relation — a pair conflicts if the
+// relation says so in either argument order — so an accidentally
+// asymmetric user relation degrades safely to its symmetric closure
+// instead of licensing a reorder one direction forbade. Reflexive pairs
+// are never queried (an operation is never planned against itself).
+//
+// A sound relation must satisfy: if Conflict(a, b) is false, then
+// applying a and b from any common state in either order yields the same
+// state and the same observed values. The planner preserves
+// byte-identical-to-serial results for any sound relation; an unsound
+// relation (e.g. declaring same-key writes commuting) still yields the
+// same deterministic state on every replica at every worker count —
+// effects are computed against the segment-entry state and installed in
+// stream order — but that state may differ from a strictly serial apply.
+type ConflictFunc func(a, b Op) bool
+
+// DefaultConflict is the sound relation for the footnote-3 memory: reads
+// commute with reads regardless of key, and any two operations on
+// different keys commute; same-key pairs involving a write conflict.
+func DefaultConflict(a, b Op) bool {
+	if a.Kind == "r" && b.Kind == "r" {
+		return false
+	}
+	return a.Key == b.Key
+}
+
+// AlwaysConflict declares every pair conflicting: the planner degenerates
+// to single-op segments and the apply loop is exactly the legacy serial
+// one. This is the conservative mode for applications that cannot state
+// a commutativity relation.
+func AlwaysConflict(a, b Op) bool { return true }
+
+// ApplyFunc computes the value a write stores: given the write op and the
+// cell's current value as of the op's segment boundary, it returns the
+// new cell value. The default stores op.Val verbatim. A non-trivial
+// ApplyFunc is where per-op CPU work lives — it is the function the
+// parallel apply fans across cores — and it must be a pure function of
+// its arguments (it may run concurrently with other ops' ApplyFuncs and
+// is never retried).
+//
+// Note cur is the value at the segment boundary: under a sound conflict
+// relation no other op in the segment writes this key, so cur equals the
+// serial pre-state. The trace checkers (HistoryChecker, AtomicChecker)
+// replay writes as stores of op.Val and therefore assume the default
+// ApplyFunc.
+type ApplyFunc func(op Op, cur string) string
+
+// defaultMaxSpan caps planned antichain length: the greedy planner costs
+// O(len²) conflict queries per segment, so an uncapped commuting burst
+// would plan quadratically. 256 keeps planning linear-ish while leaving
+// far more width than the worker pool can use.
+const defaultMaxSpan = 256
+
+// memMetrics holds the rsm-layer obs handles (all nil when the cluster's
+// registry is disabled).
+type memMetrics struct {
+	applyBatches *obs.Counter   // rsm.apply_batches: delivered batches applied
+	applyOps     *obs.Counter   // rsm.apply_ops: operations applied
+	parallelOps  *obs.Counter   // rsm.apply_parallel_ops: ops in multi-op antichains
+	antichain    *obs.Histogram // rsm.antichain_size: planned segment widths (unit: ops, not ns)
+	batchWall    *obs.Histogram // rsm.apply_batch_wall_ns: wall-clock apply latency per batch
+	utilization  *obs.Gauge     // rsm.apply_utilization_pct: % of last batch's ops in multi-op antichains
+	workers      *obs.Gauge     // rsm.apply_workers: configured worker count
+}
+
+func (m *Memory) bindMetrics(reg *obs.Registry) {
+	m.met = memMetrics{
+		applyBatches: reg.Counter("rsm.apply_batches"),
+		applyOps:     reg.Counter("rsm.apply_ops"),
+		parallelOps:  reg.Counter("rsm.apply_parallel_ops"),
+		antichain:    reg.Histogram("rsm.antichain_size"),
+		batchWall:    reg.Histogram("rsm.apply_batch_wall_ns"),
+		utilization:  reg.Gauge("rsm.apply_utilization_pct"),
+		workers:      reg.Gauge("rsm.apply_workers"),
+	}
+	m.met.workers.Set(int64(sweep.Workers(m.workers)))
+}
+
+// SetConflict installs the conflict relation consulted by the batch
+// planner. Passing nil restores DefaultConflict. Call before load; the
+// relation must stay fixed for the lifetime of the memory (all replicas
+// of one memory must plan identically).
+func (m *Memory) SetConflict(f ConflictFunc) {
+	if f == nil {
+		f = DefaultConflict
+	}
+	m.conflict = f
+}
+
+// SetWorkers sets the worker-goroutine count for parallel apply: 1 (the
+// default) is the reference serial apply, n <= 0 means all cores
+// (GOMAXPROCS). Results are byte-identical at every setting; workers only
+// changes wall-clock time.
+func (m *Memory) SetWorkers(n int) {
+	m.workers = n
+	m.met.workers.Set(int64(sweep.Workers(n)))
+}
+
+// SetApply installs the write-apply function (nil restores the default
+// store-op.Val). See ApplyFunc for the purity contract.
+func (m *Memory) SetApply(f ApplyFunc) {
+	if f == nil {
+		f = func(op Op, _ string) string { return op.Val }
+	}
+	m.apply = f
+}
+
+// applyBatch applies one decoded batch of deliveries to p's replica:
+// the stream is cut into maximal antichains under the (symmetrized)
+// conflict relation, each antichain's effects are computed across the
+// worker pool, and effects, acks, and read observations are installed
+// serially in delivery order — so replica state and client-ack order are
+// byte-identical to the legacy serial loop at every worker count.
+func (m *Memory) applyBatch(p types.ProcID, ds []stack.Delivery, ops []Op) {
+	rep := m.replicas[p]
+	n := len(ops)
+	conflicts := func(i, j int) bool {
+		if m.forceCommute {
+			// Test-only broken planner: pretend everything commutes.
+			return false
+		}
+		return m.conflict(ops[i], ops[j]) || m.conflict(ops[j], ops[i])
+	}
+	eff := make([]string, n)
+	compute := func(i int) {
+		// Reads observe, and writes transform, the segment-boundary state:
+		// under a sound relation no op in the same segment writes this key,
+		// so rep[key] is stable for the duration of the segment's computes
+		// (concurrent map reads only; installs happen after the barrier).
+		if ops[i].Kind == "w" {
+			eff[i] = m.apply(ops[i], rep[ops[i].Key])
+		} else {
+			eff[i] = rep[ops[i].Key]
+		}
+	}
+	install := func(i int) {
+		if ops[i].Kind == "w" {
+			rep[ops[i].Key] = eff[i]
+		}
+		if ds[i].From == p {
+			if cb, ok := m.waiters[opKey{p, ops[i].Nonce}]; ok {
+				delete(m.waiters, opKey{p, ops[i].Nonce})
+				cb(eff[i])
+			}
+		}
+	}
+
+	var start time.Time
+	if m.met.batchWall != nil {
+		start = time.Now()
+	}
+	var spans []sweep.Span
+	if m.permuteSegments {
+		// Test-only adversarial executor: install each antichain in
+		// reversed order. Legal for commuting segments (the checkers must
+		// still pass); combined with forceCommute it deliberately reorders
+		// conflicting ops (the checkers must catch it).
+		spans = sweep.PlanSegments(n, m.maxSpan, conflicts)
+		for _, sp := range spans {
+			for i := sp.Lo; i < sp.Hi; i++ {
+				compute(i)
+			}
+			for i := sp.Hi - 1; i >= sp.Lo; i-- {
+				install(i)
+			}
+		}
+	} else {
+		spans = sweep.ApplyOrdered(m.workers, n, m.maxSpan, conflicts, compute, install)
+	}
+
+	m.met.applyBatches.Inc()
+	m.met.applyOps.Add(int64(n))
+	if m.met.antichain != nil {
+		parallel := 0
+		for _, sp := range spans {
+			m.met.antichain.Record(time.Duration(sp.Len()))
+			if sp.Len() > 1 {
+				parallel += sp.Len()
+			}
+		}
+		m.met.parallelOps.Add(int64(parallel))
+		m.met.utilization.Set(int64(100 * parallel / n))
+		m.met.batchWall.Record(time.Since(start))
+	}
+}

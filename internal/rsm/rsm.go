@@ -9,61 +9,22 @@
 // The package also provides the atomic variant mentioned in the footnote:
 // sending reads through the broadcast service as well yields an atomic
 // (linearizable) memory.
+//
+// Apply is commutativity-aware: an application-declared conflict relation
+// (ConflictFunc, parallel.go) lets each replica cut a delivered batch into
+// antichains of commuting operations and fan the per-op work across worker
+// goroutines, while effects and client acks are installed serially in
+// delivery order — replica state stays byte-identical to serial apply at
+// every worker count.
 package rsm
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 
 	"repro/internal/sim"
 	"repro/internal/stack"
 	"repro/internal/types"
 )
-
-// Op is one memory operation carried through the TO service.
-type Op struct {
-	// Kind is "w" for writes, "r" for broadcast (atomic) reads.
-	Kind string
-	// Key and Val are the target cell and, for writes, the new value.
-	Key, Val string
-	// Nonce distinguishes operations submitted at the same processor.
-	Nonce int
-}
-
-// Encode renders the op as a TO data value. The encoding is
-// length-prefixed, so keys and values may contain any bytes.
-func (o Op) Encode() types.Value {
-	return types.Value(fmt.Sprintf("%s|%d|%d:%s%s", o.Kind, o.Nonce, len(o.Key), o.Key, o.Val))
-}
-
-// DecodeOp parses an encoded op.
-func DecodeOp(v types.Value) (Op, error) {
-	s := string(v)
-	parts := strings.SplitN(s, "|", 3)
-	if len(parts) != 3 {
-		return Op{}, fmt.Errorf("rsm: malformed op %q", s)
-	}
-	nonce, err := strconv.Atoi(parts[1])
-	if err != nil {
-		return Op{}, fmt.Errorf("rsm: malformed nonce in %q: %w", s, err)
-	}
-	body := parts[2]
-	i := strings.IndexByte(body, ':')
-	if i < 0 {
-		return Op{}, fmt.Errorf("rsm: malformed body in %q", s)
-	}
-	klen, err := strconv.Atoi(body[:i])
-	if err != nil || klen < 0 || i+1+klen > len(body) {
-		return Op{}, fmt.Errorf("rsm: malformed key length in %q", s)
-	}
-	return Op{
-		Kind:  parts[0],
-		Nonce: nonce,
-		Key:   body[i+1 : i+1+klen],
-		Val:   body[i+1+klen:],
-	}, nil
-}
 
 // Memory is a replicated key-value memory over a TO cluster. All methods
 // take the processor at which the client operates.
@@ -73,6 +34,18 @@ type Memory struct {
 	applied  map[types.ProcID]int // ops applied per replica
 	nonces   map[types.ProcID]int
 	waiters  map[opKey]func(val string)
+	errs     map[types.ProcID]error // sticky per-replica apply halt (malformed op)
+
+	conflict ConflictFunc
+	apply    ApplyFunc
+	workers  int
+	maxSpan  int
+	pumping  bool // reentrancy guard: waiter callbacks may call Read/Pump
+	met      memMetrics
+
+	// Test-only planner/executor sabotage; see applyBatch.
+	forceCommute    bool
+	permuteSegments bool
 }
 
 type opKey struct {
@@ -81,8 +54,9 @@ type opKey struct {
 }
 
 // New attaches a replicated memory to a TO cluster. Deliveries are applied
-// to the replicas eagerly, as they happen, via a cluster delivery observer;
-// Pump also applies any deliveries that occurred before New was called.
+// to the replicas eagerly, batch by batch as the stack releases them, via a
+// cluster batch observer; Pump also applies any deliveries that occurred
+// before New was called.
 func New(c *stack.Cluster) *Memory {
 	m := &Memory{
 		cluster:  c,
@@ -90,11 +64,17 @@ func New(c *stack.Cluster) *Memory {
 		applied:  make(map[types.ProcID]int),
 		nonces:   make(map[types.ProcID]int),
 		waiters:  make(map[opKey]func(string)),
+		errs:     make(map[types.ProcID]error),
+		conflict: DefaultConflict,
+		apply:    func(op Op, _ string) string { return op.Val },
+		workers:  1,
+		maxSpan:  defaultMaxSpan,
 	}
 	for _, p := range c.Procs.Members() {
 		m.replicas[p] = make(map[string]string)
 	}
-	c.OnDeliver(func(p types.ProcID, _ stack.Delivery) { m.pumpProc(p) })
+	m.bindMetrics(c.Obs)
+	c.OnDeliverBatch(func(p types.ProcID, _ []stack.Delivery) { m.pumpProc(p) })
 	return m
 }
 
@@ -128,40 +108,69 @@ func (m *Memory) ReadAtomic(p types.ProcID, key string, onValue func(val string)
 }
 
 // Pump applies every not-yet-applied delivery to the replicas. With the
-// delivery observer installed by New this is normally a no-op; it remains
+// batch observer installed by New this is normally a no-op; it remains
 // useful when a Memory is attached to a cluster that already delivered.
-func (m *Memory) Pump() {
+// It returns the first replica's sticky apply error, if any (see Err).
+func (m *Memory) Pump() error {
+	var first error
 	for _, p := range m.cluster.Procs.Members() {
-		m.pumpProc(p)
+		if err := m.pumpProc(p); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }
 
-func (m *Memory) pumpProc(p types.ProcID) {
-	ds := m.cluster.Deliveries(p)
-	for ; m.applied[p] < len(ds); m.applied[p]++ {
-		d := ds[m.applied[p]]
-		op, err := DecodeOp(d.Value)
-		if err != nil {
-			panic(err) // only Memory submits values on this cluster
-		}
-		rep := m.replicas[p]
-		var observed string
-		switch op.Kind {
-		case "w":
-			rep[op.Key] = op.Val
-			observed = op.Val
-		case "r":
-			observed = rep[op.Key]
-		default:
-			panic(fmt.Sprintf("rsm: unknown op kind %q", op.Kind))
-		}
-		if d.From == p {
-			if cb, ok := m.waiters[opKey{p, op.Nonce}]; ok {
-				delete(m.waiters, opKey{p, op.Nonce})
-				cb(observed)
-			}
-		}
+// Err returns p's sticky apply error: non-nil once a malformed operation
+// halted the replica. Every replica halts at the same position in the TO
+// order (the prefix before the bad op is applied everywhere), so a halt
+// never diverges replica contents.
+func (m *Memory) Err(p types.ProcID) error { return m.errs[p] }
+
+// pumpProc applies p's backlog of deliveries as one batch. Decoding stops
+// at the first malformed op: the good prefix is applied (identically at
+// every replica — the TO order places the bad op at the same index
+// everywhere), then the replica halts with a sticky error.
+func (m *Memory) pumpProc(p types.ProcID) error {
+	if err := m.errs[p]; err != nil {
+		return err
 	}
+	if m.pumping {
+		// A waiter callback re-entered via Read/Pump mid-install; the
+		// outer applyBatch owns the backlog.
+		return nil
+	}
+	ds := m.cluster.Deliveries(p)
+	lo := m.applied[p]
+	if lo >= len(ds) {
+		return nil
+	}
+	batch := ds[lo:]
+	ops := make([]Op, 0, len(batch))
+	var decErr error
+	for i, d := range batch {
+		op, err := DecodeOp(d.Value)
+		if err == nil && op.Kind != "w" && op.Kind != "r" {
+			err = fmt.Errorf("rsm: unknown op kind %q", op.Kind)
+		}
+		if err != nil {
+			decErr = fmt.Errorf("rsm: replica %v halted at delivery %d: %w", p, lo+i, err)
+			break
+		}
+		ops = append(ops, op)
+	}
+	if len(ops) > 0 {
+		m.pumping = true
+		func() {
+			defer func() { m.pumping = false }()
+			m.applyBatch(p, batch[:len(ops)], ops)
+		}()
+	}
+	m.applied[p] += len(ops)
+	if decErr != nil {
+		m.errs[p] = decErr
+	}
+	return decErr
 }
 
 // Replica returns a copy of p's current replica contents.
@@ -209,6 +218,5 @@ func (m *Memory) WaitSettle(d sim.Time) error {
 	if err := m.cluster.Sim.Run(m.cluster.Sim.Now() + d); err != nil {
 		return err
 	}
-	m.Pump()
-	return nil
+	return m.Pump()
 }

@@ -54,8 +54,16 @@ type Node struct {
 	c     *Cluster
 	proc  *vstoto.Proc
 	vs    *vsimpl.Node
-	log   *props.Log
-	onRcv []func(Delivery)
+	log     *props.Log
+	onRcv   []func(Delivery)
+	onBatch []func([]Delivery)
+	// drainDepth/batchMark bracket one client-visible delivery batch: the
+	// outermost drain (completion callbacks re-enter drain mid-loop) marks
+	// the delivered prefix on entry and, once the pipeline quiesces, flushes
+	// everything released since to the batch observers in one call — the
+	// boundary the rsm layer's antichain planner cuts at.
+	drainDepth int
+	batchMark  int
 
 	bcastSeq   int        // per-origin submission counter for the log
 	deliveries []Delivery // everything delivered here, in order
@@ -487,6 +495,20 @@ func (c *Cluster) OnDeliver(fn func(p types.ProcID, d Delivery)) {
 	}
 }
 
+// OnDeliverBatch registers an observer invoked once per released delivery
+// batch at every node: all deliveries the node's outermost drain released
+// in one quiescent step, in delivery order. Per-delivery OnDeliver
+// observers fire first (inside the drain); the batch observer fires after
+// the pipeline quiesces, which is the natural cut point for batch-aware
+// appliers (internal/rsm's antichain planner). The slice aliases the
+// node's delivery history — observers must not retain or mutate it.
+func (c *Cluster) OnDeliverBatch(fn func(p types.ProcID, batch []Delivery)) {
+	for _, p := range c.Procs.Members() {
+		p := p
+		c.nodes[p].onBatch = append(c.nodes[p].onBatch, func(b []Delivery) { fn(p, b) })
+	}
+}
+
 // Bcast submits a client value at processor p.
 func (c *Cluster) Bcast(p types.ProcID, a types.Value) { c.nodes[p].Bcast(a) }
 
@@ -812,6 +834,10 @@ func (n *Node) drain() {
 	if n.orc.Proc(n.id).Down() {
 		return
 	}
+	n.drainDepth++
+	if n.drainDepth == 1 {
+		n.batchMark = len(n.deliveries)
+	}
 	for {
 		progress := false
 		for n.deliverReady > 0 {
@@ -878,6 +904,14 @@ func (n *Node) drain() {
 		}
 		if !progress {
 			break
+		}
+	}
+	n.drainDepth--
+	if n.drainDepth == 0 {
+		if batch := n.deliveries[n.batchMark:]; len(batch) > 0 {
+			for _, fn := range n.onBatch {
+				fn(batch)
+			}
 		}
 	}
 	n.maybeCheckpoint()

@@ -1,0 +1,104 @@
+package sweep
+
+// This file is the batch-apply primitive behind the RSM's commutativity-
+// aware parallel apply (internal/rsm): an ordered stream of operations is
+// cut into contiguous segments of pairwise non-conflicting ("commuting")
+// operations — maximal antichains under the conflict relation, in the
+// greedy online sense — and each segment's per-operation work is fanned
+// across the worker pool while the state mutations are installed serially
+// in stream order.
+//
+// The determinism discipline is the same as Run's, applied inside one
+// batch instead of across independent runs:
+//
+//   - the plan is a pure function of the stream and the conflict relation
+//     (no timing, no worker identity), so every replica and every worker
+//     count computes the same segments;
+//   - compute(i) is a pure function of operation i and of the state as of
+//     the segment boundary — operations in a segment commute, so no
+//     compute in the segment changes another's input — and its result
+//     lands in a caller-owned slot for index i;
+//   - install(i) runs on the calling goroutine in ascending index order,
+//     so the state after every segment (and the client-visible ack order)
+//     is byte-identical to a serial apply of the stream.
+//
+// Only the conflict relation is consulted for the cuts: a stream of
+// mutually commuting operations becomes one wide segment (all-cores
+// apply), a stream of all-conflicting operations degenerates to
+// single-index segments (exactly the serial loop).
+
+// Span is one planned segment: the half-open index range [Lo, Hi) of a
+// maximal run of pairwise non-conflicting operations.
+type Span struct{ Lo, Hi int }
+
+// Len returns the number of operations in the segment.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// PlanSegments cuts the index stream [0, n) into contiguous segments of
+// pairwise non-conflicting indices: index j joins the current segment iff
+// conflicts(i, j) is false for every i already in it, and starts a new
+// segment otherwise. conflicts is only ever queried with i < j; callers
+// whose relation may be asymmetric must symmetrize it (the rsm layer
+// does). maxSpan > 0 additionally caps segment length, bounding the
+// planner's O(len²) pairwise queries and the latency of any one barrier;
+// maxSpan <= 0 leaves segments uncapped.
+//
+// The plan depends only on (n, conflicts, maxSpan) — never on timing or
+// worker count — which is what lets every replica of a state machine cut
+// an identical stream identically.
+func PlanSegments(n, maxSpan int, conflicts func(i, j int) bool) []Span {
+	if n <= 0 {
+		return nil
+	}
+	spans := make([]Span, 0, 1)
+	lo := 0
+	for j := 1; j < n; j++ {
+		cut := maxSpan > 0 && j-lo >= maxSpan
+		for i := lo; !cut && i < j; i++ {
+			cut = conflicts(i, j)
+		}
+		if cut {
+			spans = append(spans, Span{lo, j})
+			lo = j
+		}
+	}
+	return append(spans, Span{lo, n})
+}
+
+// ApplyOrdered applies an ordered operation stream with commuting-segment
+// parallelism: the stream is cut by PlanSegments, each segment's
+// compute(i) calls are fanned across the worker pool (Run's work-stealing
+// with slot-per-index results), and install(i) then runs serially in
+// ascending index order on the calling goroutine. The resulting state and
+// install order are byte-identical to the serial loop
+//
+//	for i := 0; i < n; i++ { compute(i); install(i) }
+//
+// provided compute(i) reads only operation i and state no operation in
+// its own segment writes — which is exactly what a sound conflict
+// relation asserts. compute must be safe for concurrent invocation on
+// distinct indices; install need not be (it is never called
+// concurrently). The planned segments are returned so callers can
+// observe antichain sizes (the rsm layer's histogram).
+//
+// workers <= 1 skips the fan-out entirely and is the reference serial
+// apply; single-index segments are computed inline at any worker count
+// (a goroutine barrier for one index is pure overhead).
+func ApplyOrdered(workers, n, maxSpan int, conflicts func(i, j int) bool, compute, install func(i int)) []Span {
+	spans := PlanSegments(n, maxSpan, conflicts)
+	workers = Workers(workers)
+	for _, sp := range spans {
+		if workers <= 1 || sp.Len() == 1 {
+			for i := sp.Lo; i < sp.Hi; i++ {
+				compute(i)
+			}
+		} else {
+			lo := sp.Lo
+			Do(workers, sp.Len(), func(k int) { compute(lo + k) })
+		}
+		for i := sp.Lo; i < sp.Hi; i++ {
+			install(i)
+		}
+	}
+	return spans
+}

@@ -1,0 +1,158 @@
+package sweep
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+func TestPlanSegmentsShapes(t *testing.T) {
+	never := func(i, j int) bool { return false }
+	always := func(i, j int) bool { return true }
+	cases := []struct {
+		name      string
+		n, max    int
+		conflicts func(i, j int) bool
+		want      []Span
+	}{
+		{"empty", 0, 0, never, nil},
+		{"negative", -3, 0, never, nil},
+		{"single", 1, 0, always, []Span{{0, 1}}},
+		{"all-commute", 5, 0, never, []Span{{0, 5}}},
+		{"all-conflict", 4, 0, always, []Span{{0, 1}, {1, 2}, {2, 3}, {3, 4}}},
+		{"capped", 6, 2, never, []Span{{0, 2}, {2, 4}, {4, 6}}},
+		// Adjacent pairs conflict: every segment is a singleton even though
+		// distant indices commute.
+		{"adjacent", 4, 0, func(i, j int) bool { return j == i+1 }, []Span{{0, 1}, {1, 2}, {2, 3}, {3, 4}}},
+		// Index 2 conflicts with 0: [0,2) then [2,n) — the cut is against
+		// the whole current segment, not just the previous index.
+		{"distant", 4, 0, func(i, j int) bool { return i == 0 && j == 2 }, []Span{{0, 2}, {2, 4}}},
+	}
+	for _, tc := range cases {
+		got := PlanSegments(tc.n, tc.max, tc.conflicts)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: PlanSegments = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestPlanSegmentsCoversStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		p := rng.Float64()
+		edges := make(map[[2]int]bool)
+		conflicts := func(i, j int) bool { return edges[[2]int{i, j}] }
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < p {
+					edges[[2]int{i, j}] = true
+				}
+			}
+		}
+		maxSpan := rng.Intn(6) // 0 = uncapped
+		spans := PlanSegments(n, maxSpan, conflicts)
+		// Segments tile [0, n) exactly, respect the cap, and are
+		// internally conflict-free.
+		at := 0
+		for _, sp := range spans {
+			if sp.Lo != at || sp.Hi <= sp.Lo {
+				t.Fatalf("trial %d: span %v does not continue at %d", trial, sp, at)
+			}
+			if maxSpan > 0 && sp.Len() > maxSpan {
+				t.Fatalf("trial %d: span %v exceeds cap %d", trial, sp, maxSpan)
+			}
+			for i := sp.Lo; i < sp.Hi; i++ {
+				for j := i + 1; j < sp.Hi; j++ {
+					if conflicts(i, j) {
+						t.Fatalf("trial %d: conflicting pair (%d,%d) share span %v", trial, i, j, sp)
+					}
+				}
+			}
+			at = sp.Hi
+		}
+		if at != n {
+			t.Fatalf("trial %d: spans end at %d, want %d", trial, at, n)
+		}
+	}
+}
+
+// TestApplyOrderedMatchesSerial: for random conflict graphs, the parallel
+// apply's install order and computed effects are byte-identical to the
+// serial loop at every worker count.
+func TestApplyOrderedMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(64)
+		edges := make(map[[2]int]bool)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.1 {
+					edges[[2]int{i, j}] = true
+				}
+			}
+		}
+		conflicts := func(i, j int) bool { return edges[[2]int{i, j}] }
+
+		run := func(workers int) (effects []int, order []int) {
+			effects = make([]int, n)
+			ApplyOrdered(workers, n, 0, conflicts,
+				func(i int) { effects[i] = i * i },
+				func(i int) { order = append(order, i) })
+			return
+		}
+		wantEff, wantOrder := run(1)
+		for _, w := range []int{2, runtime.GOMAXPROCS(0), runtime.GOMAXPROCS(0) * 2} {
+			eff, order := run(w)
+			if !reflect.DeepEqual(eff, wantEff) || !reflect.DeepEqual(order, wantOrder) {
+				t.Fatalf("trial %d workers=%d diverged from serial", trial, w)
+			}
+		}
+	}
+}
+
+// TestApplyOrderedInstallSerialized: install is never invoked concurrently
+// and always sees every compute of its own segment completed, even when
+// the segment's computes raced across workers.
+func TestApplyOrderedInstallSerialized(t *testing.T) {
+	const n = 512
+	computed := make([]bool, n)
+	installed := 0
+	spans := ApplyOrdered(8, n, 0,
+		func(i, j int) bool { return false }, // one wide segment
+		func(i int) { computed[i] = true },
+		func(i int) {
+			if i != installed {
+				t.Fatalf("install order broken: got %d, want %d", i, installed)
+			}
+			if !computed[i] {
+				t.Fatalf("install %d ran before its compute", i)
+			}
+			installed++
+		})
+	if installed != n {
+		t.Fatalf("installed %d of %d", installed, n)
+	}
+	if len(spans) != 1 || spans[0].Len() != n {
+		t.Fatalf("expected one wide segment, got %v", spans)
+	}
+}
+
+func BenchmarkPlanSegments(b *testing.B) {
+	for _, shape := range []struct {
+		name      string
+		conflicts func(i, j int) bool
+	}{
+		{"commuting", func(i, j int) bool { return false }},
+		{"conflicting", func(i, j int) bool { return true }},
+		{"keyed-64", func(i, j int) bool { return i%64 == j%64 }},
+	} {
+		b.Run(shape.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				PlanSegments(1024, 256, shape.conflicts)
+			}
+			b.ReportMetric(float64(1024), "ops/plan")
+		})
+	}
+}

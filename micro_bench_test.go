@@ -9,7 +9,9 @@ import (
 	"repro/internal/codec"
 	"repro/internal/failures"
 	"repro/internal/net"
+	"repro/internal/rsm"
 	"repro/internal/sim"
+	"repro/internal/stack"
 	"repro/internal/types"
 	"repro/internal/vsimpl"
 	"repro/internal/vstoto"
@@ -100,6 +102,56 @@ func BenchmarkTokenRing(b *testing.B) {
 				b.Fatalf("delivered %d of %d", st.Delivered, b.N)
 			}
 			b.ReportMetric(float64(st.SafeEmitted)/(float64(s.Now())/float64(time.Second)), "safe/simsec")
+		})
+	}
+}
+
+// BenchmarkApplyParallel measures the rsm apply stage at several worker
+// counts: one delivered burst of writes over distinct keys (wide
+// antichains under the default conflict relation) applied by a fresh
+// memory per iteration under a CPU-heavy ApplyFunc. On a multi-core host
+// workers-4 should approach 4x the workers-1 rate; on a single core the
+// numbers just document the (small) planner overhead.
+func BenchmarkApplyParallel(b *testing.B) {
+	const (
+		n     = 3
+		burst = 1024
+		keys  = 256
+	)
+	c := stack.NewCluster(stack.Options{Seed: 41, N: n, Delta: time.Millisecond})
+	if err := c.Sim.RunFor(30 * time.Millisecond); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < burst; i++ {
+		op := rsm.Op{Kind: "w", Key: fmt.Sprintf("k%d", i%keys), Val: fmt.Sprintf("v%d", i), Nonce: i + 1}
+		c.Bcast(types.ProcID(i%n), op.Encode())
+	}
+	for c.TotalDeliveries() < n*burst {
+		if err := c.Sim.RunFor(50 * time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+	heavy := func(op rsm.Op, cur string) string {
+		h := uint64(14695981039346656037)
+		for r := 0; r < 400; r++ {
+			for i := 0; i < len(op.Val); i++ {
+				h = (h ^ uint64(op.Val[i])) * 1099511628211
+			}
+		}
+		return fmt.Sprintf("%x", h)
+	}
+	for _, w := range []int{1, 2, 4} {
+		w := w
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := rsm.New(c)
+				m.SetWorkers(w)
+				m.SetApply(heavy)
+				if err := m.Pump(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n*burst), "ops/apply")
 		})
 	}
 }

@@ -131,10 +131,54 @@ func (s *SimCluster) EventLog() *props.Log { return s.c.Log }
 // Stack exposes the underlying cluster for advanced use (experiments).
 func (s *SimCluster) Stack() *stack.Cluster { return s.c }
 
+// Op is one memory operation as seen by a conflict relation: Kind ("w" or
+// "r"), Key, Val, and the submitter-local Nonce.
+type Op = rsm.Op
+
+// ConflictFunc declares which memory operations do not commute; see
+// DefaultConflict and AlwaysConflict, and DESIGN.md §15 for the soundness
+// contract.
+type ConflictFunc = rsm.ConflictFunc
+
+// DefaultConflict is the standard relation for the key-value memory: reads
+// commute with reads, operations on different keys commute, same-key pairs
+// involving a write conflict.
+func DefaultConflict(a, b Op) bool { return rsm.DefaultConflict(a, b) }
+
+// AlwaysConflict declares every pair conflicting — the conservative,
+// strictly serial legacy mode.
+func AlwaysConflict(a, b Op) bool { return rsm.AlwaysConflict(a, b) }
+
+// MemoryOptions tunes the replicated memory's apply stage. The zero value
+// is the serial reference configuration.
+type MemoryOptions struct {
+	// Conflict is the commutativity relation the batch planner consults
+	// (nil: DefaultConflict). It must be sound — if Conflict(a,b) and
+	// Conflict(b,a) are both false, applying a and b in either order must
+	// yield identical state and observations — and identical at every
+	// replica.
+	Conflict ConflictFunc
+	// Workers is the apply worker-goroutine count: 1 or 0 applies serially;
+	// n > 1 fans each antichain of commuting operations across n
+	// goroutines; negative means all cores. Replica state and ack order
+	// are byte-identical at every setting.
+	Workers int
+}
+
 // Memory attaches a sequentially consistent replicated key-value memory
 // (the paper's footnote 3 application) to the cluster.
 func (s *SimCluster) Memory() *ReplicatedMemory {
 	return &ReplicatedMemory{m: rsm.New(s.c)}
+}
+
+// MemoryWithOptions is Memory with apply-stage tuning.
+func (s *SimCluster) MemoryWithOptions(opts MemoryOptions) *ReplicatedMemory {
+	m := rsm.New(s.c)
+	m.SetConflict(opts.Conflict)
+	if opts.Workers != 0 {
+		m.SetWorkers(opts.Workers)
+	}
+	return &ReplicatedMemory{m: m}
 }
 
 // ReplicatedMemory is a sequentially consistent replicated key-value store.
@@ -155,6 +199,9 @@ func (r *ReplicatedMemory) Read(p ProcID, key string) string { return r.m.Read(p
 func (r *ReplicatedMemory) ReadAtomic(p ProcID, key string, onValue func(string)) {
 	r.m.ReadAtomic(p, key, onValue)
 }
+
+// Replica returns a copy of p's current replica contents.
+func (r *ReplicatedMemory) Replica(p ProcID) map[string]string { return r.m.Replica(p) }
 
 // CheckCoherence verifies all replicas applied a common operation prefix.
 func (r *ReplicatedMemory) CheckCoherence() error { return r.m.CheckCoherence() }

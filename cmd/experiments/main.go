@@ -14,6 +14,8 @@
 //	                                    # machine-readable bench baseline only
 //	go run ./cmd/experiments -sweep-out BENCH_sweep.json
 //	                                    # serial-vs-parallel sweep benchmark
+//	go run ./cmd/experiments -explore-out BENCH_explore.json
+//	                                    # model-checking state-space benchmark
 //	go run ./cmd/experiments -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Runs are deterministic in the seed: -workers changes only wall-clock
@@ -36,13 +38,16 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "", "run a single experiment (E1..E17); default all")
+		exp        = flag.String("exp", "", "run a single experiment (E1..E18); default all")
 		seed       = flag.Int64("seed", 1, "seed for all randomized runs")
 		workers    = flag.Int("workers", runtime.NumCPU(), "parallel runs (1 = serial; output is identical either way)")
 		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
 		benchOut   = flag.String("bench-out", "", "write the machine-readable bench baseline (throughput, latency percentiles, per-layer counters) to this JSON file; without -exp, skips the tables")
 		sweepOut   = flag.String("sweep-out", "", "run the serial-vs-parallel sweep benchmark and write its report to this JSON file")
 		minSpeedup = flag.Float64("min-speedup", 0, "with -sweep-out: fail unless the parallel sweep is at least this many times faster than serial (checked only on multi-core hosts with -workers > 1)")
+		exploreOut = flag.String("explore-out", "", "run the model-checking state-space benchmark and write its report to this JSON file")
+		minSPS     = flag.Float64("min-states-per-sec", 0, "with -explore-out: fail unless the unreduced exploration sustains at least this many states/sec")
+		minDepth   = flag.Int("min-depth", 0, "with -explore-out: fail unless the exploration reaches at least this BFS depth")
 		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
@@ -96,6 +101,49 @@ func main() {
 		return
 	}
 
+	if *exploreOut != "" {
+		report := experiments.ExploreBench(*workers)
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encode explore bench: %v\n", err)
+			exit(1)
+		}
+		if err := os.WriteFile(*exploreOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *exploreOut, err)
+			exit(1)
+		}
+		fmt.Printf("explore bench (states=%d edges=%d depth=%d, %.0f states/sec, POR ratio %.3f) written to %s\n",
+			report.States, report.Edges, report.MaxDepth, report.StatesPerSec, report.ReductionRatio, *exploreOut)
+		if !report.PORAgree {
+			fmt.Fprintf(os.Stderr, "FAIL: POR run disagrees with unreduced run (full=%q por=%q)\n",
+				report.ViolationFull, report.ViolationPOR)
+			exit(1)
+		}
+		if report.ViolationFull != "" {
+			fmt.Fprintf(os.Stderr, "FAIL: benchmark configuration violated an invariant: %s\n", report.ViolationFull)
+			exit(1)
+		}
+		if report.ReductionRatio >= 1 {
+			fmt.Fprintf(os.Stderr, "FAIL: POR reduction ratio %.3f — reduction pruned nothing\n", report.ReductionRatio)
+			exit(1)
+		}
+		if *minDepth > 0 && report.MaxDepth < *minDepth {
+			fmt.Fprintf(os.Stderr, "FAIL: reached depth %d below required %d\n", report.MaxDepth, *minDepth)
+			exit(1)
+		}
+		if *minSPS > 0 {
+			// Unlike the sweep speedup gate, states/sec has no hardware
+			// precondition to skip on — but a floor chosen for CI runners can
+			// be wrong for a slow laptop, so the flag is opt-in (CI passes it,
+			// the default invocation doesn't).
+			if report.StatesPerSec < *minSPS {
+				fmt.Fprintf(os.Stderr, "FAIL: %.0f states/sec below required %.0f\n", report.StatesPerSec, *minSPS)
+				exit(1)
+			}
+		}
+		return
+	}
+
 	if *benchOut != "" {
 		report := experiments.BenchBaselineWorkers(*seed, *workers)
 		data, err := json.MarshalIndent(report, "", "  ")
@@ -120,7 +168,7 @@ func main() {
 	} else {
 		run, ok := experiments.Runner(*exp)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E17)\n", *exp)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E18)\n", *exp)
 			exit(2)
 		}
 		tables = []*experiments.Table{run(*seed, *workers)}

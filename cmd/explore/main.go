@@ -5,10 +5,16 @@
 // TO-machine. Within the bounds this checks Theorem 6.26 for every
 // interleaving, not just sampled ones.
 //
+// The search runs wave-parallel across -workers goroutines with results
+// identical at every worker count; -por enables partial-order reduction,
+// and -crosscheck runs the configuration both reduced and unreduced and
+// fails on a verdict disagreement (the POR soundness smoke check CI runs).
+//
 // Usage:
 //
 //	go run ./cmd/explore -n 2 -bcasts 2
-//	go run ./cmd/explore -n 2 -bcasts 1 -views 1
+//	go run ./cmd/explore -n 2 -bcasts 2 -views 1 -por
+//	go run ./cmd/explore -n 2 -bcasts 1 -views 1 -crosscheck
 //	go run ./cmd/explore -n 2 -bcasts 1 -views 1 -literal-label   # finds the Figure 10 defect
 package main
 
@@ -16,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/types"
@@ -29,7 +36,11 @@ func main() {
 		bcasts    = flag.Int("bcasts", 2, "client values to explore")
 		views     = flag.Int("views", 0, "number of additional full views to offer createview")
 		maxStates = flag.Int("max-states", 2_000_000, "state budget (0 = unlimited)")
-		literal   = flag.Bool("literal-label", false,
+		workers   = flag.Int("workers", runtime.NumCPU(), "expansion parallelism (results are identical at every worker count)")
+		por       = flag.Bool("por", false, "enable partial-order reduction")
+		crossChk  = flag.Bool("crosscheck", false,
+			"run both with and without partial-order reduction and fail on a verdict disagreement")
+		literal = flag.Bool("literal-label", false,
 			"use Figure 10's literal label precondition (reproduces the documented defect)")
 	)
 	flag.Parse()
@@ -39,6 +50,8 @@ func main() {
 		P0Size:               *p0,
 		MaxBcasts:            *bcasts,
 		MaxStates:            *maxStates,
+		Workers:              *workers,
+		POR:                  *por,
 		LiteralFigure10Label: *literal,
 	}
 	for i := 0; i < *views; i++ {
@@ -48,11 +61,38 @@ func main() {
 		})
 	}
 
+	if *crossChk {
+		start := time.Now()
+		c := vstoto.ExplorePORCrossCheck(cfg)
+		elapsed := time.Since(start)
+		fmt.Printf("full:    %d states, %d edges (depth %d)\n", c.Full.States, c.Full.Edges, c.Full.MaxDepth)
+		fmt.Printf("reduced: %d states, %d edges (depth %d, %d ample, ratio %.3f)\n",
+			c.Reduced.States, c.Reduced.Edges, c.Reduced.MaxDepth, c.Reduced.AmpleStates, c.ReductionRatio())
+		fmt.Printf("cross-check completed in %v\n", elapsed.Round(time.Millisecond))
+		if !c.Agree() {
+			fmt.Printf("DISAGREEMENT: full err=%v, reduced err=%v\n", c.FullErr, c.RedErr)
+			os.Exit(1)
+		}
+		if c.FullErr != nil {
+			fmt.Printf("agreed VIOLATION: %v\n", c.FullErr)
+			os.Exit(1)
+		}
+		fmt.Println("agreement: reduced and unreduced runs reach the same verdict (clean)")
+		return
+	}
+
 	start := time.Now()
 	res, err := vstoto.Explore(cfg)
 	elapsed := time.Since(start)
-	fmt.Printf("explored %d states, %d edges in %v (max abstract queue %d, truncated=%t)\n",
-		res.States, res.Edges, elapsed.Round(time.Millisecond), res.MaxQueueLen, res.Truncated)
+	fmt.Printf("explored %d states, %d edges to depth %d in %v (workers=%d, max abstract queue %d, truncated=%t",
+		res.States, res.Edges, res.MaxDepth, elapsed.Round(time.Millisecond), *workers, res.MaxQueueLen, res.Truncated)
+	if res.Truncated {
+		fmt.Printf(", %d edges skipped", res.SkippedEdges)
+	}
+	if *por {
+		fmt.Printf(", %d ample states", res.AmpleStates)
+	}
+	fmt.Println(")")
 	if err != nil {
 		fmt.Printf("VIOLATION: %v\n", err)
 		os.Exit(1)

@@ -100,6 +100,18 @@ func (s *span) install(lo, hi int) {
 // workers == 1 degenerates to a plain serial loop on the calling
 // goroutine.
 func Run[T any](workers, n int, fn func(int) T) []T {
+	return RunWorker(workers, n, func(_, i int) T { return fn(i) })
+}
+
+// RunWorker is Run for jobs that want the identity of the worker goroutine
+// executing them: fn receives (worker, i) with worker in [0, effective
+// worker count). Job i's result must be a pure function of i alone — the
+// worker index exists only so fn can reuse per-worker scratch (buffers,
+// hash state) without synchronization, never to influence the result. The
+// bounded exhaustive explorer's wave expansion is the motivating caller:
+// each worker owns one fingerprint encoder reused across every state it
+// expands.
+func RunWorker[T any](workers, n int, fn func(worker, i int) T) []T {
 	if n <= 0 {
 		return nil
 	}
@@ -116,7 +128,7 @@ func Run[T any](workers, n int, fn func(int) T) []T {
 						panic(fmt.Sprintf("sweep: job %d panicked: %v", i, r))
 					}
 				}()
-				out[i] = fn(i)
+				out[i] = fn(0, i)
 			}()
 		}
 		return out
@@ -141,13 +153,13 @@ func Run[T any](workers, n int, fn func(int) T) []T {
 			panicked, panicIdx, panicVal = true, i, v
 		}
 	}
-	runOne := func(i int) {
+	runOne := func(w, i int) {
 		defer func() {
 			if r := recover(); r != nil {
 				record(i, r)
 			}
 		}()
-		out[i] = fn(i)
+		out[i] = fn(w, i)
 	}
 
 	for w := 0; w < workers; w++ {
@@ -157,7 +169,7 @@ func Run[T any](workers, n int, fn func(int) T) []T {
 			mine := spans[self]
 			for {
 				if i, ok := mine.take(); ok {
-					runOne(i)
+					runOne(self, i)
 					continue
 				}
 				// Own span drained: steal the back half of the largest

@@ -141,3 +141,25 @@ func TestDo(t *testing.T) {
 		}
 	}
 }
+
+// TestRunWorkerIdentity checks the worker index handed to each job is a
+// valid pool slot and that results still land by submission index — the
+// contract the explorer's per-worker scratch buffers rely on.
+func TestRunWorkerIdentity(t *testing.T) {
+	const workers, n = 4, 200
+	var badWorker atomic.Int64
+	got := RunWorker(workers, n, func(w, i int) int {
+		if w < 0 || w >= workers {
+			badWorker.Store(int64(w) + 1000)
+		}
+		return i * 3
+	})
+	if v := badWorker.Load(); v != 0 {
+		t.Fatalf("worker index out of range: %d", v-1000)
+	}
+	for i, v := range got {
+		if v != i*3 {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*3)
+		}
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"repro/internal/ioa"
+	"repro/internal/obs"
 	"repro/internal/spec/tomachine"
 	"repro/internal/spec/vsmachine"
+	"repro/internal/sweep"
 	"repro/internal/types"
 )
 
@@ -17,6 +19,18 @@ import (
 // step condition against TO-machine. Where the randomized executor samples
 // schedules, the explorer covers all of them: within the bounds, Theorem
 // 6.26 is checked for every interleaving.
+//
+// The search is a breadth-first wave expansion parallelized on the sweep
+// pool: each wave's frontier states are expanded concurrently (clone,
+// apply, check, fingerprint — all against state the wave never mutates)
+// and the per-state results are merged on the calling goroutine in
+// submission order. Because FIFO BFS order is exactly level order with
+// per-level insertion order preserved, the merged States/Edges/
+// MaxQueueLen/Truncated accounting and the first violation reported are
+// byte-identical to a serial left-to-right BFS at every worker count — the
+// same determinism discipline as the rest of the sweep engine. The visited
+// set is read-only during a wave and written only by the merge, so the
+// whole search needs no locks.
 
 // ExploreConfig bounds the exploration.
 type ExploreConfig struct {
@@ -38,6 +52,29 @@ type ExploreConfig struct {
 	// LiteralFigure10Label configures the processors with the paper's
 	// literal label precondition (see Proc.LiteralFigure10Label).
 	LiteralFigure10Label bool
+	// Workers is the expansion parallelism (<= 0 means GOMAXPROCS). The
+	// result is identical at every worker count.
+	Workers int
+	// POR enables partial-order reduction (see explore_por.go): states
+	// with a provably independent local action expand only that action.
+	// Reduced runs agree with unreduced runs on violations but visit fewer
+	// states; use ExplorePORCrossCheck to verify both on one config.
+	POR bool
+	// ExactKeys keys the visited set by the full state encoding instead of
+	// its 64-bit hash — the audit mode for the hash-compaction tests. It
+	// retains every encoding, so only use it within small bounds.
+	ExactKeys bool
+	// Obs, when non-nil, receives explore.* counters and the frontier
+	// gauge; all updates happen on the merge goroutine.
+	Obs *obs.Registry
+
+	// fpHook (tests only) post-processes each state's fingerprint hash,
+	// used to force collisions deliberately.
+	fpHook func(uint64) uint64
+	// ampleHook (tests only) replaces the POR ample-selection rule, used
+	// to prove a broken commutativity relation is caught by the POR-off
+	// cross-check.
+	ampleHook func([]ioa.Action) int
 }
 
 // ExploreResult reports the exploration's extent.
@@ -45,9 +82,24 @@ type ExploreResult struct {
 	States    int // distinct states visited
 	Edges     int // transitions checked
 	Truncated bool
+	// SkippedEdges counts checked transitions whose (new) target state was
+	// dropped because MaxStates was reached: the subtree behind each is
+	// unexplored. 0 on a non-truncated run.
+	SkippedEdges int
 	// MaxQueueLen is the longest abstract total order reached (a sanity
 	// signal that the bounds actually exercised deliveries).
 	MaxQueueLen int
+	// MaxDepth is the deepest BFS wave that produced a frontier (the
+	// initial state is depth 0).
+	MaxDepth int
+	// AmpleStates counts states expanded through a singleton ample set
+	// when POR is on (0 when off).
+	AmpleStates int
+
+	// violationHash (tests only) is the fingerprint hash of the violating
+	// state when the run ends in an error, used by the collision tests to
+	// prove a colliding hash cannot mask a violation.
+	violationHash uint64
 }
 
 type exploreState struct {
@@ -68,14 +120,6 @@ func (s *exploreState) clone() *exploreState {
 		out.procs[p] = proc.Clone()
 	}
 	return out
-}
-
-func (s *exploreState) fingerprint() string {
-	fp := fmt.Sprintf("b%d;v%d;%s", s.bcasts, s.views, s.vs.Fingerprint())
-	for _, p := range s.vs.Procs().Members() {
-		fp += "|" + s.procs[p].Fingerprint()
-	}
-	return fp
 }
 
 // autos builds fresh adapter views over this state's components.
@@ -205,9 +249,140 @@ func checkAbstractStep(procs types.ProcSet, pre, post *AbstractState, act ioa.Ac
 	return nil
 }
 
+// exploreVisited is the deduplication set. In the default mode it stores
+// only the 64-bit FNV-1a hash of each state's canonical encoding (~8 bytes
+// per state instead of the full rendering); in ExactKeys mode it stores
+// the encodings themselves. A hash collision in the default mode can hide
+// an unexplored subtree, never a violation at a generated state: every
+// generated successor is checked BEFORE the dedup lookup (see
+// exploreExpand), so the worst a collision does is under-count — which the
+// ExactKeys audit tests measure.
+type exploreVisited struct {
+	hashes map[uint64]struct{}
+	exact  map[string]struct{} // non-nil iff ExactKeys
+}
+
+func newExploreVisited(exactKeys bool) *exploreVisited {
+	v := &exploreVisited{hashes: make(map[uint64]struct{})}
+	if exactKeys {
+		v.exact = make(map[string]struct{})
+	}
+	return v
+}
+
+func (v *exploreVisited) has(hash uint64, key string) bool {
+	if v.exact != nil {
+		_, ok := v.exact[key]
+		return ok
+	}
+	_, ok := v.hashes[hash]
+	return ok
+}
+
+func (v *exploreVisited) add(hash uint64, key string) {
+	if v.exact != nil {
+		v.exact[key] = struct{}{}
+		return
+	}
+	v.hashes[hash] = struct{}{}
+}
+
+// exploreEdge is one checked transition out of a frontier state, in
+// enumeration order.
+type exploreEdge struct {
+	applyErr error  // action application failed (edge not counted)
+	checkErr error  // invariant/simulation violation (edge counted)
+	hash     uint64 // successor fingerprint hash (computed before checks)
+	key      string // successor encoding, ExactKeys mode only
+	succ     *exploreState
+}
+
+// exploreOut is one frontier state's expansion, produced by a worker and
+// consumed by the ordered merge.
+type exploreOut struct {
+	preErr   error // f undefined at the state itself
+	queueLen int   // abstract queue length at the state
+	ample    bool  // expansion reduced to a singleton ample set
+	edges    []exploreEdge
+}
+
+// exploreExpand expands one frontier state: enumerate (possibly
+// POR-reduced) actions, and for each, clone, apply, fingerprint, and run
+// every check. It reads cur and visited but mutates neither — visited is
+// frozen for the duration of the wave, which is what makes concurrent
+// expansion race-free. buf is the worker's reusable encoding scratch.
+// Expansion stops at the state's first erroring edge, exactly where the
+// serial explorer stopped.
+func exploreExpand(cfg ExploreConfig, cur *exploreState, visited *exploreVisited, buf *[]byte) exploreOut {
+	var out exploreOut
+	preSys := cur.system(cfg)
+	preAbs, err := preSys.Abstract()
+	if err != nil {
+		out.preErr = fmt.Errorf("explore: f undefined at a visited state: %w", err)
+		return out
+	}
+	out.queueLen = len(preAbs.Queue)
+
+	acts := cur.enabled(cfg)
+	if cfg.POR {
+		ample := porAmpleIndex
+		if cfg.ampleHook != nil {
+			ample = cfg.ampleHook
+		}
+		if k := ample(acts); k >= 0 {
+			acts = acts[k : k+1]
+			out.ample = true
+		}
+	}
+
+	procs := cur.vs.Procs()
+	for _, act := range acts {
+		succ := cur.clone()
+		if err := succ.apply(act); err != nil {
+			out.edges = append(out.edges, exploreEdge{applyErr: err})
+			return out
+		}
+		var e exploreEdge
+		// Fingerprint before checking: the dedup key must never decide
+		// whether a generated state gets checked, so a hash collision can
+		// lose an unexplored subtree but can never mask a violation.
+		*buf = succ.encodeFingerprint((*buf)[:0])
+		e.hash = types.HashFingerprint(*buf)
+		if cfg.fpHook != nil {
+			e.hash = cfg.fpHook(e.hash)
+		}
+		if cfg.ExactKeys {
+			e.key = string(*buf)
+		}
+		sys := succ.system(cfg)
+		if err := sys.CheckInvariants(); err != nil {
+			e.checkErr = fmt.Errorf("explore: invariant after %v: %w", act, err)
+		} else if err := sys.CheckDeepInvariants(); err != nil {
+			e.checkErr = fmt.Errorf("explore: deep invariant after %v: %w", act, err)
+		} else if postAbs, err := sys.Abstract(); err != nil {
+			e.checkErr = fmt.Errorf("explore: f undefined after %v: %w", act, err)
+		} else if err := checkAbstractStep(procs, preAbs, postAbs, act); err != nil {
+			e.checkErr = fmt.Errorf("explore: simulation step for %v: %w", act, err)
+		}
+		// Keep the successor only if it might enter the frontier: already
+		// visited before this wave means the merge will drop it anyway, so
+		// release the clone to the collector here. Intra-wave duplicates
+		// are resolved by the merge (first in submission order wins).
+		if e.checkErr == nil && !visited.has(e.hash, e.key) {
+			e.succ = succ
+		}
+		out.edges = append(out.edges, e)
+		if e.checkErr != nil {
+			return out
+		}
+	}
+	return out
+}
+
 // Explore runs the bounded exhaustive check. It returns an error on the
 // first invariant or simulation violation, identifying the failing state
-// and action.
+// and action. The error, like every counter in the result, is independent
+// of cfg.Workers.
 func Explore(cfg ExploreConfig) (ExploreResult, error) {
 	var res ExploreResult
 	if cfg.P0Size <= 0 || cfg.P0Size > cfg.N {
@@ -231,55 +406,83 @@ func Explore(cfg ExploreConfig) (ExploreResult, error) {
 		initial.procs[p] = pr
 	}
 
-	visited := map[string]bool{initial.fingerprint(): true}
-	queue := []*exploreState{initial}
+	workers := sweep.Workers(cfg.Workers)
+	cStates := cfg.Obs.Counter("explore.states")
+	cEdges := cfg.Obs.Counter("explore.edges")
+	cWaves := cfg.Obs.Counter("explore.waves")
+	cAmple := cfg.Obs.Counter("explore.ample_states")
+	cSkipped := cfg.Obs.Counter("explore.skipped_edges")
+	gFrontier := cfg.Obs.Gauge("explore.frontier")
+
+	visited := newExploreVisited(cfg.ExactKeys)
+	enc := initial.encodeFingerprint(nil)
+	h0 := types.HashFingerprint(enc)
+	if cfg.fpHook != nil {
+		h0 = cfg.fpHook(h0)
+	}
+	visited.add(h0, string(enc))
 	res.States = 1
+	cStates.Inc()
 
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	// Per-worker reusable encoding buffers: a worker expands many states
+	// per wave and the encoder is the allocation hot path.
+	bufs := make([][]byte, workers)
 
-		preSys := cur.system(cfg)
-		preAbs, err := preSys.Abstract()
-		if err != nil {
-			return res, fmt.Errorf("explore: f undefined at a visited state: %w", err)
-		}
-		if len(preAbs.Queue) > res.MaxQueueLen {
-			res.MaxQueueLen = len(preAbs.Queue)
-		}
+	frontier := []*exploreState{initial}
+	depth := 0
+	for len(frontier) > 0 {
+		gFrontier.Max(int64(len(frontier)))
+		outs := sweep.RunWorker(workers, len(frontier), func(w, i int) exploreOut {
+			return exploreExpand(cfg, frontier[i], visited, &bufs[w])
+		})
+		cWaves.Inc()
 
-		for _, act := range cur.enabled(cfg) {
-			succ := cur.clone()
-			if err := succ.apply(act); err != nil {
-				return res, err
+		// Ordered merge: scanning states in submission order and their
+		// edges in enumeration order replays exactly the serial FIFO BFS,
+		// so every counter update and early return below lands in the
+		// same sequence a serial run would produce.
+		var next []*exploreState
+		for _, out := range outs {
+			if out.preErr != nil {
+				return res, out.preErr
 			}
-			res.Edges++
-			sys := succ.system(cfg)
-			if err := sys.CheckInvariants(); err != nil {
-				return res, fmt.Errorf("explore: invariant after %v: %w", act, err)
+			if out.queueLen > res.MaxQueueLen {
+				res.MaxQueueLen = out.queueLen
 			}
-			if err := sys.CheckDeepInvariants(); err != nil {
-				return res, fmt.Errorf("explore: deep invariant after %v: %w", act, err)
+			if out.ample {
+				res.AmpleStates++
+				cAmple.Inc()
 			}
-			postAbs, err := sys.Abstract()
-			if err != nil {
-				return res, fmt.Errorf("explore: f undefined after %v: %w", act, err)
+			for _, e := range out.edges {
+				if e.applyErr != nil {
+					return res, e.applyErr
+				}
+				res.Edges++
+				cEdges.Inc()
+				if e.checkErr != nil {
+					res.violationHash = e.hash
+					return res, e.checkErr
+				}
+				if visited.has(e.hash, e.key) {
+					continue
+				}
+				if cfg.MaxStates > 0 && res.States >= cfg.MaxStates {
+					res.Truncated = true
+					res.SkippedEdges++
+					cSkipped.Inc()
+					continue
+				}
+				visited.add(e.hash, e.key)
+				res.States++
+				cStates.Inc()
+				next = append(next, e.succ)
 			}
-			if err := checkAbstractStep(procs, preAbs, postAbs, act); err != nil {
-				return res, fmt.Errorf("explore: simulation step for %v: %w", act, err)
-			}
-			fp := succ.fingerprint()
-			if visited[fp] {
-				continue
-			}
-			if cfg.MaxStates > 0 && res.States >= cfg.MaxStates {
-				res.Truncated = true
-				continue
-			}
-			visited[fp] = true
-			res.States++
-			queue = append(queue, succ)
 		}
+		if len(next) > 0 {
+			depth++
+			res.MaxDepth = depth
+		}
+		frontier = next
 	}
 	return res, nil
 }

@@ -1,0 +1,42 @@
+package vstoto
+
+// ExploreCrossCheck is the result of running one configuration both with
+// and without partial-order reduction. The reduced run explores a subgraph
+// of the full run, so the two must agree on the verdict: both clean, or
+// both ending in a violation. (The violating states found may differ — the
+// reduction legitimately reaches a different first counterexample — but a
+// verdict disagreement means the commutativity relation pruned a behavior
+// it claimed was redundant, i.e. the reduction is unsound. CI runs this
+// agreement check on every push; the mutant tests prove it actually fires
+// on a broken relation.)
+type ExploreCrossCheck struct {
+	Full    ExploreResult
+	Reduced ExploreResult
+	FullErr error
+	RedErr  error
+}
+
+// Agree reports verdict agreement between the full and reduced runs.
+func (c ExploreCrossCheck) Agree() bool {
+	return (c.FullErr == nil) == (c.RedErr == nil)
+}
+
+// ReductionRatio is Reduced.States / Full.States — below 1.0 means POR is
+// pruning; 1.0 means it found nothing to prune.
+func (c ExploreCrossCheck) ReductionRatio() float64 {
+	if c.Full.States == 0 {
+		return 1
+	}
+	return float64(c.Reduced.States) / float64(c.Full.States)
+}
+
+// ExplorePORCrossCheck runs cfg unreduced and reduced (overriding cfg.POR
+// both ways) and returns both outcomes for agreement checking.
+func ExplorePORCrossCheck(cfg ExploreConfig) ExploreCrossCheck {
+	var c ExploreCrossCheck
+	cfg.POR = false
+	c.Full, c.FullErr = Explore(cfg)
+	cfg.POR = true
+	c.Reduced, c.RedErr = Explore(cfg)
+	return c
+}

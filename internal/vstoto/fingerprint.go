@@ -1,0 +1,129 @@
+package vstoto
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/types"
+)
+
+// Binary fingerprints for the bounded exhaustive explorer. The seed
+// explorer keyed its visited set by fmt.Sprintf-built strings — the
+// allocation hot path of a run (every generated successor built kilobytes
+// of formatted text, and the visited map retained all of it). The binary
+// encoding below appends into a worker-owned reusable buffer and the
+// visited set stores only the 64-bit FNV-1a hash: ~8 bytes per state
+// instead of the full rendering (hash compaction; see DESIGN.md §16 for
+// the collision discussion and the check-before-dedup guarantee).
+
+// AppendFingerprint appends the pair's canonical encoding (tag 0x10 keeps
+// it disjoint from Summary's under vsmachine's message framing).
+func (lv LabeledValue) AppendFingerprint(buf []byte) []byte {
+	buf = append(buf, 0x10)
+	buf = lv.L.AppendFingerprint(buf)
+	return types.AppendFingerprintString(buf, string(lv.A))
+}
+
+// AppendFingerprint appends the summary's canonical content encoding
+// (tag 0x11): con in ascending label order, then ord, next, high.
+// Summaries travel by pointer, but two structurally equal summaries must
+// encode identically — the visited set is about state, not identity.
+func (x *Summary) AppendFingerprint(buf []byte) []byte {
+	buf = append(buf, 0x11)
+	labels := make([]types.Label, 0, len(x.Con))
+	for l := range x.Con {
+		labels = append(labels, l)
+	}
+	types.SortLabels(labels)
+	buf = binary.AppendUvarint(buf, uint64(len(labels)))
+	for _, l := range labels {
+		buf = l.AppendFingerprint(buf)
+		buf = types.AppendFingerprintString(buf, string(x.Con[l]))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(x.Ord)))
+	for _, l := range x.Ord {
+		buf = l.AppendFingerprint(buf)
+	}
+	buf = binary.AppendVarint(buf, int64(x.Next))
+	return x.High.AppendFingerprint(buf)
+}
+
+// AppendFingerprint appends the processor's canonical encoding. History
+// variables are excluded, exactly as in the string fingerprint: they are
+// functions of the reachable state and only consumed by the invariant
+// checker.
+func (p *Proc) AppendFingerprint(buf []byte) []byte {
+	buf = binary.AppendVarint(buf, int64(p.id))
+	buf = p.Current.AppendFingerprint(buf)
+	buf = binary.AppendVarint(buf, int64(p.NextSeqno))
+	buf = binary.AppendVarint(buf, int64(p.Status))
+	buf = binary.AppendVarint(buf, int64(p.NextConfirm))
+	buf = binary.AppendVarint(buf, int64(p.NextReport))
+	buf = p.HighPrimary.AppendFingerprint(buf)
+	for _, ls := range [][]types.Label{p.Buffer, p.Order} {
+		buf = binary.AppendUvarint(buf, uint64(len(ls)))
+		for _, l := range ls {
+			buf = l.AppendFingerprint(buf)
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(p.Delay)))
+	for _, a := range p.Delay {
+		buf = types.AppendFingerprintString(buf, string(a))
+	}
+	labels := make([]types.Label, 0, len(p.Content))
+	for l := range p.Content {
+		labels = append(labels, l)
+	}
+	types.SortLabels(labels)
+	buf = binary.AppendUvarint(buf, uint64(len(labels)))
+	for _, l := range labels {
+		buf = l.AppendFingerprint(buf)
+		buf = types.AppendFingerprintString(buf, string(p.Content[l]))
+	}
+	gots := make([]types.ProcID, 0, len(p.GotState))
+	for q := range p.GotState {
+		gots = append(gots, q)
+	}
+	sort.Slice(gots, func(i, j int) bool { return gots[i] < gots[j] })
+	buf = binary.AppendUvarint(buf, uint64(len(gots)))
+	for _, q := range gots {
+		buf = binary.AppendVarint(buf, int64(q))
+		buf = p.GotState[q].AppendFingerprint(buf)
+	}
+	exs := make([]types.ProcID, 0, len(p.SafeExch))
+	for q, ok := range p.SafeExch {
+		if ok {
+			exs = append(exs, q)
+		}
+	}
+	sort.Slice(exs, func(i, j int) bool { return exs[i] < exs[j] })
+	buf = binary.AppendUvarint(buf, uint64(len(exs)))
+	for _, q := range exs {
+		buf = binary.AppendVarint(buf, int64(q))
+	}
+	sls := make([]types.Label, 0, len(p.SafeLabels))
+	for l, ok := range p.SafeLabels {
+		if ok {
+			sls = append(sls, l)
+		}
+	}
+	types.SortLabels(sls)
+	buf = binary.AppendUvarint(buf, uint64(len(sls)))
+	for _, l := range sls {
+		buf = l.AppendFingerprint(buf)
+	}
+	return buf
+}
+
+// encodeFingerprint appends the composed state's canonical encoding: the
+// environment counters, the VS machine, then every processor in universe
+// order.
+func (s *exploreState) encodeFingerprint(buf []byte) []byte {
+	buf = binary.AppendVarint(buf, int64(s.bcasts))
+	buf = binary.AppendVarint(buf, int64(s.views))
+	buf = s.vs.AppendFingerprint(buf)
+	for _, p := range s.vs.Procs().Members() {
+		buf = s.procs[p].AppendFingerprint(buf)
+	}
+	return buf
+}
